@@ -1,0 +1,33 @@
+"""Shared configuration for the per-figure benchmark harnesses.
+
+Every bench regenerates the data behind one table or figure of the paper at
+a reduced workload scale so the whole suite completes in minutes.  Set the
+``REPRO_BENCH_SCALE`` environment variable (default 0.08) to trade fidelity
+for runtime; the harness functions in :mod:`repro.harness.experiments`
+accept any scale.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+
+def bench_scale(default: float = 0.08) -> float:
+    """Workload scale used by the benches (env-overridable)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture
+def scale() -> float:
+    return bench_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,31 @@
+"""Figure 1: motivation — Backprop interference and Best-SWL vs CCWS.
+
+Regenerates (a) the pairwise warp-interference matrix of Backprop under GTO
+and (b) the IPC / L1D hit rate / active-warp comparison of Best-SWL and
+CCWS, and prints both in the shape the paper plots.
+"""
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+
+
+def test_fig1a_interference_matrix(benchmark):
+    data = run_once(benchmark, experiments.fig1_interference_matrix, scale=bench_scale())
+    summary = data["summary"]
+    print("\n[Fig 1a] Backprop pairwise interference (top pairs):")
+    for victim, aggressor, count in summary["top_pairs"][:10]:
+        print(f"  W{aggressor:02d} -> W{victim:02d}: {count}")
+    print(f"  total VTA hits: {summary['total_vta_hits']}")
+    assert isinstance(data["matrix"], dict)
+
+
+def test_fig1b_bestswl_vs_ccws(benchmark):
+    data = run_once(benchmark, experiments.fig1_bestswl_vs_ccws, scale=bench_scale())
+    print("\n[Fig 1b] Backprop: Best-SWL vs CCWS")
+    for sched, row in data["rows"].items():
+        print(
+            f"  {sched:9s} IPC={row['ipc']:7.2f} (norm {row['ipc_normalized']:.2f}) "
+            f"hit={row['l1d_hit_rate']:.2f} active-warps={row['mean_active_warps']:.1f}"
+        )
+    assert set(data["rows"]) == {"best-swl", "ccws"}

@@ -1,0 +1,21 @@
+"""Figure 4: interference characterisation (KMN focus + per-workload min/max)."""
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+
+
+def test_fig4_interference_characterisation(benchmark):
+    data = run_once(
+        benchmark,
+        experiments.fig4_interference_characterisation,
+        scale=bench_scale(),
+        benchmarks=("ATAX", "SYRK", "GESUMMV"),
+    )
+    print(f"\n[Fig 4a] warps interfering with warps of {data['focus_benchmark']} (top):")
+    for victim, aggressor, count in data["focus_top_pairs"][:8]:
+        print(f"  W{aggressor:02d} interferes with W{victim:02d}: {count} times")
+    print("[Fig 4b] per-workload (min, max) interference frequency:")
+    for name, (lo, hi) in data["per_workload_min_max"].items():
+        print(f"  {name:10s} min={lo:6d} max={hi:6d}")
+    assert data["per_workload_min_max"]

@@ -1,0 +1,56 @@
+"""Figure 8: the main IPC comparison across the seven schedulers.
+
+Runs every benchmark under GTO / CCWS / Best-SWL / statPCAL / CIAO-T /
+CIAO-P / CIAO-C and prints (a) IPC normalised to GTO per benchmark plus the
+class geomeans and (b) the shared-memory utilisation ratio per class.
+
+The full 21-benchmark sweep is expensive; the bench uses a representative
+subset by default (one per class plus the paper's featured workloads).  Set
+``REPRO_BENCH_FULL=1`` to run the whole Table II list.
+"""
+
+import os
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+from repro.workloads.registry import benchmark_names
+
+SUBSET = ("ATAX", "SYRK", "KMN", "GESUMMV", "SS", "Backprop", "Gaussian")
+
+
+def _selected_benchmarks():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return benchmark_names()
+    return SUBSET
+
+
+def test_fig8_main_comparison(benchmark):
+    data = run_once(
+        benchmark,
+        experiments.fig8_main_comparison,
+        benchmarks=_selected_benchmarks(),
+        scale=bench_scale(),
+    )
+    print("\n[Fig 8a] IPC normalised to GTO:")
+    rows = []
+    for bench_name in data["benchmarks"]:
+        row = {"benchmark": bench_name}
+        row.update(data["normalized_ipc"][bench_name])
+        rows.append(row)
+    print(format_table(rows, float_format="{:.2f}"))
+    print("[Fig 8a] geometric-mean speedup over GTO:")
+    for sched, value in data["geomean_speedup"].items():
+        print(f"  {sched:9s} {value:.3f}")
+    print("[Fig 8a] per-class geomeans:")
+    for cls, per_sched in data["class_geomeans"].items():
+        print(f"  {cls}: " + ", ".join(f"{s}={v:.2f}" for s, v in per_sched.items()))
+    print("[Fig 8b] shared-memory utilisation ratio (CIAO runs):")
+    for cls, value in data["shared_memory_utilization"].items():
+        print(f"  {cls}: {value:.2f}")
+
+    speedups = data["geomean_speedup"]
+    assert speedups["gto"] == 1.0
+    # Headline shape: the full CIAO scheme should not lose to plain GTO.
+    assert speedups["ciao-c"] >= 0.95

@@ -1,0 +1,26 @@
+"""Figure 9: dynamic IPC / active warps / interference over time (ATAX, Backprop)."""
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+
+
+def _print_series(label, series, samples=6):
+    points = series[:: max(1, len(series) // samples)][:samples]
+    rendered = ", ".join(f"({instr}, {value:.1f})" for instr, value in points)
+    print(f"    {label}: {rendered}")
+
+
+def test_fig9_timeseries(benchmark):
+    data = run_once(benchmark, experiments.fig9_timeseries, scale=bench_scale(0.15))
+    for bench_name, per_sched in data.items():
+        print(f"\n[Fig 9] {bench_name}:")
+        for sched, series in per_sched.items():
+            print(f"  {sched}:")
+            _print_series("dynamic IPC", series["ipc"])
+            _print_series("active warps", series["active_warps"])
+            _print_series("interference", series["interference"])
+    assert set(data) == {"ATAX", "Backprop"}
+    for per_sched in data.values():
+        for series in per_sched.values():
+            assert len(series["ipc"]) > 0

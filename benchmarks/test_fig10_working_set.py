@@ -1,0 +1,23 @@
+"""Figure 10: CIAO-T vs CIAO-P vs CIAO-C over time on SYRK (SWS) and KMN (LWS)."""
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import geometric_mean
+
+
+def test_fig10_working_set_sensitivity(benchmark):
+    data = run_once(benchmark, experiments.fig10_working_set, scale=bench_scale(0.15))
+    print("\n[Fig 10] mean dynamic IPC / active warps per CIAO scheme:")
+    summary = {}
+    for bench_name, per_sched in data.items():
+        print(f"  {bench_name}:")
+        for sched, series in per_sched.items():
+            ipc_values = [v for _, v in series["ipc"]]
+            aw_values = [v for _, v in series["active_warps"]]
+            mean_ipc = geometric_mean(ipc_values) if ipc_values else 0.0
+            mean_aw = sum(aw_values) / len(aw_values) if aw_values else 0.0
+            summary[(bench_name, sched)] = mean_ipc
+            print(f"    {sched:7s} mean-IPC={mean_ipc:7.2f} mean-active-warps={mean_aw:5.1f}")
+    assert set(data) == {"SYRK", "KMN"}
+    assert all(v >= 0 for v in summary.values())

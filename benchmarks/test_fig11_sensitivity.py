@@ -1,0 +1,44 @@
+"""Figure 11: sensitivity of CIAO-C to the epoch length and high-cutoff threshold."""
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+
+#: A compact subset of the memory-intensive list keeps the sweep affordable.
+SUBSET = ("ATAX", "SYRK", "GESUMMV")
+
+
+def test_fig11a_epoch_sensitivity(benchmark):
+    data = run_once(
+        benchmark,
+        experiments.fig11_sensitivity_epoch,
+        benchmarks=SUBSET,
+        epochs=(1000, 5000, 10000, 50000),
+        scale=bench_scale(),
+    )
+    print("\n[Fig 11a] IPC vs high-cutoff epoch (normalised to 5000 instructions):")
+    for bench_name, row in data["normalized_to_5000"].items():
+        rendered = ", ".join(f"{epoch}: {value:.2f}" for epoch, value in row.items())
+        print(f"  {bench_name:10s} {rendered}")
+    # The paper reports <15% change across the sweep; allow slack for the
+    # reduced workload scale.
+    for row in data["normalized_to_5000"].values():
+        for value in row.values():
+            assert 0.5 < value < 2.0
+
+
+def test_fig11b_cutoff_sensitivity(benchmark):
+    data = run_once(
+        benchmark,
+        experiments.fig11_sensitivity_cutoff,
+        benchmarks=SUBSET,
+        cutoffs=(0.04, 0.02, 0.01, 0.005),
+        scale=bench_scale(),
+    )
+    print("\n[Fig 11b] IPC vs high-cutoff threshold (normalised to 1%):")
+    for bench_name, row in data["normalized_to_1pct"].items():
+        rendered = ", ".join(f"{cutoff:.3f}: {value:.2f}" for cutoff, value in row.items())
+        print(f"  {bench_name:10s} {rendered}")
+    for row in data["normalized_to_1pct"].values():
+        for value in row.values():
+            assert 0.5 < value < 2.0

@@ -1,0 +1,39 @@
+"""Figure 12: larger/associative L1D variants and doubled DRAM bandwidth."""
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+SUBSET = ("ATAX", "SYRK", "KMN", "GESUMMV")
+
+
+def test_fig12a_l1d_configurations(benchmark):
+    data = run_once(
+        benchmark, experiments.fig12_cache_configs, benchmarks=SUBSET, scale=bench_scale()
+    )
+    print("\n[Fig 12a] IPC normalised to GTO for L1D configuration variants:")
+    rows = [
+        {"benchmark": bench_name, **row} for bench_name, row in data["normalized_ipc"].items()
+    ]
+    print(format_table(rows, float_format="{:.2f}"))
+    for row in data["normalized_ipc"].values():
+        assert row["gto"] == 1.0
+        # A 3x larger (or 2x more associative) L1D should never devastate
+        # performance relative to the baseline.
+        assert row["gto-cap"] > 0.5
+        assert row["gto-8way"] > 0.5
+
+
+def test_fig12b_dram_bandwidth(benchmark):
+    data = run_once(
+        benchmark, experiments.fig12_dram_bandwidth, benchmarks=SUBSET, scale=bench_scale()
+    )
+    print("\n[Fig 12b] IPC normalised to GTO with doubled DRAM bandwidth:")
+    rows = [
+        {"benchmark": bench_name, **row} for bench_name, row in data["normalized_ipc"].items()
+    ]
+    print(format_table(rows, float_format="{:.2f}"))
+    for row in data["normalized_ipc"].values():
+        assert row["ciao-c-2x"] > 0
+        assert row["statpcal-2x"] > 0

@@ -1,0 +1,22 @@
+"""Section V-F: area and power overhead of the CIAO hardware additions."""
+
+from conftest import bench_scale, run_once
+
+from repro.harness import experiments
+
+
+def test_overhead_analysis(benchmark):
+    data = run_once(benchmark, experiments.overhead_analysis, scale=bench_scale())
+    area = data["area"]
+    power = data["power"]
+    print("\n[Sec V-F] area overhead:")
+    print(f"  VTA (15 SMs):          {area['vta_mm2']:.3f} mm^2")
+    print(f"  detector lists:        {area['detector_lists_mm2']:.3f} mm^2")
+    print(f"  logic + datapath:      {area['logic_mm2']:.3f} mm^2")
+    print(f"  total:                 {area['total_mm2']:.3f} mm^2 "
+          f"({area['fraction_of_die'] * 100:.2f}% of the GTX 480 die)")
+    print("[Sec V-F] power overhead:")
+    print(f"  total: {power['total_mw']:.1f} mW "
+          f"({power['fraction_of_tdp'] * 100:.3f}% of TDP), activity from {data['activity_benchmark']}")
+    assert data["claims"]["area_below_2_percent"]
+    assert data["claims"]["power_below_1_percent_of_tdp"]

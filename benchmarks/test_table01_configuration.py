@@ -1,0 +1,16 @@
+"""Table I: the simulated GPGPU-Sim-like machine configuration."""
+
+from conftest import run_once
+
+from repro.harness import experiments
+
+
+def test_table1_configuration(benchmark):
+    table = run_once(benchmark, experiments.table1_configuration)
+    print("\n[Table I] simulated configuration:")
+    for key, value in table.items():
+        print(f"  {key:24s} {value}")
+    assert table["l1d_kb"] == 16
+    assert table["shared_memory_kb"] == 48
+    assert table["l2_kb"] == 768
+    assert table["num_sms"] == 15

@@ -1,0 +1,15 @@
+"""Table II: benchmark characteristics (APKI, Nwrp, Fsmem, barriers, class)."""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+
+def test_table2_benchmark_characteristics(benchmark):
+    rows = run_once(benchmark, experiments.table2_benchmarks)
+    print("\n[Table II] benchmark characteristics:")
+    print(format_table(rows, columns=["Benchmark", "APKI", "Input", "Nwrp", "Fsmem", "Bar.", "Class", "Suite"]))
+    assert len(rows) == 21
+    names = {row["Benchmark"] for row in rows}
+    assert {"ATAX", "Backprop", "SYRK", "KMN", "NW"} <= names

@@ -1,0 +1,52 @@
+"""Quickstart: run one benchmark under two schedulers and compare them.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [scale]
+
+Runs the chosen Table II benchmark (default SYRK) under the GTO baseline and
+the full CIAO-C scheme on the simulated GTX 480-like SM, then prints IPC,
+cache behaviour and the interference the detector observed.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.runner import run_benchmark  # noqa: E402
+from repro.workloads import get_benchmark  # noqa: E402
+
+
+def main() -> int:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "SYRK"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    spec = get_benchmark(benchmark)
+    print(f"Benchmark {spec.name} ({spec.suite}, {spec.workload_class.name}): {spec.description}")
+    print(f"Table II: APKI={spec.apki}, Nwrp={spec.nwrp}, Fsmem={spec.fsmem:.0%}, "
+          f"barriers={'yes' if spec.uses_barriers else 'no'}")
+    print()
+
+    results = {}
+    for scheduler in ("gto", "ciao-c"):
+        result = run_benchmark(spec, scheduler, scale=scale, seed=1)
+        results[scheduler] = result
+        stats = result.sm0
+        print(f"[{scheduler}]")
+        print(f"  thread IPC                {result.ipc:8.2f}")
+        print(f"  cycles                    {stats.cycles:8d}")
+        print(f"  L1D hit rate              {stats.l1d_hit_rate:8.2%}")
+        print(f"  shared-cache hit rate     {stats.shared_cache_hit_rate:8.2%}")
+        print(f"  VTA hits (lost locality)  {stats.vta_hits:8d}")
+        print(f"  redirected accesses       {stats.redirected_accesses:8d}")
+        print(f"  throttle events           {stats.throttle_events:8d}")
+        print(f"  mean active warps         {stats.active_warp_series.mean():8.1f}")
+        print()
+
+    speedup = results["ciao-c"].ipc / results["gto"].ipc if results["gto"].ipc else 0.0
+    print(f"CIAO-C speedup over GTO on {spec.name}: {speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

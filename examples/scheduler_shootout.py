@@ -1,0 +1,49 @@
+"""Scheduler shoot-out: the Figure 8 experiment on a chosen set of benchmarks.
+
+Usage::
+
+    python examples/scheduler_shootout.py [benchmark ...]
+
+Runs every scheduler of the paper's evaluation (GTO, CCWS, Best-SWL,
+statPCAL, CIAO-T, CIAO-P, CIAO-C) on the requested benchmarks (default: one
+representative of each working-set class) and prints the normalised IPC
+table plus per-class geometric means — the textual form of Figure 8a.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness import experiments  # noqa: E402
+from repro.harness.reporting import format_table  # noqa: E402
+
+DEFAULT_BENCHMARKS = ("ATAX", "SYRK", "Backprop")
+
+
+def main() -> int:
+    benchmarks = tuple(sys.argv[1:]) or DEFAULT_BENCHMARKS
+    print(f"Running the Figure 8 comparison on: {', '.join(benchmarks)}")
+    data = experiments.fig8_main_comparison(benchmarks=benchmarks, scale=0.2)
+
+    rows = []
+    for bench in data["benchmarks"]:
+        row = {"benchmark": bench}
+        row.update({sched: round(v, 2) for sched, v in data["normalized_ipc"][bench].items()})
+        rows.append(row)
+    print()
+    print("IPC normalised to GTO:")
+    print(format_table(rows, float_format="{:.2f}"))
+    print()
+    print("Geometric-mean speedup over GTO:")
+    for sched, value in data["geomean_speedup"].items():
+        print(f"  {sched:9s} {value:.3f}")
+    print()
+    print("Shared-memory utilisation (CIAO runs) per class:")
+    for cls, value in data["shared_memory_utilization"].items():
+        print(f"  {cls:4s} {value:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has setuptools 65 without the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy develop-mode
+install, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

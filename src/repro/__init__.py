@@ -1,0 +1,33 @@
+"""CIAO reproduction library.
+
+A warp-level GPU simulator plus the Cache Interference-Aware
+throughput-Oriented (CIAO) on-chip memory architecture and warp scheduling
+from Zhang et al., IPDPS 2018, together with the baselines (GTO, CCWS,
+Best-SWL, statPCAL) and the workload models and experiment harness needed to
+regenerate every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_run
+
+    result = quick_run("ATAX", "ciao-c")
+    print(result.ipc)
+
+See ``examples/quickstart.py`` and README.md for more.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__", "quick_run"]
+
+
+def quick_run(benchmark: str, scheduler: str = "gto", **kwargs):
+    """Run one benchmark under one scheduler with small default sizing.
+
+    This is a convenience wrapper around
+    :func:`repro.harness.runner.run_benchmark`; see that function for the
+    full parameter list.
+    """
+    from repro.harness.runner import run_benchmark
+
+    return run_benchmark(benchmark, scheduler, **kwargs)

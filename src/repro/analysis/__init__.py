@@ -1,0 +1,27 @@
+"""Analysis helpers: metrics, and the area / power overhead models.
+
+* :mod:`repro.analysis.metrics` -- derived metrics (speedups, class
+  geometric means, interference summaries).
+* :mod:`repro.analysis.area` -- a CACTI-style first-order area model for the
+  hardware CIAO adds (Section V-F).
+* :mod:`repro.analysis.power` -- a GPUWattch-style first-order power model
+  for the same structures.
+"""
+
+from repro.analysis.metrics import (
+    class_geomeans,
+    normalized_ipc_table,
+    speedup_summary,
+)
+from repro.analysis.area import AreaModel, CIAO_AREA_REPORT
+from repro.analysis.power import PowerModel, CIAO_POWER_REPORT
+
+__all__ = [
+    "class_geomeans",
+    "normalized_ipc_table",
+    "speedup_summary",
+    "AreaModel",
+    "CIAO_AREA_REPORT",
+    "PowerModel",
+    "CIAO_POWER_REPORT",
+]

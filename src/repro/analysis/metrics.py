@@ -1,0 +1,82 @@
+"""Derived metrics over simulation results.
+
+These helpers turn the raw ``{benchmark: {scheduler: SimulationResult}}``
+dictionaries produced by :func:`repro.harness.runner.run_many` into the
+quantities the paper's figures report: IPC normalised to GTO, per-class
+geometric means, and interference summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.gpu.gpu import SimulationResult
+from repro.harness.reporting import geometric_mean
+from repro.workloads.registry import get_benchmark
+from repro.workloads.spec import WorkloadClass
+
+ResultGrid = Mapping[str, Mapping[str, SimulationResult]]
+
+
+def normalized_ipc_table(results: ResultGrid, baseline: str = "gto") -> dict[str, dict[str, float]]:
+    """Normalise every scheduler's IPC to ``baseline`` per benchmark."""
+    table: dict[str, dict[str, float]] = {}
+    for benchmark, per_sched in results.items():
+        base = per_sched[baseline].ipc if baseline in per_sched else 0.0
+        if base <= 0:
+            table[benchmark] = {sched: 0.0 for sched in per_sched}
+            continue
+        table[benchmark] = {sched: res.ipc / base for sched, res in per_sched.items()}
+    return table
+
+
+def speedup_summary(results: ResultGrid, baseline: str = "gto") -> dict[str, float]:
+    """Geometric-mean speedup over ``baseline`` for every scheduler."""
+    normalized = normalized_ipc_table(results, baseline)
+    schedulers = {sched for row in normalized.values() for sched in row}
+    return {
+        sched: geometric_mean(row[sched] for row in normalized.values() if sched in row)
+        for sched in sorted(schedulers)
+    }
+
+
+def class_geomeans(results: ResultGrid, baseline: str = "gto") -> dict[str, dict[str, float]]:
+    """Per working-set class geometric means of normalised IPC (Fig. 8a bars)."""
+    normalized = normalized_ipc_table(results, baseline)
+    by_class: dict[str, dict[str, list[float]]] = {
+        cls.name: {} for cls in WorkloadClass
+    }
+    for benchmark, row in normalized.items():
+        cls = get_benchmark(benchmark).workload_class.name
+        for sched, value in row.items():
+            by_class[cls].setdefault(sched, []).append(value)
+    return {
+        cls: {sched: geometric_mean(vals) for sched, vals in per_sched.items()}
+        for cls, per_sched in by_class.items()
+        if per_sched
+    }
+
+
+def interference_summary(result: SimulationResult, top_n: int = 10) -> dict[str, object]:
+    """Summarise interference observed in one run (Figures 1a / 4a / 4b)."""
+    stats = result.sm0
+    pairs = stats.interference_pairs()[:top_n]
+    minimum, maximum = stats.interference_extremes()
+    return {
+        "total_vta_hits": stats.vta_hits,
+        "top_pairs": pairs,
+        "min_interference": minimum,
+        "max_interference": maximum,
+        "per_warp_vta_hits": dict(stats.per_warp_vta_hits),
+    }
+
+
+def shared_memory_utilization_by_class(results: ResultGrid) -> dict[str, float]:
+    """Average shared-memory utilisation per class (Fig. 8b) for CIAO runs."""
+    sums: dict[str, list[float]] = {}
+    for benchmark, per_sched in results.items():
+        cls = get_benchmark(benchmark).workload_class.name
+        for sched, res in per_sched.items():
+            if sched.startswith("ciao"):
+                sums.setdefault(cls, []).append(res.sm0.shared_memory_utilization)
+    return {cls: sum(vals) / len(vals) for cls, vals in sums.items() if vals}

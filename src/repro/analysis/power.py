@@ -1,0 +1,90 @@
+"""First-order power model for the CIAO additions (Section V-F).
+
+The paper uses GPUWattch and reports ~79 mW average power for the new
+components, i.e. about 0.3% of the GTX 480's power.  GPUWattch is not
+available offline, so this model distributes the published 79 mW anchor over
+the added structures proportionally to their activity:
+
+* VTA probes / insertions (one per L1D miss / eviction),
+* interference list and pair list updates (one per VTA hit),
+* IRS evaluations (one per epoch boundary),
+* address translations and datapath-mux switches (one per redirected access).
+
+The absolute numbers inherit the paper's anchor; the *relative* scaling with
+simulated activity counts is what the tests and the overhead bench exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper anchor: average added power for the default configuration (mW).
+PAPER_TOTAL_MW = 79.0
+#: GTX 480 TDP in watts (for the ~0.3% claim).
+GTX480_TDP_W = 250.0
+
+#: Relative energy weights of the event classes (sums to 1.0 for the
+#: paper-default activity mix).
+_WEIGHTS = {
+    "vta": 0.45,
+    "lists": 0.15,
+    "irs": 0.10,
+    "translation": 0.30,
+}
+
+
+@dataclass
+class PowerModel:
+    """Activity-proportional power estimate for the CIAO hardware."""
+
+    num_sms: int = 15
+
+    def estimate(
+        self,
+        *,
+        vta_events_per_kcycle: float = 20.0,
+        list_updates_per_kcycle: float = 5.0,
+        irs_checks_per_kcycle: float = 0.5,
+        redirections_per_kcycle: float = 10.0,
+    ) -> dict[str, float]:
+        """Estimate added power (mW) for the given per-SM activity rates.
+
+        The paper-default rates (the keyword defaults) reproduce the 79 mW
+        anchor; other rates scale each component linearly.
+        """
+        reference = {
+            "vta": 20.0,
+            "lists": 5.0,
+            "irs": 0.5,
+            "translation": 10.0,
+        }
+        actual = {
+            "vta": vta_events_per_kcycle,
+            "lists": list_updates_per_kcycle,
+            "irs": irs_checks_per_kcycle,
+            "translation": redirections_per_kcycle,
+        }
+        sm_scale = self.num_sms / 15.0
+        components = {}
+        for key, weight in _WEIGHTS.items():
+            base = PAPER_TOTAL_MW * weight
+            ratio = actual[key] / reference[key] if reference[key] else 0.0
+            components[f"{key}_mw"] = base * ratio * sm_scale
+        total = sum(components.values())
+        components["total_mw"] = total
+        components["fraction_of_tdp"] = total / (GTX480_TDP_W * 1000.0)
+        return components
+
+    def from_stats(self, stats, cycles: int) -> dict[str, float]:
+        """Estimate power from an :class:`repro.gpu.stats.SMStats` object."""
+        kcycles = max(1.0, cycles / 1000.0)
+        return self.estimate(
+            vta_events_per_kcycle=(stats.l1d_misses + stats.vta_hits) / kcycles,
+            list_updates_per_kcycle=stats.vta_hits / kcycles,
+            irs_checks_per_kcycle=stats.instructions_issued / 5000.0 / kcycles,
+            redirections_per_kcycle=stats.redirected_accesses / kcycles,
+        )
+
+
+#: The default (paper-configuration) power report.
+CIAO_POWER_REPORT = PowerModel().estimate()

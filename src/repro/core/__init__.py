@@ -1,0 +1,36 @@
+"""The paper's contribution: CIAO detection, memory architecture, scheduling.
+
+* :mod:`repro.core.config` -- the CIAO thresholds and epoch lengths
+  (``high-cutoff`` = 0.01, ``low-cutoff`` = 0.005, 5000 / 100 instruction
+  epochs, Section IV-A).
+* :mod:`repro.core.interference` -- the cache interference detector: per-warp
+  VTA-hit counters, the Individual Re-reference Score (IRS), the
+  *interference list* (most recently and frequently interfering warp per
+  warp, guarded by a 2-bit saturating counter) and the *pair list*
+  (which interfered warp triggered each redirection / stall).
+* :mod:`repro.core.ciao_memory` -- the on-chip memory architecture policy:
+  which warps are isolated (their global requests redirected to the
+  shared-memory cache) and the bookkeeping around it.
+* :mod:`repro.core.ciao_scheduler` -- Algorithm 1: the CIAO warp scheduler in
+  its three variants CIAO-P (partition/redirect only), CIAO-T (selective
+  throttling only) and CIAO-C (combined).
+"""
+
+from repro.core.config import CIAOParameters
+from repro.core.interference import (
+    InterferenceDetector,
+    InterferenceListEntry,
+    PairListEntry,
+)
+from repro.core.ciao_memory import CIAOOnChipMemory
+from repro.core.ciao_scheduler import CIAOMode, CIAOScheduler
+
+__all__ = [
+    "CIAOParameters",
+    "InterferenceDetector",
+    "InterferenceListEntry",
+    "PairListEntry",
+    "CIAOOnChipMemory",
+    "CIAOMode",
+    "CIAOScheduler",
+]

@@ -1,0 +1,66 @@
+"""CIAO tuning parameters.
+
+Section IV-A of the paper sweeps and then fixes:
+
+* ``high-cutoff``  = 0.01  -- IRS above this marks a warp as severely
+  interfered, triggering isolation or throttling of its top interferer.
+* ``low-cutoff``   = 0.005 -- IRS below this marks the interference as gone,
+  triggering reactivation / un-redirection.
+* ``high-cutoff epoch`` = 5000 executed instructions between checks of the
+  high threshold.
+* ``low-cutoff epoch``  = 100 executed instructions between checks of the
+  low threshold (shorter so stalled warps are reactivated quickly, keeping
+  TLP high).
+
+Figure 11 sweeps the epoch (1K..50K) and the high threshold (0.5%..4%, with
+low fixed at half of high); :class:`CIAOParameters` exposes exactly those
+knobs so the sensitivity benches can reproduce the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CIAOParameters:
+    """Thresholds and epoch lengths of the CIAO mechanisms."""
+
+    high_cutoff: float = 0.01
+    low_cutoff: float = 0.005
+    high_epoch_instructions: int = 5000
+    low_epoch_instructions: int = 100
+    #: Size of the saturating counter guarding interference-list replacement.
+    saturating_counter_bits: int = 2
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if not 0.0 < self.high_cutoff <= 1.0:
+            raise ValueError("high_cutoff must be in (0, 1]")
+        if not 0.0 < self.low_cutoff <= self.high_cutoff:
+            raise ValueError("low_cutoff must be in (0, high_cutoff]")
+        if self.high_epoch_instructions <= 0 or self.low_epoch_instructions <= 0:
+            raise ValueError("epoch lengths must be positive")
+        if self.low_epoch_instructions > self.high_epoch_instructions:
+            raise ValueError("the low-cutoff epoch should not exceed the high-cutoff epoch")
+        if self.saturating_counter_bits <= 0:
+            raise ValueError("saturating counter needs at least one bit")
+
+    @property
+    def saturating_counter_max(self) -> int:
+        """Maximum value of the 2-bit (by default) saturating counter."""
+        return (1 << self.saturating_counter_bits) - 1
+
+    # -- named variants used by the sensitivity study (Fig. 11) -----------------
+    def with_high_cutoff(self, high_cutoff: float) -> "CIAOParameters":
+        """Fig. 11b convention: low cutoff is fixed at half the high cutoff."""
+        return replace(self, high_cutoff=high_cutoff, low_cutoff=high_cutoff / 2)
+
+    def with_high_epoch(self, instructions: int) -> "CIAOParameters":
+        """Fig. 11a: change the high-cutoff epoch length."""
+        return replace(self, high_epoch_instructions=instructions)
+
+    @classmethod
+    def paper_defaults(cls) -> "CIAOParameters":
+        """The values the paper settles on (Section IV-A)."""
+        return cls()

@@ -1,0 +1,40 @@
+"""GPU streaming-multiprocessor simulator substrate.
+
+This subpackage provides the warp-level, cycle-approximate GPU model the
+CIAO reproduction runs on:
+
+* :mod:`repro.gpu.config` -- the Table I machine configuration.
+* :mod:`repro.gpu.instruction` -- the warp instruction model.
+* :mod:`repro.gpu.warp` -- per-warp architectural state (including the
+  V/I active and isolation flags CIAO adds to the warp list).
+* :mod:`repro.gpu.cta` -- cooperative thread arrays, kernels and barriers.
+* :mod:`repro.gpu.coalescer` -- the per-instruction memory coalescer.
+* :mod:`repro.gpu.stats` -- statistics and time-series collection.
+* :mod:`repro.gpu.sm` -- the SM pipeline (issue + LDST unit + event loop).
+* :mod:`repro.gpu.gpu` -- a multi-SM machine sharing one L2/DRAM.
+"""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.instruction import Instruction, InstructionKind
+from repro.gpu.warp import Warp, WarpState
+from repro.gpu.cta import CTA, KernelLaunch
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.stats import SMStats, TimeSeries
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.gpu import GPU, SimulationResult
+
+__all__ = [
+    "GPUConfig",
+    "Instruction",
+    "InstructionKind",
+    "Warp",
+    "WarpState",
+    "CTA",
+    "KernelLaunch",
+    "Coalescer",
+    "SMStats",
+    "TimeSeries",
+    "StreamingMultiprocessor",
+    "GPU",
+    "SimulationResult",
+]

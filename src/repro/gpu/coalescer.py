@@ -1,0 +1,64 @@
+"""Memory access coalescer.
+
+A warp's global memory instruction carries up to 32 per-lane byte addresses.
+The coalescer merges lanes that fall into the same 128-byte block into one
+memory transaction, exactly as the hardware does.  The number of resulting
+transactions (1 for a fully coalesced access, up to 32 for a fully divergent
+one) is the quantity that actually loads the L1D, the MSHRs and the
+downstream bandwidth, so the coalescer is where the workload models' access
+patterns turn into cache pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.mem.address import BLOCK_SIZE, block_address
+
+
+@dataclass
+class CoalescerStats:
+    """Coalescing efficiency counters."""
+
+    instructions: int = 0
+    transactions: int = 0
+    lanes: int = 0
+    histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def transactions_per_instruction(self) -> float:
+        """Average memory transactions generated per memory instruction."""
+        return self.transactions / self.instructions if self.instructions else 0.0
+
+
+class Coalescer:
+    """Merge per-lane addresses into unique 128-byte block transactions."""
+
+    def __init__(self) -> None:
+        self.stats = CoalescerStats()
+
+    def coalesce(self, addresses: Sequence[int]) -> list[int]:
+        """Return the ordered list of distinct blocks touched by ``addresses``.
+
+        Order follows first appearance so that deterministic workloads produce
+        deterministic transaction streams.
+        """
+        if not addresses:
+            return []
+        seen: dict[int, None] = {}
+        for address in addresses:
+            if address < 0:
+                raise ValueError("memory addresses must be non-negative")
+            seen.setdefault(block_address(address), None)
+        blocks = list(seen.keys())
+        self.stats.instructions += 1
+        self.stats.transactions += len(blocks)
+        self.stats.lanes += len(addresses)
+        self.stats.histogram[len(blocks)] = self.stats.histogram.get(len(blocks), 0) + 1
+        return blocks
+
+    @staticmethod
+    def block_to_byte(block: int) -> int:
+        """Base byte address of ``block``."""
+        return block * BLOCK_SIZE

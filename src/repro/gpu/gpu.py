@@ -1,0 +1,142 @@
+"""Top-level GPU: several SMs sharing one L2 / DRAM subsystem.
+
+For the experiments in this reproduction a single SM is usually simulated
+(cache interference is a per-SM L1D phenomenon and the schedulers under
+study are per-SM policies), but the :class:`GPU` wrapper supports any number
+of SMs, each running the same kernel launch with its own scheduler instance,
+all sharing the L2 slice and DRAM channels exactly as on the real chip.
+
+SMs are simulated one after another against the shared memory subsystem.
+This "serialised concurrency" slightly underestimates inter-SM DRAM
+contention compared to a lock-step simulation, which is acceptable because
+none of the paper's mechanisms react to inter-SM effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.cta import KernelLaunch
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.stats import SMStats, merge_stats
+from repro.mem.cache import CacheConfig
+from repro.mem.subsystem import MemorySubsystem, MemorySubsystemConfig
+
+#: A scheduler factory builds a fresh scheduler instance for each SM.
+SchedulerFactory = Callable[[], object]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one GPU simulation."""
+
+    kernel_name: str
+    scheduler_name: str
+    per_sm: list[SMStats] = field(default_factory=list)
+    machine: SMStats = field(default_factory=SMStats)
+
+    @property
+    def ipc(self) -> float:
+        """Machine-level thread IPC (sum of per-SM instruction rates)."""
+        if not self.per_sm:
+            return 0.0
+        total_instr = sum(s.instructions_issued for s in self.per_sm)
+        cycles = max(s.cycles for s in self.per_sm)
+        return total_instr * self.per_sm[0].warp_size / cycles if cycles else 0.0
+
+    @property
+    def sm0(self) -> SMStats:
+        """Stats of the first SM (the one the time-series figures use)."""
+        return self.per_sm[0]
+
+    def summary(self) -> dict[str, float]:
+        """Headline metrics of the run."""
+        summary = self.machine.summary()
+        summary["ipc"] = self.ipc
+        return summary
+
+
+class GPU:
+    """A multi-SM machine sharing one memory subsystem."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        *,
+        scheduler_factory: SchedulerFactory,
+        enable_shared_cache: bool = False,
+        dram_bandwidth_scale: float = 1.0,
+    ) -> None:
+        self.config = config or GPUConfig.gtx480()
+        self.config.validate()
+        self.scheduler_factory = scheduler_factory
+        self.enable_shared_cache = enable_shared_cache
+        mem_config = MemorySubsystemConfig(
+            l2=self._scaled_l2_config(),
+            dram=self._scaled_dram_config(dram_bandwidth_scale),
+            interconnect=self.config.interconnect,
+        )
+        self.memory = MemorySubsystem(mem_config, num_sms=self.config.num_sms)
+        self.sms: list[StreamingMultiprocessor] = []
+
+    # ------------------------------------------------------------------
+    # Fair-share scaling of the off-SM memory system
+    # ------------------------------------------------------------------
+    def _share(self) -> float:
+        """Fraction of the chip the simulated SMs represent."""
+        chip_sms = max(self.config.chip_sms, self.config.num_sms)
+        return self.config.num_sms / chip_sms
+
+    def _scaled_l2_config(self) -> CacheConfig:
+        """L2 capacity scaled to the simulated SMs' fair share of the chip."""
+        share = self._share()
+        base = self.config.l2
+        if share >= 1.0:
+            return base
+        granule = base.line_size * base.associativity
+        scaled_bytes = max(granule, int(base.size_bytes * share) // granule * granule)
+        return CacheConfig(
+            name=base.name,
+            size_bytes=scaled_bytes,
+            line_size=base.line_size,
+            associativity=base.associativity,
+            write_policy=base.write_policy,
+            replacement=base.replacement,
+            set_hash=base.set_hash,
+            hit_latency=base.hit_latency,
+        )
+
+    def _scaled_dram_config(self, dram_bandwidth_scale: float):
+        """DRAM bandwidth scaled to the fair share, times any Fig. 12b factor."""
+        dram = self.config.dram
+        factor = self._share() * dram_bandwidth_scale
+        if factor != 1.0:
+            dram = dram.scaled_bandwidth(factor)
+        return dram
+
+    def run(self, kernel: KernelLaunch, *, max_cycles: Optional[int] = None, scheduler_name: str = "") -> SimulationResult:
+        """Run ``kernel`` on every SM and return aggregated statistics."""
+        self.sms = []
+        per_sm_stats: list[SMStats] = []
+        for sm_id in range(self.config.num_sms):
+            scheduler = self.scheduler_factory()
+            sm = StreamingMultiprocessor(
+                sm_id,
+                self.config,
+                self.memory,
+                scheduler,
+                enable_shared_cache=self.enable_shared_cache,
+            )
+            sm.launch(kernel)
+            stats = sm.run(max_cycles)
+            per_sm_stats.append(stats)
+            self.sms.append(sm)
+        result = SimulationResult(
+            kernel_name=kernel.name,
+            scheduler_name=scheduler_name or type(self.sms[0].scheduler).__name__,
+            per_sm=per_sm_stats,
+            machine=merge_stats(per_sm_stats),
+        )
+        return result

@@ -1,0 +1,135 @@
+"""Warp instruction model.
+
+The simulator is warp-level: one :class:`Instruction` represents one warp
+instruction (executed by up to 32 lanes in lock-step).  Only the properties
+that matter to warp scheduling and the memory hierarchy are modelled:
+
+* ``ALU`` instructions occupy an issue slot and retire immediately (their
+  latency is hidden by the in-order scoreboard only when a dependent memory
+  instruction follows, which the workload models fold into instruction
+  counts).
+* ``LOAD`` / ``STORE`` are *global memory* accesses; they carry the per-lane
+  byte addresses which the coalescer merges into 128-byte transactions.
+* ``SHARED_LOAD`` / ``SHARED_STORE`` access the program-managed shared
+  memory region (scratchpad) of the warp's CTA.
+* ``BARRIER`` blocks the warp until every warp of its CTA has arrived.
+* ``EXIT`` retires the warp.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class InstructionKind(enum.Enum):
+    """Kinds of warp instructions the simulator distinguishes."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    SHARED_LOAD = "shared_load"
+    SHARED_STORE = "shared_store"
+    BARRIER = "barrier"
+    EXIT = "exit"
+
+
+#: Kinds that access global memory through the L1D (or CIAO's shared cache).
+GLOBAL_MEMORY_KINDS = frozenset({InstructionKind.LOAD, InstructionKind.STORE})
+
+#: Kinds that access the program-managed scratchpad.
+SHARED_MEMORY_KINDS = frozenset({InstructionKind.SHARED_LOAD, InstructionKind.SHARED_STORE})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One warp instruction.
+
+    Attributes
+    ----------
+    kind:
+        The instruction kind.
+    addresses:
+        For global memory instructions: per-lane byte addresses (1..32
+        entries; already-coalesced workloads may provide one address per
+        distinct 128-byte block).  For shared-memory instructions: per-lane
+        byte offsets within the CTA's scratchpad allocation.
+    latency:
+        Extra execution latency for ALU instructions (transcendentals etc.);
+        ignored for memory instructions whose latency is determined by the
+        memory system.
+    """
+
+    kind: InstructionKind
+    addresses: tuple[int, ...] = field(default_factory=tuple)
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind in GLOBAL_MEMORY_KINDS or self.kind in SHARED_MEMORY_KINDS:
+            if not self.addresses:
+                raise ValueError(f"{self.kind.value} instruction needs at least one address")
+        if self.latency < 0:
+            raise ValueError("latency cannot be negative")
+
+    # -- convenience constructors -------------------------------------------
+    @staticmethod
+    def alu(latency: int = 1) -> "Instruction":
+        """An arithmetic instruction."""
+        return Instruction(InstructionKind.ALU, latency=latency)
+
+    @staticmethod
+    def load(addresses: Sequence[int]) -> "Instruction":
+        """A global load touching the given per-lane byte addresses."""
+        return Instruction(InstructionKind.LOAD, addresses=tuple(addresses))
+
+    @staticmethod
+    def store(addresses: Sequence[int]) -> "Instruction":
+        """A global store touching the given per-lane byte addresses."""
+        return Instruction(InstructionKind.STORE, addresses=tuple(addresses))
+
+    @staticmethod
+    def shared_load(offsets: Sequence[int]) -> "Instruction":
+        """A scratchpad load at the given per-lane byte offsets."""
+        return Instruction(InstructionKind.SHARED_LOAD, addresses=tuple(offsets))
+
+    @staticmethod
+    def shared_store(offsets: Sequence[int]) -> "Instruction":
+        """A scratchpad store at the given per-lane byte offsets."""
+        return Instruction(InstructionKind.SHARED_STORE, addresses=tuple(offsets))
+
+    @staticmethod
+    def barrier() -> "Instruction":
+        """A CTA-wide barrier."""
+        return Instruction(InstructionKind.BARRIER)
+
+    @staticmethod
+    def exit() -> "Instruction":
+        """Warp termination."""
+        return Instruction(InstructionKind.EXIT)
+
+    # -- classification -------------------------------------------------------
+    @property
+    def is_global_memory(self) -> bool:
+        """True for global LOAD / STORE."""
+        return self.kind in GLOBAL_MEMORY_KINDS
+
+    @property
+    def is_shared_memory(self) -> bool:
+        """True for scratchpad accesses."""
+        return self.kind in SHARED_MEMORY_KINDS
+
+    @property
+    def is_memory(self) -> bool:
+        """True for any memory access."""
+        return self.is_global_memory or self.is_shared_memory
+
+    @property
+    def is_load(self) -> bool:
+        """True for global or shared loads."""
+        return self.kind in (InstructionKind.LOAD, InstructionKind.SHARED_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        """True for global or shared stores."""
+        return self.kind in (InstructionKind.STORE, InstructionKind.SHARED_STORE)

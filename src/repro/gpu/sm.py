@@ -1,0 +1,574 @@
+"""The Streaming Multiprocessor (SM) pipeline model.
+
+One :class:`StreamingMultiprocessor` owns the per-SM resources of Figure 2 in
+the paper -- the warp list and scheduler, the L1D cache, the shared memory
+(and, when CIAO is active, the shared-memory cache carved out of its unused
+space), the MSHRs and the victim tag array -- and runs a warp-level,
+cycle-approximate execution loop:
+
+1. memory-fill events that completed by the current cycle are drained,
+   waking warps whose outstanding loads returned;
+2. the attached warp scheduler picks among issuable warps and one (or
+   ``issue_width``) warp instruction(s) issue;
+3. memory instructions are coalesced into 128-byte transactions and sent to
+   the L1D, to CIAO's shared-memory cache (isolated warps), or directly to
+   L2 (statPCAL bypass), allocating MSHRs and scheduling fill events;
+4. when nothing can issue and no event is due, the clock jumps to the next
+   event, which keeps pure-Python simulation times practical.
+
+The scheduler object is duck-typed (see :class:`repro.sched.base.WarpScheduler`
+for the reference interface): the SM calls ``attach``, ``select``,
+``on_cycle``, ``notify_issue``, ``notify_global_access``, ``should_bypass_l1``,
+``on_warp_retired`` and ``on_no_progress``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.cta import CTA, KernelLaunch
+from repro.gpu.coalescer import Coalescer
+from repro.gpu.config import GPUConfig
+from repro.gpu.instruction import Instruction, InstructionKind
+from repro.gpu.stats import SMStats
+from repro.gpu.warp import Warp
+from repro.mem.cache import AccessOutcome, Cache
+from repro.mem.mshr import MSHRFile, MSHRTarget
+from repro.mem.queues import DatapathMux, QueueEntry, ResponseQueue, WriteQueue
+from repro.mem.shared_cache import SharedMemoryCache
+from repro.mem.shared_memory import SharedMemory
+from repro.mem.subsystem import MemorySubsystem
+from repro.mem.victim_tag_array import VictimTagArray, VTAHit
+
+
+@dataclass
+class _FillEvent:
+    """One pending memory fill (kept in a heap ordered by completion time)."""
+
+    time: int
+    seq: int
+    block: int
+    destination: str  # "l1d", "shared" or "bypass"
+
+    def __lt__(self, other: "_FillEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class StreamingMultiprocessor:
+    """One SM: warp storage, scheduler, L1D, shared memory, MSHRs, VTA."""
+
+    #: Extra cycles charged when a block migrates from the L1D into the
+    #: shared-memory cache through the response queue (Section IV-B,
+    #: "Performance optimization and coherence").
+    MIGRATION_LATENCY = 4
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        memory: MemorySubsystem,
+        scheduler,
+        *,
+        enable_shared_cache: bool = False,
+    ) -> None:
+        config.validate()
+        self.sm_id = sm_id
+        self.config = config
+        self.memory = memory
+        self.scheduler = scheduler
+        self.enable_shared_cache = enable_shared_cache
+
+        self.l1d = Cache(config.l1d)
+        self.vta = VictimTagArray(config.vta)
+        self.shared_memory = SharedMemory(config.shared_memory_bytes)
+        self.shared_cache: Optional[SharedMemoryCache] = None
+        self.mshr = MSHRFile(config.mshr_entries, config.mshr_max_merged)
+        self.coalescer = Coalescer()
+        self.response_queue = ResponseQueue()
+        self.write_queue = WriteQueue()
+        self.datapath_mux = DatapathMux()
+
+        self.warps: list[Warp] = []
+        self.ctas: dict[int, CTA] = {}
+        self.stats = SMStats(warp_size=config.warp_size)
+
+        self.cycle = 0
+        self._events: list[_FillEvent] = []
+        self._event_seq = 0
+        self._pending_ctas: deque[int] = deque()
+        self._kernel: Optional[KernelLaunch] = None
+        self._next_cta_index = 0
+        self._free_warp_slots: list[int] = []
+        self._next_sample_at = config.timeseries_sample_instructions
+        self._last_sample_cycle = 0
+        self._last_sample_instructions = 0
+        self._last_sample_vta_hits = 0
+        self._request_seq = 0
+
+    # ------------------------------------------------------------------
+    # Kernel launch and CTA management
+    # ------------------------------------------------------------------
+    def launch(self, kernel: KernelLaunch) -> None:
+        """Prepare the SM to run ``kernel`` (resident CTAs are created lazily)."""
+        kernel.validate()
+        self._kernel = kernel
+        self._pending_ctas = deque(range(kernel.num_ctas))
+        self._next_cta_index = 0
+        self._free_warp_slots = list(range(self.config.max_warps_per_sm))
+        self._fill_resident_ctas()
+        if self.enable_shared_cache:
+            self.shared_cache = SharedMemoryCache(self.shared_memory)
+        if hasattr(self.scheduler, "attach"):
+            self.scheduler.attach(self)
+
+    def _resident_warp_count(self) -> int:
+        return sum(1 for w in self.warps if not w.finished)
+
+    def _resident_cta_count(self) -> int:
+        return sum(1 for cta in self.ctas.values() if not cta.is_finished())
+
+    def _can_admit_cta(self) -> bool:
+        assert self._kernel is not None
+        kernel = self._kernel
+        if self._resident_cta_count() >= self.config.max_ctas_per_sm:
+            return False
+        if len(self._free_warp_slots) < kernel.warps_per_cta:
+            return False
+        if self._resident_warp_count() + kernel.warps_per_cta > self.config.max_warps_per_sm:
+            return False
+        if kernel.shared_mem_per_cta > self.shared_memory.smmt.unused_bytes():
+            return False
+        if kernel.max_resident_warps is not None:
+            if self._resident_warp_count() + kernel.warps_per_cta > kernel.max_resident_warps:
+                return False
+        return True
+
+    def _fill_resident_ctas(self) -> None:
+        assert self._kernel is not None
+        kernel = self._kernel
+        while self._pending_ctas and self._can_admit_cta():
+            cta_index = self._pending_ctas.popleft()
+            cta = CTA(cta_id=cta_index)
+            if kernel.shared_mem_per_cta > 0:
+                self.shared_memory.smmt.allocate(f"cta:{cta_index}", kernel.shared_mem_per_cta)
+            for warp_index in range(kernel.warps_per_cta):
+                slot = self._free_warp_slots.pop(0)
+                stream = kernel.stream_factory(cta_index, warp_index, slot)
+                warp = Warp(
+                    wid=slot,
+                    cta_id=cta_index,
+                    instructions=stream,
+                    assigned_at=self.cycle,
+                    max_pending_loads=self.config.max_outstanding_loads_per_warp,
+                )
+                cta.add_warp(warp)
+                self.warps.append(warp)
+            self.ctas[cta_index] = cta
+
+    def _retire_cta_if_done(self, cta_id: int) -> None:
+        cta = self.ctas.get(cta_id)
+        if cta is None or not cta.is_finished():
+            return
+        self.shared_memory.smmt.free(f"cta:{cta_id}")
+        for warp in cta.warps:
+            self._free_warp_slots.append(warp.wid)
+        self._free_warp_slots.sort()
+        self.warps = [w for w in self.warps if w.cta_id != cta_id or not w.finished]
+        del self.ctas[cta_id]
+        self._fill_resident_ctas()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None) -> SMStats:
+        """Run the kernel to completion (or the cycle budget) and return stats."""
+        if self._kernel is None:
+            raise RuntimeError("launch() must be called before run()")
+        budget = max_cycles if max_cycles is not None else self.config.max_cycles
+        while self._has_resident_work() and self.cycle < budget:
+            self._drain_events(self.cycle)
+            issued = self._issue_cycle(self.cycle)
+            self._maybe_sample()
+            if issued:
+                self.cycle += 1
+                continue
+            # Nothing issued: fast-forward to the next interesting time.
+            next_event = self._events[0].time if self._events else None
+            if next_event is not None and next_event > self.cycle:
+                self.stats.stalls.no_issuable_warp += next_event - self.cycle
+                self.cycle = next_event
+            elif next_event is None and not self._any_issuable(self.cycle):
+                # No events in flight and nobody can issue: either every
+                # remaining warp is throttled (scheduler livelock guard) or
+                # we wait one cycle for ready_at timers.
+                self._resolve_no_progress()
+                self.stats.stalls.no_issuable_warp += 1
+                self.cycle += 1
+            else:
+                self.stats.stalls.no_issuable_warp += 1
+                self.cycle += 1
+        self._drain_events(self.cycle)
+        self._finalize_stats()
+        return self.stats
+
+    def _has_resident_work(self) -> bool:
+        return any(not w.finished for w in self.warps) or bool(self._pending_ctas)
+
+    def _may_issue(self, warp: Warp, now: int) -> bool:
+        """Issue eligibility including the memory-only throttling semantics.
+
+        A throttled warp (V bit cleared by a scheduler) may not issue global
+        memory instructions, but keeps executing ALU / scratchpad / barrier
+        instructions.  As an additional safeguard, if its CTA is already
+        blocked at a barrier the throttle is ignored entirely, so throttling
+        can never deadlock a CTA.
+        """
+        if not warp.is_ready(now):
+            return False
+        if warp.active:
+            return True
+        instruction = warp.peek()
+        if not instruction.is_global_memory:
+            return True
+        cta = self.ctas.get(warp.cta_id)
+        if cta is None:
+            return True
+        return any(w.at_barrier for w in cta.warps if not w.finished)
+
+    def _issuable_warps(self, now: int) -> list[Warp]:
+        return [w for w in self.warps if self._may_issue(w, now)]
+
+    def _any_issuable(self, now: int) -> bool:
+        return any(self._may_issue(w, now) for w in self.warps)
+
+    def _resolve_no_progress(self) -> None:
+        """Break scheduler-induced livelock (everything throttled, no events)."""
+        if hasattr(self.scheduler, "on_no_progress"):
+            if self.scheduler.on_no_progress(self.cycle):
+                return
+        for warp in self.warps:
+            if not warp.finished and not warp.active and warp.pending_loads == 0 and not warp.at_barrier:
+                warp.active = True
+                self.stats.reactivate_events += 1
+                return
+
+    # ------------------------------------------------------------------
+    # Issue stage
+    # ------------------------------------------------------------------
+    def _issue_cycle(self, now: int) -> bool:
+        if hasattr(self.scheduler, "on_cycle"):
+            self.scheduler.on_cycle(now)
+        issued_any = False
+        for _ in range(self.config.issue_width):
+            issuable = self._issuable_warps(now)
+            if not issuable:
+                break
+            warp = self.scheduler.select(issuable, now)
+            if warp is None:
+                break
+            instruction = warp.peek()
+            if not self._execute(warp, instruction, now):
+                # Structural hazard: replay the same instruction later.
+                break
+            warp.advance()
+            warp.note_issue(instruction, now)
+            self.stats.record_issue(warp.wid)
+            if hasattr(self.scheduler, "notify_issue"):
+                self.scheduler.notify_issue(warp, instruction, now)
+            issued_any = True
+        return issued_any
+
+    def _execute(self, warp: Warp, instruction: Instruction, now: int) -> bool:
+        kind = instruction.kind
+        if kind is InstructionKind.ALU:
+            warp.ready_at = now + max(1, instruction.latency)
+            return True
+        if kind is InstructionKind.EXIT:
+            self._retire_warp(warp, now)
+            return True
+        if kind is InstructionKind.BARRIER:
+            cta = self.ctas[warp.cta_id]
+            cta.arrive_at_barrier(warp)
+            self.stats.barriers_executed += 1
+            return True
+        if kind in (InstructionKind.SHARED_LOAD, InstructionKind.SHARED_STORE):
+            return self._execute_scratchpad(warp, instruction, now)
+        # Global LOAD / STORE.
+        return self._execute_global(warp, instruction, now)
+
+    def _retire_warp(self, warp: Warp, now: int) -> None:
+        warp.retire()
+        self.stats.warps_retired += 1
+        cta = self.ctas.get(warp.cta_id)
+        if cta is not None:
+            cta.release_if_unblocked()
+        if hasattr(self.scheduler, "on_warp_retired"):
+            self.scheduler.on_warp_retired(warp, now)
+        self._retire_cta_if_done(warp.cta_id)
+
+    def _execute_scratchpad(self, warp: Warp, instruction: Instruction, now: int) -> bool:
+        cta_entry = self.shared_memory.smmt.find(f"cta:{warp.cta_id}")
+        base = cta_entry.base if cta_entry is not None else 0
+        limit = cta_entry.size if cta_entry is not None else self.shared_memory.capacity_bytes
+        offsets = [base + (offset % max(1, limit)) for offset in instruction.addresses]
+        cycles = self.shared_memory.access(offsets)
+        warp.ready_at = now + max(1, cycles)
+        self.stats.shared_memory_instructions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Global memory path
+    # ------------------------------------------------------------------
+    def _execute_global(self, warp: Warp, instruction: Instruction, now: int) -> bool:
+        blocks = self.coalescer.coalesce(instruction.addresses)
+        is_write = instruction.kind is InstructionKind.STORE
+        use_shared = (
+            warp.isolated and self.shared_cache is not None and self.shared_cache.num_lines > 0
+        )
+        bypass = False
+        if not use_shared and hasattr(self.scheduler, "should_bypass_l1"):
+            bypass = bool(self.scheduler.should_bypass_l1(warp, now))
+        if not is_write and not self._memory_resources_available(blocks, use_shared, bypass):
+            self.stats.stalls.mshr_full += 1
+            return False
+        self.stats.global_memory_instructions += 1
+        latency_floor = now + 1
+        for block in blocks:
+            if is_write:
+                self._issue_store(warp, block, now, use_shared)
+            else:
+                ready = self._issue_load(warp, block, now, use_shared, bypass)
+                if ready is not None:
+                    latency_floor = max(latency_floor, ready)
+        if not is_write:
+            # Hits resolve after the hit latency; misses block via pending_loads.
+            warp.ready_at = latency_floor
+        else:
+            warp.ready_at = now + 1
+        return True
+
+    def _memory_resources_available(self, blocks: list[int], use_shared: bool, bypass: bool) -> bool:
+        """Conservatively check MSHR / tag-array capacity before issuing."""
+        free_needed = 0
+        for block in blocks:
+            entry = self.mshr.lookup(block)
+            if entry is not None:
+                if entry.num_targets >= self.mshr.max_merged:
+                    return False
+                continue
+            byte_address = block * self.l1d.config.line_size
+            if not use_shared and not bypass:
+                tag, set_index, _ = self.l1d.mapping.decompose(byte_address)
+                line = self.l1d.tags.probe(set_index, tag)
+                if line is not None:
+                    continue  # hit or hit-reserved without a new MSHR entry
+                if self.l1d.tags.find_victim(set_index) is None:
+                    self.stats.stalls.reservation_fail += 1
+                    return False
+            elif use_shared and self.shared_cache is not None and self.shared_cache.contains(byte_address):
+                continue
+            free_needed += 1
+        return self.mshr.occupancy + free_needed <= self.mshr.num_entries
+
+    # -- loads ----------------------------------------------------------------
+    def _issue_load(
+        self, warp: Warp, block: int, now: int, use_shared: bool, bypass: bool
+    ) -> Optional[int]:
+        """Issue one load transaction; returns data-ready time for hits."""
+        byte_address = block * self.l1d.config.line_size
+        if use_shared:
+            return self._load_via_shared_cache(warp, block, byte_address, now)
+        if bypass:
+            self._load_bypass(warp, block, now)
+            return None
+        return self._load_via_l1d(warp, block, byte_address, now)
+
+    def _load_via_l1d(self, warp: Warp, block: int, byte_address: int, now: int) -> Optional[int]:
+        result = self.l1d.access(byte_address, warp.wid, is_write=False, now=now)
+        vta_hit: Optional[VTAHit] = None
+        if result.outcome is AccessOutcome.HIT:
+            self._notify_access(warp, hit=True, vta_hit=None, destination="l1d", now=now)
+            return now + self.l1d.hit_latency
+        if result.outcome is AccessOutcome.HIT_RESERVED:
+            self._merge_or_allocate(warp, block, now, destination="l1d", send=False)
+            self._notify_access(warp, hit=False, vta_hit=None, destination="l1d", now=now)
+            return None
+        # Genuine miss: record the eviction in the VTA, then probe the VTA for
+        # lost locality of the missing warp.
+        if result.eviction is not None:
+            self.vta.record_eviction(result.eviction.owner_wid, result.eviction.tag, warp.wid)
+        vta_hit = self.vta.probe(warp.wid, block)
+        if vta_hit is not None:
+            self.stats.record_vta_hit(vta_hit.wid, vta_hit.evictor_wid)
+        self._merge_or_allocate(warp, block, now, destination="l1d", send=True)
+        self._notify_access(warp, hit=False, vta_hit=vta_hit, destination="l1d", now=now)
+        return None
+
+    def _load_via_shared_cache(self, warp: Warp, block: int, byte_address: int, now: int) -> Optional[int]:
+        assert self.shared_cache is not None
+        self.stats.redirected_accesses += 1
+        self.datapath_mux.route(DatapathMux.SHARED)
+        access = self.shared_cache.access(byte_address, warp.wid, is_write=False, now=now)
+        if access.hit and not access.reserved_pending:
+            self._notify_access(warp, hit=True, vta_hit=None, destination="shared", now=now)
+            return now + self.shared_cache.hit_latency
+        if access.hit and access.reserved_pending:
+            self._merge_or_allocate(warp, block, now, destination="shared", send=False)
+            self._notify_access(warp, hit=False, vta_hit=None, destination="shared", now=now)
+            return None
+        # Miss in the shared cache.
+        if access.evicted_block is not None:
+            self.vta.record_eviction(access.evicted_owner, access.evicted_block, warp.wid)
+        vta_hit = self.vta.probe(warp.wid, block)
+        if vta_hit is not None:
+            self.stats.record_vta_hit(vta_hit.wid, vta_hit.evictor_wid)
+        # Coherence / migration: if the block still lives in the L1D it is
+        # evicted into the response queue and pulled into shared memory,
+        # hiding the cold miss (Section IV-B).
+        if self.l1d.contains(byte_address):
+            self.l1d.invalidate(byte_address)
+            self.stats.migrations_l1_to_shared += 1
+            self._schedule_fill(block, now + self.MIGRATION_LATENCY, destination="shared")
+            target = MSHRTarget(wid=warp.wid, request_id=self._next_request_id())
+            entry, _ = self.mshr.allocate(block, target, now, destination="shared")
+            if entry is not None:
+                warp.pending_loads += 1
+            self._notify_access(warp, hit=False, vta_hit=vta_hit, destination="shared", now=now)
+            return None
+        self._merge_or_allocate(warp, block, now, destination="shared", send=True)
+        self._notify_access(warp, hit=False, vta_hit=vta_hit, destination="shared", now=now)
+        return None
+
+    def _load_bypass(self, warp: Warp, block: int, now: int) -> None:
+        """statPCAL-style L1D bypass: fetch straight from L2/DRAM."""
+        self.stats.bypassed_accesses += 1
+        self._merge_or_allocate(warp, block, now, destination="bypass", send=True)
+        self._notify_access(warp, hit=False, vta_hit=None, destination="bypass", now=now)
+
+    def _merge_or_allocate(
+        self, warp: Warp, block: int, now: int, *, destination: str, send: bool
+    ) -> None:
+        target = MSHRTarget(wid=warp.wid, request_id=self._next_request_id())
+        entry, is_new = self.mshr.allocate(block, target, now, destination=destination)
+        if entry is None:
+            # Pre-check should prevent this; treat as an extra-latency retry.
+            self.stats.stalls.mshr_full += 1
+            return
+        warp.pending_loads += 1
+        if is_new:
+            if not send:
+                # Defensive: a reserved line without an outstanding MSHR entry
+                # should not happen, but if it does, request the fill anyway so
+                # the warp cannot wait forever.
+                send = True
+            completion = self.memory.read_block(self.sm_id, block, warp.wid, now)
+            self._schedule_fill(block, completion, destination=destination)
+
+    # -- stores ---------------------------------------------------------------
+    def _issue_store(self, warp: Warp, block: int, now: int, use_shared: bool) -> None:
+        byte_address = block * self.l1d.config.line_size
+        if use_shared and self.shared_cache is not None:
+            self.stats.redirected_accesses += 1
+            self.datapath_mux.route(DatapathMux.SHARED)
+            self.shared_cache.access(byte_address, warp.wid, is_write=True, now=now)
+            self.shared_cache.fill(block, now)
+        else:
+            self.datapath_mux.route(DatapathMux.L1D)
+            self.l1d.access(byte_address, warp.wid, is_write=True, now=now)
+        # Global stores are write-through: post to the write queue and L2.
+        self.write_queue.push(QueueEntry(block=block, wid=warp.wid, ready_at=now, destination="l2"))
+        self.write_queue.pop_ready(now)
+        self.memory.write_block(self.sm_id, block, warp.wid, now)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _next_request_id(self) -> int:
+        self._request_seq += 1
+        return self._request_seq
+
+    def _schedule_fill(self, block: int, time: int, *, destination: str) -> None:
+        self._event_seq += 1
+        heapq.heappush(
+            self._events,
+            _FillEvent(time=int(time), seq=self._event_seq, block=block, destination=destination),
+        )
+
+    def _drain_events(self, now: int) -> None:
+        while self._events and self._events[0].time <= now:
+            event = heapq.heappop(self._events)
+            self._complete_fill(event, now)
+
+    def _complete_fill(self, event: _FillEvent, now: int) -> None:
+        if event.destination == "l1d":
+            self.l1d.fill(event.block, now)
+        elif event.destination == "shared" and self.shared_cache is not None:
+            self.shared_cache.fill(event.block, now)
+        entry = self.mshr.fill(event.block)
+        if entry is None:
+            return
+        for target in entry.targets:
+            warp = self._warp_by_id(target.wid)
+            if warp is not None and warp.pending_loads > 0:
+                warp.pending_loads -= 1
+                if warp.pending_loads == 0:
+                    warp.ready_at = max(warp.ready_at, now + 1)
+
+    def _warp_by_id(self, wid: int) -> Optional[Warp]:
+        for warp in self.warps:
+            if warp.wid == wid and not warp.finished:
+                return warp
+        for warp in self.warps:
+            if warp.wid == wid:
+                return warp
+        return None
+
+    def _notify_access(self, warp: Warp, *, hit: bool, vta_hit: Optional[VTAHit], destination: str, now: int) -> None:
+        if hasattr(self.scheduler, "notify_global_access"):
+            self.scheduler.notify_global_access(warp, hit, vta_hit, destination, now)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def active_warp_count(self) -> int:
+        """Warps currently allowed to be scheduled (V=1 and not finished)."""
+        return sum(1 for w in self.warps if not w.finished and w.active)
+
+    def resident_warp_ids(self) -> list[int]:
+        """Warp ids of the currently resident (unfinished) warps."""
+        return [w.wid for w in self.warps if not w.finished]
+
+    def total_instructions(self) -> int:
+        """Warp instructions issued so far (used for IRS epochs)."""
+        return self.stats.instructions_issued
+
+    def _maybe_sample(self) -> None:
+        if self.stats.instructions_issued < self._next_sample_at:
+            return
+        instr = self.stats.instructions_issued
+        cycle_delta = max(1, self.cycle - self._last_sample_cycle)
+        instr_delta = instr - self._last_sample_instructions
+        vta_delta = self.stats.vta_hits - self._last_sample_vta_hits
+        ipc = instr_delta * self.config.warp_size / cycle_delta
+        self.stats.ipc_series.append(instr, ipc)
+        self.stats.active_warp_series.append(instr, float(self.active_warp_count()))
+        self.stats.interference_series.append(instr, float(vta_delta))
+        self._last_sample_cycle = self.cycle
+        self._last_sample_instructions = instr
+        self._last_sample_vta_hits = self.stats.vta_hits
+        self._next_sample_at += self.config.timeseries_sample_instructions
+
+    def _finalize_stats(self) -> None:
+        self.stats.cycles = max(self.cycle, 1)
+        self.stats.l1d_hits = self.l1d.stats.hits
+        self.stats.l1d_misses = self.l1d.stats.misses
+        self.stats.l1d_hit_rate = self.l1d.stats.hit_rate
+        if self.shared_cache is not None:
+            self.stats.shared_cache_hit_rate = self.shared_cache.stats.hit_rate
+            self.stats.shared_cache_accesses = self.shared_cache.stats.accesses
+        self.stats.shared_memory_utilization = self.shared_memory.utilization()
+        self.stats.l2_hit_rate = self.memory.l2_hit_rate
+        self.stats.dram_requests = self.memory.l2.dram.stats.requests

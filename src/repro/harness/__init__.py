@@ -1,0 +1,25 @@
+"""Experiment harness.
+
+* :mod:`repro.harness.runner` -- run one (benchmark, scheduler) pair on the
+  simulator with the paper's per-benchmark settings (Best-SWL warp limits,
+  statPCAL tokens, CIAO parameters, shared-cache enablement).
+* :mod:`repro.harness.experiments` -- one function per table / figure of the
+  evaluation section, returning plain data structures (dicts / lists) that
+  the benches print and EXPERIMENTS.md records.
+* :mod:`repro.harness.reporting` -- formatting helpers (aligned text tables,
+  geometric means, normalisation).
+"""
+
+from repro.harness.runner import RunConfig, run_benchmark, run_many
+from repro.harness.reporting import format_table, geometric_mean, normalize_to
+from repro.harness import experiments
+
+__all__ = [
+    "RunConfig",
+    "run_benchmark",
+    "run_many",
+    "format_table",
+    "geometric_mean",
+    "normalize_to",
+    "experiments",
+]

@@ -1,0 +1,73 @@
+"""Reporting helpers: text tables, geometric means, normalisation."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input).
+
+    Non-positive values are clamped to a tiny epsilon so a single degenerate
+    run cannot produce a domain error; the evaluation only feeds IPC ratios,
+    which are positive in practice.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    eps = 1e-12
+    log_sum = sum(math.log(max(v, eps)) for v in values)
+    return math.exp(log_sum / len(values))
+
+
+def normalize_to(values: Mapping[str, float], baseline_key: str) -> dict[str, float]:
+    """Normalise every value to ``values[baseline_key]`` (1.0 for the baseline)."""
+    baseline = values.get(baseline_key, 0.0)
+    if baseline <= 0:
+        return {key: 0.0 for key in values}
+    return {key: value / baseline for key, value in values.items()}
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        " | ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def summarize_speedups(normalized: Mapping[str, Mapping[str, float]], schedulers: Sequence[str]) -> dict[str, float]:
+    """Geometric-mean speedup per scheduler across benchmarks.
+
+    ``normalized`` maps benchmark -> {scheduler -> normalised IPC}.
+    """
+    result: dict[str, float] = {}
+    for scheduler in schedulers:
+        result[scheduler] = geometric_mean(
+            per_sched[scheduler]
+            for per_sched in normalized.values()
+            if scheduler in per_sched
+        )
+    return result

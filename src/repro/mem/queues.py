@@ -1,0 +1,116 @@
+"""Load/store unit queues and the CIAO datapath multiplexer.
+
+These small structures model the plumbing Figure 7a of the paper touches:
+
+* :class:`ResponseQueue` -- buffers fills coming back from L2 before they are
+  written into the L1D or (under CIAO) the shared-memory cache.  CIAO's data
+  migration path also uses it: when a redirected warp's block is still in the
+  L1D, the block is evicted *into the response queue* and then pulled into
+  shared memory, so the cold-miss / coherence penalty is hidden.
+* :class:`WriteQueue` -- buffers write-through stores heading to L2.
+* :class:`DatapathMux` -- the multiplexer CIAO adds so the write/response
+  queues can be steered either to the L1D or to shared memory, controlled by
+  the isolation flag of the requesting warp.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+
+@dataclass
+class QueueEntry:
+    """One queued memory packet."""
+
+    block: int
+    wid: int
+    ready_at: int
+    destination: str = "l1d"  # "l1d" or "shared"
+    payload: object | None = None
+
+
+class _BoundedQueue:
+    """FIFO with a capacity bound and time-gated pop."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[QueueEntry] = deque()
+        self.pushes = 0
+        self.full_stalls = 0
+
+    def can_push(self) -> bool:
+        """True when there is room for one more entry."""
+        return len(self._entries) < self.capacity
+
+    def push(self, entry: QueueEntry) -> bool:
+        """Append ``entry``; returns False (and counts a stall) when full."""
+        if not self.can_push():
+            self.full_stalls += 1
+            return False
+        self._entries.append(entry)
+        self.pushes += 1
+        return True
+
+    def pop_ready(self, now: int) -> Optional[QueueEntry]:
+        """Pop the head entry if its ``ready_at`` time has arrived."""
+        if self._entries and self._entries[0].ready_at <= now:
+            return self._entries.popleft()
+        return None
+
+    def peek(self) -> Optional[QueueEntry]:
+        """Return the head entry without removing it."""
+        return self._entries[0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return bool(self._entries)
+
+
+class ResponseQueue(_BoundedQueue):
+    """Fill responses returning from the L2 / DRAM side."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        super().__init__(capacity)
+
+
+class WriteQueue(_BoundedQueue):
+    """Write-through stores waiting to be sent to L2."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        super().__init__(capacity)
+
+
+class DatapathMux:
+    """Steers response/write queue traffic to the L1D or the shared memory.
+
+    The CIAO cache control logic drives the select input from the requesting
+    warp's isolation flag (I bit) and the tag-check results (Section IV-B,
+    "Datapath connection").  In the model the mux simply records routing
+    decisions; the LDST unit asks it where a given fill should land.
+    """
+
+    L1D = "l1d"
+    SHARED = "shared"
+
+    def __init__(self) -> None:
+        self.routed_to_l1d = 0
+        self.routed_to_shared = 0
+
+    def route(self, destination: str) -> str:
+        """Record and return the routing decision for one packet."""
+        if destination == self.SHARED:
+            self.routed_to_shared += 1
+            return self.SHARED
+        self.routed_to_l1d += 1
+        return self.L1D
+
+    @property
+    def total_routed(self) -> int:
+        """Total packets steered through the mux."""
+        return self.routed_to_l1d + self.routed_to_shared

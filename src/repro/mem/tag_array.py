@@ -1,0 +1,214 @@
+"""Generic set-associative tag array.
+
+Both the L1D and L2 caches (:mod:`repro.mem.cache`) and the victim tag array
+(:mod:`repro.mem.victim_tag_array`) are built on top of this structure.  The
+tag array is purely a *bookkeeping* structure -- the simulator is functional,
+no data bytes are stored -- but it faithfully models:
+
+* set-associative lookup with a configurable replacement policy (LRU / FIFO),
+* per-line metadata: the warp that brought the line in (``owner_wid``), a
+  dirty bit, and the insertion / last-touch timestamps,
+* eviction reporting, which is the raw material for the victim tag array and
+  the cache-interference statistics that CIAO consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class ReplacementPolicy(enum.Enum):
+    """Replacement policy of a :class:`TagArray`."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+
+
+@dataclass
+class TagLine:
+    """One line of a tag array.
+
+    Attributes
+    ----------
+    tag:
+        Block number currently cached (``None`` when invalid).
+    owner_wid:
+        Warp id of the warp whose miss filled this line.  The paper stores a
+        WID in every cache tag so that, on eviction, the victim tag array can
+        be indexed by the owner (Section II-C).
+    dirty:
+        Set by write-back stores.
+    inserted_at / last_used_at:
+        Timestamps used by FIFO / LRU replacement respectively.
+    reserved:
+        True while the line is allocated for an outstanding fill (miss issued
+        but data not yet returned); a reserved line cannot be replaced.
+    """
+
+    tag: Optional[int] = None
+    owner_wid: int = -1
+    dirty: bool = False
+    inserted_at: int = -1
+    last_used_at: int = -1
+    reserved: bool = False
+
+    @property
+    def valid(self) -> bool:
+        """True when the line holds (or is reserved for) a block."""
+        return self.tag is not None
+
+
+@dataclass
+class Eviction:
+    """Description of an evicted line, consumed by the VTA and statistics."""
+
+    tag: int
+    set_index: int
+    owner_wid: int
+    dirty: bool
+    evictor_wid: int
+
+
+@dataclass
+class TagArray:
+    """A set-associative array of :class:`TagLine`.
+
+    Parameters
+    ----------
+    num_sets / associativity:
+        Geometry.  ``num_sets * associativity`` lines in total.
+    policy:
+        Replacement policy (LRU by default, matching Table I).
+    """
+
+    num_sets: int
+    associativity: int
+    policy: ReplacementPolicy = ReplacementPolicy.LRU
+    _sets: list[list[TagLine]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_sets <= 0 or self.associativity <= 0:
+            raise ValueError("tag array geometry must be positive")
+        self._sets = [
+            [TagLine() for _ in range(self.associativity)] for _ in range(self.num_sets)
+        ]
+
+    # -- lookup ------------------------------------------------------------
+    def probe(self, set_index: int, tag: int) -> Optional[TagLine]:
+        """Return the line holding ``tag`` in ``set_index`` without touching LRU."""
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def lookup(self, set_index: int, tag: int, now: int) -> Optional[TagLine]:
+        """Probe and, on hit, update the LRU timestamp."""
+        line = self.probe(set_index, tag)
+        if line is not None:
+            line.last_used_at = now
+        return line
+
+    # -- insertion / replacement -------------------------------------------
+    def find_victim(self, set_index: int) -> Optional[TagLine]:
+        """Choose the line that would be replaced next in ``set_index``.
+
+        Invalid lines are preferred.  Reserved lines (pending fills) are never
+        chosen; when every line is reserved ``None`` is returned and the
+        caller must stall the access (this models the structural hazard of a
+        set full of outstanding misses).
+        """
+        candidates = [ln for ln in self._sets[set_index] if not ln.reserved]
+        if not candidates:
+            return None
+        for line in candidates:
+            if not line.valid:
+                return line
+        if self.policy is ReplacementPolicy.LRU:
+            return min(candidates, key=lambda ln: ln.last_used_at)
+        return min(candidates, key=lambda ln: ln.inserted_at)
+
+    def insert(
+        self,
+        set_index: int,
+        tag: int,
+        owner_wid: int,
+        now: int,
+        *,
+        dirty: bool = False,
+        evictor_wid: Optional[int] = None,
+        reserve: bool = False,
+    ) -> tuple[TagLine, Optional[Eviction]]:
+        """Insert ``tag`` into ``set_index``, evicting a victim if needed.
+
+        Returns the line now holding ``tag`` and an :class:`Eviction` record
+        when a valid line was displaced.  ``evictor_wid`` defaults to
+        ``owner_wid`` -- the warp whose access caused the insertion is the
+        warp responsible for the eviction.
+        """
+        if evictor_wid is None:
+            evictor_wid = owner_wid
+        victim = self.find_victim(set_index)
+        if victim is None:
+            raise RuntimeError(
+                f"set {set_index} has no replaceable line (all reserved)"
+            )
+        eviction: Optional[Eviction] = None
+        if victim.valid:
+            eviction = Eviction(
+                tag=victim.tag,  # type: ignore[arg-type]
+                set_index=set_index,
+                owner_wid=victim.owner_wid,
+                dirty=victim.dirty,
+                evictor_wid=evictor_wid,
+            )
+        victim.tag = tag
+        victim.owner_wid = owner_wid
+        victim.dirty = dirty
+        victim.inserted_at = now
+        victim.last_used_at = now
+        victim.reserved = reserve
+        return victim, eviction
+
+    def invalidate(self, set_index: int, tag: int) -> bool:
+        """Invalidate ``tag`` in ``set_index``; returns True when found."""
+        line = self.probe(set_index, tag)
+        if line is None:
+            return False
+        line.tag = None
+        line.owner_wid = -1
+        line.dirty = False
+        line.reserved = False
+        return True
+
+    def invalidate_all(self) -> None:
+        """Invalidate every line (used between kernel launches)."""
+        for set_lines in self._sets:
+            for line in set_lines:
+                line.tag = None
+                line.owner_wid = -1
+                line.dirty = False
+                line.reserved = False
+                line.inserted_at = -1
+                line.last_used_at = -1
+
+    # -- introspection -------------------------------------------------------
+    def lines(self) -> Iterator[tuple[int, TagLine]]:
+        """Yield ``(set_index, line)`` for every line in the array."""
+        for set_index, set_lines in enumerate(self._sets):
+            for line in set_lines:
+                yield set_index, line
+
+    def set_lines(self, set_index: int) -> list[TagLine]:
+        """Return the lines of one set (mutable view, used by tests)."""
+        return self._sets[set_index]
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(1 for _, line in self.lines() if line.valid)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines in the array."""
+        return self.num_sets * self.associativity

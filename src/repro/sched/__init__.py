@@ -1,0 +1,42 @@
+"""Warp schedulers.
+
+This subpackage implements the warp scheduling policies the paper evaluates
+against CIAO (Section V-A):
+
+* :class:`~repro.sched.lrr.LooseRoundRobinScheduler` -- loose round-robin,
+  included as an additional baseline for tests and ablations.
+* :class:`~repro.sched.gto.GTOScheduler` -- greedy-then-oldest, the base
+  ordering policy every other scheduler builds on.
+* :class:`~repro.sched.two_level.TwoLevelScheduler` -- Narasiman et al.'s
+  two-level warp scheduler (discussed in the related-work section).
+* :class:`~repro.sched.best_swl.BestSWLScheduler` -- best static wavefront
+  limiting (profiled per-benchmark active-warp limit).
+* :class:`~repro.sched.ccws.CCWSScheduler` -- cache-conscious wavefront
+  scheduling, the locality-aware policy CIAO argues against.
+* :class:`~repro.sched.statpcal.StatPCALScheduler` -- the priority-based
+  cache-allocation / bypass scheme used as the bypassing baseline.
+
+The CIAO schedulers themselves live in :mod:`repro.core.ciao_scheduler`; the
+factory in :mod:`repro.sched.registry` knows about all of them.
+"""
+
+from repro.sched.base import WarpScheduler
+from repro.sched.lrr import LooseRoundRobinScheduler
+from repro.sched.gto import GTOScheduler
+from repro.sched.two_level import TwoLevelScheduler
+from repro.sched.best_swl import BestSWLScheduler
+from repro.sched.ccws import CCWSScheduler
+from repro.sched.statpcal import StatPCALScheduler
+from repro.sched.registry import create_scheduler, scheduler_names
+
+__all__ = [
+    "WarpScheduler",
+    "LooseRoundRobinScheduler",
+    "GTOScheduler",
+    "TwoLevelScheduler",
+    "BestSWLScheduler",
+    "CCWSScheduler",
+    "StatPCALScheduler",
+    "create_scheduler",
+    "scheduler_names",
+]

@@ -1,0 +1,104 @@
+"""Base class / protocol for warp schedulers.
+
+The SM (:class:`repro.gpu.sm.StreamingMultiprocessor`) drives its scheduler
+through the hooks defined here.  All of them except :meth:`select` have
+sensible no-op defaults, so simple policies only implement warp ordering
+while the adaptive policies (CCWS, statPCAL, CIAO) additionally react to
+memory-system feedback.
+
+Hook call points
+----------------
+
+``attach(sm)``
+    Once, after the kernel is launched and warps exist.
+``on_cycle(now)``
+    At the start of every issue cycle (cheap bookkeeping only).
+``select(issuable, now)``
+    Pick the warp to issue among the currently issuable ones.
+``notify_issue(warp, instruction, now)``
+    After an instruction issued successfully.
+``notify_global_access(warp, hit, vta_hit, destination, now)``
+    For every global-memory transaction: whether it hit, whether the victim
+    tag array detected lost locality (and to whom it is attributed), and
+    which structure served it ("l1d", "shared", "bypass").
+``should_bypass_l1(warp, now)``
+    Queried per memory instruction; return True to send the warp's requests
+    straight to L2 (statPCAL).
+``on_warp_retired(warp, now)`` / ``on_no_progress(now)``
+    Warp completion, and the livelock guard (return True when the scheduler
+    changed something that will allow progress).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.warp import Warp
+from repro.mem.victim_tag_array import VTAHit
+
+
+class WarpScheduler:
+    """Reference scheduler interface with no-op default hooks."""
+
+    #: Human-readable policy name (overridden by subclasses).
+    name = "base"
+
+    def __init__(self) -> None:
+        self.sm = None  # type: ignore[assignment]
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, sm) -> None:
+        """Bind the scheduler to its SM after kernel launch."""
+        self.sm = sm
+
+    def on_cycle(self, now: int) -> None:
+        """Per-cycle bookkeeping hook."""
+
+    # -- the one mandatory method ---------------------------------------------
+    def select(self, issuable: Sequence[Warp], now: int) -> Optional[Warp]:
+        """Choose the warp to issue this cycle; ``None`` issues nothing."""
+        raise NotImplementedError
+
+    # -- feedback hooks ---------------------------------------------------------
+    def notify_issue(self, warp: Warp, instruction: Instruction, now: int) -> None:
+        """Called after an instruction issued."""
+
+    def notify_global_access(
+        self,
+        warp: Warp,
+        hit: bool,
+        vta_hit: Optional[VTAHit],
+        destination: str,
+        now: int,
+    ) -> None:
+        """Called for every global-memory transaction."""
+
+    def should_bypass_l1(self, warp: Warp, now: int) -> bool:
+        """Return True to bypass the L1D for this warp's next access."""
+        return False
+
+    def on_warp_retired(self, warp: Warp, now: int) -> None:
+        """Called when a warp finishes."""
+
+    def on_no_progress(self, now: int) -> bool:
+        """Livelock guard: un-throttle something; return True if acted."""
+        return False
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def greedy_then_oldest(issuable: Sequence[Warp], last_wid: Optional[int]) -> Warp:
+        """The GTO ordering rule shared by several policies.
+
+        Keep issuing the warp issued last (greedy); when it cannot issue,
+        fall back to the oldest warp (smallest assignment time, then lowest
+        warp id).
+        """
+        if last_wid is not None:
+            for warp in issuable:
+                if warp.wid == last_wid:
+                    return warp
+        return min(issuable, key=lambda w: (w.assigned_at, w.wid))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

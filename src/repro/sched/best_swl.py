@@ -1,0 +1,76 @@
+"""Best Static Wavefront Limiting (Best-SWL).
+
+Best-SWL (Rogers et al., MICRO 2012) throttles the number of concurrently
+schedulable warps to a fixed, per-benchmark limit determined by offline
+profiling -- the ``Nwrp`` column of Table II lists the best limit for every
+benchmark.  Within the allowed warps it behaves like GTO.
+
+Because the limit is fixed for the whole execution, Best-SWL cannot adapt to
+phase changes: the paper's Figure 9 shows it stuck at 2 warps during ATAX's
+compute-intensive second phase, which is exactly the weakness CIAO (and
+CCWS) exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.warp import Warp
+from repro.sched.base import WarpScheduler
+
+
+class BestSWLScheduler(WarpScheduler):
+    """GTO restricted to a fixed number of schedulable warps."""
+
+    name = "best-swl"
+
+    def __init__(self, warp_limit: int = 48) -> None:
+        super().__init__()
+        if warp_limit <= 0:
+            raise ValueError("warp limit must be positive")
+        self.warp_limit = warp_limit
+        self._last_wid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, sm) -> None:
+        """Throttle everything beyond the first ``warp_limit`` warps."""
+        super().attach(sm)
+        self._apply_limit()
+
+    def _apply_limit(self) -> None:
+        """Allow the ``warp_limit`` oldest resident warps; stall the rest."""
+        if self.sm is None:
+            return
+        resident = [w for w in self.sm.warps if not w.finished]
+        resident.sort(key=lambda w: (w.assigned_at, w.wid))
+        for index, warp in enumerate(resident):
+            allowed = index < self.warp_limit
+            if warp.active != allowed:
+                warp.active = allowed
+                if allowed:
+                    self.sm.stats.reactivate_events += 1
+                else:
+                    self.sm.stats.throttle_events += 1
+
+    # ------------------------------------------------------------------
+    def select(self, issuable: Sequence[Warp], now: int) -> Optional[Warp]:
+        """GTO among the non-throttled warps."""
+        if not issuable:
+            return None
+        return self.greedy_then_oldest(issuable, self._last_wid)
+
+    def notify_issue(self, warp: Warp, instruction: Instruction, now: int) -> None:
+        """Track the greedy warp."""
+        self._last_wid = warp.wid
+
+    def on_warp_retired(self, warp: Warp, now: int) -> None:
+        """A slot freed up: admit the next throttled warp."""
+        if self._last_wid == warp.wid:
+            self._last_wid = None
+        self._apply_limit()
+
+    def on_no_progress(self, now: int) -> bool:
+        """Never the culprit: the limit always leaves at least one warp active."""
+        self._apply_limit()
+        return False

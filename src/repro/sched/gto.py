@@ -1,0 +1,41 @@
+"""Greedy-Then-Oldest (GTO) warp scheduler.
+
+GTO keeps issuing from the same warp until it stalls, then falls back to the
+oldest ready warp.  It is the baseline every result in Figure 8 is
+normalised to, and it is also the underlying ordering policy of CCWS,
+Best-SWL and the CIAO schedulers (Section V-A: "CCWS, Best-SWL, and
+CIAO-P/T/C leverage GTO to decide the order of execution of warps").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gpu.instruction import Instruction
+from repro.gpu.warp import Warp
+from repro.sched.base import WarpScheduler
+
+
+class GTOScheduler(WarpScheduler):
+    """Greedy-then-oldest warp selection."""
+
+    name = "gto"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_wid: Optional[int] = None
+
+    def select(self, issuable: Sequence[Warp], now: int) -> Optional[Warp]:
+        """Prefer the warp issued last; otherwise the oldest issuable warp."""
+        if not issuable:
+            return None
+        return self.greedy_then_oldest(issuable, self._last_wid)
+
+    def notify_issue(self, warp: Warp, instruction: Instruction, now: int) -> None:
+        """Remember the greedy warp."""
+        self._last_wid = warp.wid
+
+    def on_warp_retired(self, warp: Warp, now: int) -> None:
+        """Forget the greedy warp when it exits."""
+        if self._last_wid == warp.wid:
+            self._last_wid = None

@@ -1,0 +1,37 @@
+"""Loose round-robin (LRR) warp scheduler.
+
+The simplest policy: warps take turns in warp-id order, skipping warps that
+cannot issue.  LRR tends to make all warps progress at the same rate, which
+maximises the overlap of their working sets and therefore produces the worst
+cache thrashing -- a useful lower bound in the ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gpu.warp import Warp
+from repro.sched.base import WarpScheduler
+
+
+class LooseRoundRobinScheduler(WarpScheduler):
+    """Issue warps in round-robin order among the issuable ones."""
+
+    name = "lrr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_wid = -1
+
+    def select(self, issuable: Sequence[Warp], now: int) -> Optional[Warp]:
+        """Pick the next warp id after the previously issued one (wrapping)."""
+        if not issuable:
+            return None
+        ordered = sorted(issuable, key=lambda w: w.wid)
+        for warp in ordered:
+            if warp.wid > self._last_wid:
+                self._last_wid = warp.wid
+                return warp
+        warp = ordered[0]
+        self._last_wid = warp.wid
+        return warp

@@ -1,0 +1,87 @@
+"""Scheduler factory.
+
+Maps the scheduler names used throughout the evaluation (and in Figure 8's
+legend) onto constructor calls.  The CIAO schedulers are imported lazily to
+keep the dependency direction ``core -> sched.base`` clean.
+
+Recognised names (case-insensitive):
+
+=============  ==========================================================
+``gto``        Greedy-then-oldest (the normalisation baseline)
+``lrr``        Loose round-robin
+``two-level``  Two-level fetch-group scheduler
+``best-swl``   Best static wavefront limiting (needs ``warp_limit``)
+``ccws``       Cache-conscious wavefront scheduling
+``statpcal``   Priority-based cache allocation / bypass
+``ciao-p``     CIAO with request redirection only
+``ciao-t``     CIAO with selective throttling only
+``ciao-c``     CIAO with both (the full scheme)
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sched.base import WarpScheduler
+from repro.sched.best_swl import BestSWLScheduler
+from repro.sched.ccws import CCWSScheduler
+from repro.sched.gto import GTOScheduler
+from repro.sched.lrr import LooseRoundRobinScheduler
+from repro.sched.statpcal import StatPCALScheduler
+from repro.sched.two_level import TwoLevelScheduler
+
+#: Names of every policy the registry can construct.
+_BASELINES = ("gto", "lrr", "two-level", "best-swl", "ccws", "statpcal")
+_CIAO = ("ciao-p", "ciao-t", "ciao-c")
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """All scheduler names :func:`create_scheduler` accepts."""
+    return _BASELINES + _CIAO
+
+
+def uses_shared_cache(name: str) -> bool:
+    """True for policies that need the CIAO shared-memory cache enabled."""
+    return name.lower() in ("ciao-p", "ciao-c")
+
+
+def create_scheduler(name: str, **kwargs) -> WarpScheduler:
+    """Build a scheduler instance by name.
+
+    Keyword arguments are forwarded to the scheduler constructor; common ones
+    are ``warp_limit`` (Best-SWL), ``token_count`` (statPCAL) and the CIAO
+    cutoff/epoch parameters (see
+    :class:`repro.core.config.CIAOParameters`).
+    """
+    key = name.lower()
+    if key == "gto":
+        return GTOScheduler(**kwargs)
+    if key == "lrr":
+        return LooseRoundRobinScheduler(**kwargs)
+    if key in ("two-level", "two_level", "twolevel"):
+        return TwoLevelScheduler(**kwargs)
+    if key in ("best-swl", "best_swl", "bestswl"):
+        return BestSWLScheduler(**kwargs)
+    if key == "ccws":
+        return CCWSScheduler(**kwargs)
+    if key == "statpcal":
+        return StatPCALScheduler(**kwargs)
+    if key in ("ciao-p", "ciao_p", "ciao-t", "ciao_t", "ciao-c", "ciao_c"):
+        from repro.core.ciao_scheduler import CIAOScheduler, CIAOMode
+
+        mode = {
+            "ciao-p": CIAOMode.PARTITION_ONLY,
+            "ciao_p": CIAOMode.PARTITION_ONLY,
+            "ciao-t": CIAOMode.THROTTLE_ONLY,
+            "ciao_t": CIAOMode.THROTTLE_ONLY,
+            "ciao-c": CIAOMode.COMBINED,
+            "ciao_c": CIAOMode.COMBINED,
+        }[key]
+        return CIAOScheduler(mode=mode, **kwargs)
+    raise KeyError(f"unknown scheduler {name!r}; expected one of {scheduler_names()}")
+
+
+def scheduler_factory(name: str, **kwargs) -> Callable[[], WarpScheduler]:
+    """Return a zero-argument factory for :class:`repro.gpu.gpu.GPU`."""
+    return lambda: create_scheduler(name, **kwargs)

@@ -1,0 +1,42 @@
+"""Workload models for the 21 benchmarks of Table II.
+
+The paper evaluates CUDA benchmarks from PolyBench, Mars and Rodinia on
+GPGPU-Sim.  Neither the CUDA binaries nor a functional GPU exist in this
+environment, so each benchmark is modelled as a *synthetic memory-access
+generator* that reproduces the characteristics Table II reports (accesses
+per kilo-instruction, working-set class, best static warp limit, shared
+memory usage, barrier behaviour) together with the benchmark's well-known
+access structure (streaming matrix rows + hot vectors for the matrix-vector
+kernels, tiled reuse for the rank-k updates, irregular accesses for the
+clustering and MapReduce codes, stencils for the CI workloads).
+
+Public API:
+
+* :func:`repro.workloads.registry.get_benchmark` /
+  :func:`repro.workloads.registry.all_benchmarks` -- the Table II registry.
+* :func:`repro.workloads.synthetic.build_kernel` -- turn a benchmark spec
+  into a :class:`repro.gpu.cta.KernelLaunch` at a given scale.
+"""
+
+from repro.workloads.registry import (
+    BenchmarkSpec,
+    WorkloadClass,
+    all_benchmarks,
+    benchmarks_by_class,
+    benchmark_names,
+    get_benchmark,
+    MEMORY_INTENSIVE_BENCHMARKS,
+)
+from repro.workloads.synthetic import build_kernel, SyntheticKernelModel
+
+__all__ = [
+    "BenchmarkSpec",
+    "WorkloadClass",
+    "all_benchmarks",
+    "benchmarks_by_class",
+    "benchmark_names",
+    "get_benchmark",
+    "MEMORY_INTENSIVE_BENCHMARKS",
+    "build_kernel",
+    "SyntheticKernelModel",
+]

@@ -1,0 +1,162 @@
+"""Mars (MapReduce-on-GPU) benchmark models.
+
+The Mars workloads are MapReduce kernels: map tasks hash keys and scatter
+intermediate key/value pairs, reduce tasks walk per-key buckets.  Their
+memory behaviour is index-driven and therefore irregular; several of them
+make heavy use of the program-managed shared memory for the intermediate
+buffers (Table II: PVC 33%, SS 50%).
+
+Table II classification:
+
+* **KMN** (k-means on Mars) -- LWS, irregular centroid/index accesses,
+  barriers between iterations; the paper's representative LWS workload in
+  Figure 10.
+* **II** (inverted index), **PVC** (page-view count), **SS** (similarity
+  score), **SM** (string match), **WC** (word count) -- SWS.  PVC/SS/SM/WC
+  run best with all 48 warps (``Nwrp = 48``): their per-warp footprints are
+  small, and throttling mostly costs TLP -- which is why interference-aware
+  isolation (CIAO-P) is the profitable knob for them.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import BenchmarkSpec, ModelParams, PatternKind, WorkloadClass
+
+
+def _mapreduce(
+    *,
+    tile_kb: float,
+    mem_fraction: float,
+    scratchpad_fraction: float,
+    divergence: int = 2,
+    barrier_interval: int = 400,
+    aggressor_factor: float = 3.0,
+) -> ModelParams:
+    """Common shape of the Mars kernels: irregular accesses + scratchpad use."""
+    return ModelParams(
+        pattern=PatternKind.MAPREDUCE,
+        instructions_per_warp=2000,
+        mem_fraction=mem_fraction,
+        tile_kb=tile_kb,
+        chunk_blocks=256,
+        chunk_repeats=1,
+        stream_fraction=0.05,
+        aggressor_period=4,
+        aggressor_factor=aggressor_factor,
+        divergence=divergence,
+        barrier_interval=barrier_interval,
+        scratchpad_fraction=scratchpad_fraction,
+    )
+
+
+KMN = BenchmarkSpec(
+    name="KMN",
+    suite="Mars",
+    workload_class=WorkloadClass.LWS,
+    apki=46,
+    input_size="168KB",
+    nwrp=4,
+    fsmem=0.01,
+    uses_barriers=True,
+    description="Mars k-means: irregular point/centroid accesses over a large "
+    "footprint with per-iteration barriers.",
+    model=ModelParams(
+        pattern=PatternKind.IRREGULAR,
+        instructions_per_warp=2000,
+        mem_fraction=0.40,
+        tile_kb=3.0,
+        chunk_blocks=256,
+        chunk_repeats=1,
+        stream_fraction=0.10,
+        aggressor_period=4,
+        aggressor_factor=3.0,
+        divergence=3,
+        barrier_interval=500,
+        scratchpad_fraction=0.01,
+    ),
+)
+
+II = BenchmarkSpec(
+    name="II",
+    suite="Mars",
+    workload_class=WorkloadClass.SWS,
+    apki=75,
+    input_size="28MB",
+    nwrp=4,
+    fsmem=0.0,
+    uses_barriers=True,
+    description="Inverted index: keyed scatter of document terms, irregular but "
+    "with small hot index tiles.",
+    model=_mapreduce(
+        tile_kb=0.625, mem_fraction=0.38, scratchpad_fraction=0.0, divergence=2
+    ),
+)
+
+PVC = BenchmarkSpec(
+    name="PVC",
+    suite="Mars",
+    workload_class=WorkloadClass.SWS,
+    apki=64,
+    input_size="13MB",
+    nwrp=48,
+    fsmem=0.33,
+    uses_barriers=True,
+    description="Page-view count: hash-bucket updates with one third of shared "
+    "memory used for intermediate buffers.",
+    model=_mapreduce(
+        tile_kb=0.625, mem_fraction=0.32, scratchpad_fraction=0.10, divergence=2,
+        aggressor_factor=2.5,
+    ),
+)
+
+SS = BenchmarkSpec(
+    name="SS",
+    suite="Mars",
+    workload_class=WorkloadClass.SWS,
+    apki=34,
+    input_size="23MB",
+    nwrp=48,
+    fsmem=0.50,
+    uses_barriers=True,
+    description="Similarity score: pairwise document scoring; half of shared "
+    "memory is used by the program, shrinking CIAO's cache space.",
+    model=_mapreduce(
+        tile_kb=0.625, mem_fraction=0.28, scratchpad_fraction=0.15, divergence=2,
+        aggressor_factor=2.5,
+    ),
+)
+
+SM = BenchmarkSpec(
+    name="SM",
+    suite="Mars",
+    workload_class=WorkloadClass.SWS,
+    apki=140,
+    input_size="1MB",
+    nwrp=48,
+    fsmem=0.01,
+    uses_barriers=True,
+    description="String match: very high access rate scanning small string "
+    "tiles; almost all shared memory is unused.",
+    model=_mapreduce(
+        tile_kb=0.625, mem_fraction=0.42, scratchpad_fraction=0.02, divergence=1,
+    ),
+)
+
+WC = BenchmarkSpec(
+    name="WC",
+    suite="Mars",
+    workload_class=WorkloadClass.SWS,
+    apki=19,
+    input_size="88KB",
+    nwrp=48,
+    fsmem=0.01,
+    uses_barriers=True,
+    description="Word count: light keyed accesses over a tiny input.",
+    model=_mapreduce(
+        tile_kb=0.625, mem_fraction=0.22, scratchpad_fraction=0.02, divergence=1,
+        aggressor_factor=2.0,
+    ),
+)
+
+#: All Mars benchmark specs defined by this module.
+MARS_BENCHMARKS: tuple[BenchmarkSpec, ...] = (KMN, II, PVC, SS, SM, WC)

@@ -1,0 +1,230 @@
+"""PolyBench/GPU benchmark models.
+
+PolyBench kernels are dense linear-algebra codes with regular, strided
+accesses.  Table II places ATAX / BICG / MVT in the large-working-set (LWS)
+class with a best static warp limit of only 2 warps, GESUMMV / SYR2K / SYRK
+in the small-working-set (SWS) class, and 2DCONV / CORR among the
+compute-intensive (CI) workloads.
+
+Model rationale per benchmark:
+
+* **ATAX / BICG / MVT** compute matrix-vector products (twice, for the
+  transposed product).  Each warp streams rows of a 64 MB matrix (no reuse)
+  while repeatedly re-referencing vector segments and partial-result tiles
+  (high potential of data locality).  A few KB of reuse per warp means a
+  couple of warps fit the 16 KB L1D -- hence ``Nwrp = 2`` -- and 48 warps
+  thrash it hard.  ATAX additionally exposes the paper's Figure 9 structure:
+  a memory-intensive first phase followed by a compute-intensive second
+  phase, which static wavefront limiting cannot adapt to.
+* **GESUMMV / SYR2K / SYRK** are rank-k updates working on tiles of the
+  output matrix: roughly 1 KB of live data per warp, re-referenced many
+  times -- the canonical SWS behaviour where interference, not capacity, is
+  the problem.
+* **2DCONV / CORR** perform a convolution / correlation dominated by
+  arithmetic on registers; memory traffic is light and well coalesced.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import BenchmarkSpec, ModelParams, PatternKind, WorkloadClass
+
+
+def _lws_linear_algebra(two_phase: bool = False) -> ModelParams:
+    """Shared model parameters of the LWS matrix-vector kernels.
+
+    3 KB reuse tiles swept cyclically (9 KB for aggressor warps): two warps
+    fit the 16 KB L1D (hence ``Nwrp = 2``), while all 48 resident warps
+    overflow even the combined L1D + shared-memory capacity, so redirection
+    alone cannot absorb the interference and selective throttling is needed.
+    """
+    return ModelParams(
+        pattern=PatternKind.TWO_PHASE if two_phase else PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2000,
+        mem_fraction=0.40,
+        tile_kb=3.0,
+        chunk_blocks=256,
+        chunk_repeats=1,
+        stream_fraction=0.08,
+        aggressor_period=4,
+        aggressor_factor=3.0,
+        phase_split=0.55,
+        phase2_mem_fraction=0.05,
+    )
+
+
+def _sws_rank_update(tile_kb: float = 0.625) -> ModelParams:
+    """Shared model parameters of the SWS tiled-update kernels.
+
+    0.625 KB reuse tiles swept cyclically (~1.9 KB for aggressors): a handful
+    of warps fit the L1D, and the full 48-warp footprint fits once CIAO
+    spreads the heavy warps over the unused shared memory.
+    """
+    return ModelParams(
+        pattern=PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2000,
+        mem_fraction=0.40,
+        tile_kb=tile_kb,
+        chunk_blocks=256,
+        chunk_repeats=1,
+        stream_fraction=0.05,
+        aggressor_period=4,
+        aggressor_factor=3.0,
+    )
+
+
+ATAX = BenchmarkSpec(
+    name="ATAX",
+    suite="PolyBench",
+    workload_class=WorkloadClass.LWS,
+    apki=64,
+    input_size="64MB",
+    nwrp=2,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Matrix-transpose-times-vector product; memory-intensive first "
+    "phase followed by a compute-intensive reduction phase.",
+    model=_lws_linear_algebra(two_phase=True),
+)
+
+BICG = BenchmarkSpec(
+    name="BICG",
+    suite="PolyBench",
+    workload_class=WorkloadClass.LWS,
+    apki=64,
+    input_size="64MB",
+    nwrp=2,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="BiCG sub-kernel of the BiCGStab solver: two matrix-vector "
+    "products sharing a streamed matrix.",
+    model=_lws_linear_algebra(),
+)
+
+MVT = BenchmarkSpec(
+    name="MVT",
+    suite="PolyBench",
+    workload_class=WorkloadClass.LWS,
+    apki=64,
+    input_size="64MB",
+    nwrp=2,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Matrix-vector product and transpose: streamed matrix rows with "
+    "reused vector segments.",
+    model=_lws_linear_algebra(),
+)
+
+GESUMMV = BenchmarkSpec(
+    name="GESUMMV",
+    suite="PolyBench",
+    workload_class=WorkloadClass.SWS,
+    apki=136,
+    input_size="128MB",
+    nwrp=2,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Scalar-vector-matrix multiplication; very high access rate on "
+    "small per-warp tiles.",
+    model=ModelParams(
+        pattern=PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2000,
+        mem_fraction=0.42,
+        tile_kb=0.625,
+        chunk_blocks=256,
+        chunk_repeats=1,
+        stream_fraction=0.05,
+        aggressor_period=4,
+        aggressor_factor=3.0,
+    ),
+)
+
+SYR2K = BenchmarkSpec(
+    name="SYR2K",
+    suite="PolyBench",
+    workload_class=WorkloadClass.SWS,
+    apki=108,
+    input_size="48MB",
+    nwrp=6,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Symmetric rank-2k update: tiled accumulation with strong reuse "
+    "inside each output tile.",
+    model=_sws_rank_update(tile_kb=0.625),
+)
+
+SYRK = BenchmarkSpec(
+    name="SYRK",
+    suite="PolyBench",
+    workload_class=WorkloadClass.SWS,
+    apki=94,
+    input_size="512KB",
+    nwrp=6,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Symmetric rank-k update; the paper's representative SWS workload "
+    "in Figure 10.",
+    model=_sws_rank_update(tile_kb=0.625),
+)
+
+CONV2D = BenchmarkSpec(
+    name="2DCONV",
+    suite="PolyBench",
+    workload_class=WorkloadClass.CI,
+    apki=9,
+    input_size="64MB",
+    nwrp=36,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="2D convolution: stencil reads with high arithmetic intensity.",
+    model=ModelParams(
+        pattern=PatternKind.STENCIL,
+        instructions_per_warp=2400,
+        mem_fraction=0.06,
+        tile_kb=0.5,
+        chunk_blocks=4,
+        chunk_repeats=2,
+        hot_kb=4.0,
+        hot_fraction=0.40,
+        stream_fraction=0.05,
+        aggressor_period=6,
+        aggressor_factor=2.0,
+    ),
+)
+
+CORR = BenchmarkSpec(
+    name="CORR",
+    suite="PolyBench",
+    workload_class=WorkloadClass.CI,
+    apki=10,
+    input_size="2MB",
+    nwrp=48,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Correlation matrix computation; compute-bound with small reused "
+    "column tiles.",
+    model=ModelParams(
+        pattern=PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2400,
+        mem_fraction=0.07,
+        tile_kb=0.375,
+        chunk_blocks=3,
+        chunk_repeats=3,
+        hot_kb=4.0,
+        hot_fraction=0.40,
+        stream_fraction=0.05,
+        aggressor_period=6,
+        aggressor_factor=2.0,
+    ),
+)
+
+#: All PolyBench benchmark specs defined by this module.
+POLYBENCH_BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    ATAX,
+    BICG,
+    MVT,
+    GESUMMV,
+    SYR2K,
+    SYRK,
+    CONV2D,
+    CORR,
+)

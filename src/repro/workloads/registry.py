@@ -1,0 +1,97 @@
+"""Benchmark registry (the programmatic form of Table II).
+
+Aggregates the benchmark specifications of the three suites and provides
+lookup helpers used by the harness, the examples and the benches.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.mars import MARS_BENCHMARKS
+from repro.workloads.polybench import POLYBENCH_BENCHMARKS
+from repro.workloads.rodinia import RODINIA_BENCHMARKS
+from repro.workloads.spec import BenchmarkSpec, ModelParams, PatternKind, WorkloadClass
+
+__all__ = [
+    "BenchmarkSpec",
+    "ModelParams",
+    "PatternKind",
+    "WorkloadClass",
+    "all_benchmarks",
+    "benchmark_names",
+    "benchmarks_by_class",
+    "benchmarks_by_suite",
+    "get_benchmark",
+    "MEMORY_INTENSIVE_BENCHMARKS",
+    "TABLE_II_ROWS",
+]
+
+#: Every benchmark of Table II, in the paper's listing order.
+_ALL: tuple[BenchmarkSpec, ...] = (
+    POLYBENCH_BENCHMARKS[:6]          # ATAX, BICG, MVT, GESUMMV, SYR2K, SYRK
+    + (MARS_BENCHMARKS[0],)           # KMN
+    + (RODINIA_BENCHMARKS[0],)        # Kmeans
+    + MARS_BENCHMARKS[1:]             # II, PVC, SS, SM, WC
+    + POLYBENCH_BENCHMARKS[6:]        # 2DCONV, CORR
+    + RODINIA_BENCHMARKS[1:]          # Gaussian, Backprop, Hotspot, Lud, NN, NW
+)
+
+_BY_NAME: dict[str, BenchmarkSpec] = {spec.name.upper(): spec for spec in _ALL}
+
+#: The seven memory-intensive workloads used in the sensitivity study
+#: (Figure 11): ATAX, GESUMMV, SYR2K, SYRK, BICG, MVT, Kmeans.
+MEMORY_INTENSIVE_BENCHMARKS: tuple[str, ...] = (
+    "ATAX",
+    "GESUMMV",
+    "SYR2K",
+    "SYRK",
+    "BICG",
+    "MVT",
+    "Kmeans",
+)
+
+
+def all_benchmarks() -> tuple[BenchmarkSpec, ...]:
+    """Every benchmark spec, in Table II order (as plotted in Figure 8a)."""
+    return _ALL
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """Benchmark names in Table II order."""
+    return tuple(spec.name for spec in _ALL)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look a benchmark up by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {benchmark_names()}"
+        ) from exc
+
+
+def benchmarks_by_class(workload_class: WorkloadClass) -> tuple[BenchmarkSpec, ...]:
+    """All benchmarks of one working-set class."""
+    return tuple(spec for spec in _ALL if spec.workload_class is workload_class)
+
+
+def benchmarks_by_suite(suite: str) -> tuple[BenchmarkSpec, ...]:
+    """All benchmarks of one suite (PolyBench / Mars / Rodinia)."""
+    return tuple(spec for spec in _ALL if spec.suite.lower() == suite.lower())
+
+
+def TABLE_II_ROWS() -> list[dict[str, object]]:
+    """Table II as a list of dictionaries (used by the table bench/report)."""
+    return [
+        {
+            "Benchmark": spec.name,
+            "APKI": spec.apki,
+            "Input": spec.input_size,
+            "Nwrp": spec.nwrp,
+            "Fsmem": f"{int(round(spec.fsmem * 100))}%",
+            "Bar.": "Y" if spec.uses_barriers else "N",
+            "Class": spec.workload_class.name,
+            "Suite": spec.suite,
+        }
+        for spec in _ALL
+    ]

@@ -1,0 +1,222 @@
+"""Rodinia benchmark models.
+
+The Rodinia workloads the paper uses span all three classes:
+
+* **Kmeans** -- LWS: each warp walks feature vectors of its assigned points
+  (streaming) and repeatedly re-reads the centroid array (reuse); with a
+  101 MB input the aggregate footprint dwarfs the L1D and only two warps'
+  worth of reuse fits (``Nwrp = 2``).
+* **Gaussian, NN** -- CI: elimination / nearest-neighbour kernels dominated
+  by arithmetic with small, well-behaved footprints.
+* **Backprop** -- CI but with notable cache misses concentrated in a few
+  warps; the paper's Figure 1 motivating example.  It uses 13% of shared
+  memory for the weight tiles and synchronises layers with barriers.
+* **Hotspot, Lud, NW** -- CI stencil / factorisation / alignment kernels
+  with heavy barrier use and 19-50% of shared memory consumed by the
+  program, which squeezes the space CIAO can borrow.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import BenchmarkSpec, ModelParams, PatternKind, WorkloadClass
+
+
+KMEANS = BenchmarkSpec(
+    name="Kmeans",
+    suite="Rodinia",
+    workload_class=WorkloadClass.LWS,
+    apki=85,
+    input_size="101MB",
+    nwrp=2,
+    fsmem=0.0,
+    uses_barriers=True,
+    description="Rodinia k-means: streamed feature vectors with a hot, reused "
+    "centroid array; the paper's Figure 4a interference example.",
+    model=ModelParams(
+        pattern=PatternKind.IRREGULAR,
+        instructions_per_warp=2000,
+        mem_fraction=0.40,
+        tile_kb=3.0,
+        chunk_blocks=256,
+        chunk_repeats=1,
+        stream_fraction=0.10,
+        aggressor_period=4,
+        aggressor_factor=3.0,
+        divergence=2,
+        barrier_interval=500,
+    ),
+)
+
+GAUSSIAN = BenchmarkSpec(
+    name="Gaussian",
+    suite="Rodinia",
+    workload_class=WorkloadClass.CI,
+    apki=18,
+    input_size="339KB",
+    nwrp=48,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Gaussian elimination: row updates with high arithmetic intensity.",
+    model=ModelParams(
+        pattern=PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2400,
+        mem_fraction=0.10,
+        tile_kb=0.5,
+        chunk_blocks=4,
+        chunk_repeats=3,
+        hot_kb=4.0,
+        hot_fraction=0.40,
+        stream_fraction=0.05,
+        aggressor_period=6,
+        aggressor_factor=2.0,
+    ),
+)
+
+BACKPROP = BenchmarkSpec(
+    name="Backprop",
+    suite="Rodinia",
+    workload_class=WorkloadClass.CI,
+    apki=3,
+    input_size="5MB",
+    nwrp=36,
+    fsmem=0.13,
+    uses_barriers=True,
+    description="Neural-network back-propagation: compute-bound layer updates, "
+    "but a few warps' weight-tile accesses interfere heavily (Figure 1).",
+    model=ModelParams(
+        pattern=PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2600,
+        mem_fraction=0.08,
+        tile_kb=0.75,
+        chunk_blocks=4,
+        chunk_repeats=4,
+        hot_kb=6.0,
+        hot_fraction=0.45,
+        stream_fraction=0.05,
+        aggressor_period=6,
+        aggressor_factor=4.0,
+        barrier_interval=400,
+        scratchpad_fraction=0.05,
+    ),
+)
+
+HOTSPOT = BenchmarkSpec(
+    name="Hotspot",
+    suite="Rodinia",
+    workload_class=WorkloadClass.CI,
+    apki=1,
+    input_size="2MB",
+    nwrp=48,
+    fsmem=0.19,
+    uses_barriers=True,
+    description="Thermal simulation stencil: tiled time steps in shared memory, "
+    "very few global accesses.",
+    model=ModelParams(
+        pattern=PatternKind.STENCIL,
+        instructions_per_warp=2600,
+        mem_fraction=0.03,
+        tile_kb=0.5,
+        chunk_blocks=4,
+        chunk_repeats=2,
+        hot_kb=4.0,
+        hot_fraction=0.40,
+        stream_fraction=0.05,
+        aggressor_period=8,
+        aggressor_factor=2.0,
+        barrier_interval=300,
+        scratchpad_fraction=0.10,
+    ),
+)
+
+LUD = BenchmarkSpec(
+    name="Lud",
+    suite="Rodinia",
+    workload_class=WorkloadClass.CI,
+    apki=2,
+    input_size="25KB",
+    nwrp=38,
+    fsmem=0.50,
+    uses_barriers=True,
+    description="LU decomposition: diagonal/perimeter/internal kernels working "
+    "out of shared memory with frequent barriers.",
+    model=ModelParams(
+        pattern=PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2600,
+        mem_fraction=0.03,
+        tile_kb=0.375,
+        chunk_blocks=3,
+        chunk_repeats=3,
+        hot_kb=4.0,
+        hot_fraction=0.40,
+        stream_fraction=0.05,
+        aggressor_period=8,
+        aggressor_factor=2.0,
+        barrier_interval=250,
+        scratchpad_fraction=0.15,
+    ),
+)
+
+NN = BenchmarkSpec(
+    name="NN",
+    suite="Rodinia",
+    workload_class=WorkloadClass.CI,
+    apki=8,
+    input_size="334KB",
+    nwrp=48,
+    fsmem=0.0,
+    uses_barriers=False,
+    description="Nearest neighbour: distance computation over a small record "
+    "array; compute-bound.",
+    model=ModelParams(
+        pattern=PatternKind.LINEAR_ALGEBRA,
+        instructions_per_warp=2400,
+        mem_fraction=0.06,
+        tile_kb=0.375,
+        chunk_blocks=3,
+        chunk_repeats=3,
+        hot_kb=4.0,
+        hot_fraction=0.40,
+        stream_fraction=0.05,
+        aggressor_period=6,
+        aggressor_factor=2.0,
+    ),
+)
+
+NW = BenchmarkSpec(
+    name="NW",
+    suite="Rodinia",
+    workload_class=WorkloadClass.CI,
+    apki=5,
+    input_size="32MB",
+    nwrp=48,
+    fsmem=0.35,
+    uses_barriers=True,
+    description="Needleman-Wunsch sequence alignment: wavefront sweeps over the "
+    "score matrix with barriers between anti-diagonals.",
+    model=ModelParams(
+        pattern=PatternKind.STENCIL,
+        instructions_per_warp=2400,
+        mem_fraction=0.05,
+        tile_kb=0.5,
+        chunk_blocks=4,
+        chunk_repeats=2,
+        hot_kb=4.0,
+        hot_fraction=0.40,
+        stream_fraction=0.05,
+        aggressor_period=8,
+        aggressor_factor=2.0,
+        barrier_interval=300,
+        scratchpad_fraction=0.10,
+    ),
+)
+
+#: All Rodinia benchmark specs defined by this module.
+RODINIA_BENCHMARKS: tuple[BenchmarkSpec, ...] = (
+    KMEANS,
+    GAUSSIAN,
+    BACKPROP,
+    HOTSPOT,
+    LUD,
+    NN,
+    NW,
+)

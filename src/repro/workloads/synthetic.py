@@ -1,0 +1,261 @@
+"""Turn a :class:`BenchmarkSpec` into an executable kernel launch.
+
+:class:`SyntheticKernelModel` generates, per warp, a deterministic
+instruction stream matching the benchmark's model parameters: a mix of ALU
+instructions, global loads/stores drawn from the benchmark's access-pattern
+archetype, scratchpad accesses (for benchmarks with ``Fsmem > 0``) and CTA
+barriers.
+
+Address-space layout (byte addresses):
+
+* each *logical* warp (CTA index x warps-per-CTA + warp index) owns a
+  private reuse tile in the ``TILE_REGION`` and a private streaming range in
+  the ``STREAM_REGION``, so tiles of different warps never alias by accident
+  -- they only interact through cache capacity and set conflicts, which is
+  exactly the interference the paper studies;
+* every ``aggressor_period``-th warp is an *aggressor*: its tile is
+  ``aggressor_factor`` times larger and a larger share of its accesses
+  stream, so it causes many more evictions than it suffers.  This produces
+  the strongly non-uniform interference of Figures 1a / 4a and gives the
+  interference-aware schemes something to find.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.gpu.cta import KernelLaunch
+from repro.gpu.instruction import Instruction
+from repro.mem.address import BLOCK_SIZE
+from repro.workloads import patterns
+from repro.workloads.spec import BenchmarkSpec, PatternKind
+
+#: Base of the shared hot data region (the re-read vector / operand tile /
+#: centroid array that every warp of the kernel keeps touching).
+HOT_REGION = 0x0800_0000
+#: Base of the per-warp reuse tiles.
+TILE_REGION = 0x1000_0000
+#: Bytes reserved per logical warp inside the tile region.
+TILE_STRIDE = 1 << 20  # 1 MiB
+#: Base of the per-warp streaming ranges.
+STREAM_REGION = 0x4000_0000
+#: Bytes reserved per logical warp inside the streaming region.
+STREAM_STRIDE = 4 << 20  # 4 MiB
+#: Fraction of global memory accesses that are stores.  Kept low: the
+#: evaluated kernels are read-dominated (output vectors / reduced tiles),
+#: and under the write-through/no-allocate L1D policy stores only consume
+#: downstream bandwidth.
+STORE_FRACTION = 0.05
+
+
+class SyntheticKernelModel:
+    """Instruction-stream generator for one benchmark at one scale."""
+
+    def __init__(
+        self,
+        spec: BenchmarkSpec,
+        *,
+        scale: float = 1.0,
+        seed: int = 1,
+        num_ctas: Optional[int] = None,
+        warps_per_cta: Optional[int] = None,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        spec.validate()
+        self.spec = spec
+        self.scale = scale
+        self.seed = seed
+        self.num_ctas = num_ctas if num_ctas is not None else spec.num_ctas
+        self.warps_per_cta = warps_per_cta if warps_per_cta is not None else spec.warps_per_cta
+        if self.num_ctas <= 0 or self.warps_per_cta <= 0:
+            raise ValueError("launch geometry must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def instructions_per_warp(self) -> int:
+        """Scaled warp-instruction count per warp (at least 50)."""
+        return max(50, int(self.spec.model.instructions_per_warp * self.scale))
+
+    def kernel_launch(self) -> KernelLaunch:
+        """Build the :class:`KernelLaunch` for this model."""
+        return KernelLaunch(
+            name=self.spec.name,
+            num_ctas=self.num_ctas,
+            warps_per_cta=self.warps_per_cta,
+            stream_factory=self._warp_stream,
+            shared_mem_per_cta=self.spec.shared_mem_per_cta(),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-warp stream construction
+    # ------------------------------------------------------------------
+    def _logical_index(self, cta_index: int, warp_index: int) -> int:
+        return cta_index * self.warps_per_cta + warp_index
+
+    def _is_aggressor(self, logical_index: int) -> bool:
+        period = max(1, self.spec.model.aggressor_period)
+        return logical_index % period == period - 1
+
+    def _tile_blocks(self, logical_index: int) -> int:
+        model = self.spec.model
+        blocks = max(2, int(model.tile_kb * 1024 / BLOCK_SIZE))
+        if self._is_aggressor(logical_index):
+            blocks = max(blocks + 1, int(blocks * model.aggressor_factor))
+        # Never exceed the per-warp tile region.
+        return min(blocks, TILE_STRIDE // BLOCK_SIZE)
+
+    def _reuse_iterator(self, rng: random.Random, logical_index: int) -> Iterator[list[int]]:
+        model = self.spec.model
+        tile_base = TILE_REGION + logical_index * TILE_STRIDE
+        tile_blocks = self._tile_blocks(logical_index)
+        if model.pattern in (PatternKind.LINEAR_ALGEBRA, PatternKind.TWO_PHASE):
+            return patterns.tiled_reuse_accesses(
+                tile_base,
+                tile_blocks,
+                chunk_blocks=model.chunk_blocks,
+                chunk_repeats=model.chunk_repeats,
+            )
+        if model.pattern in (PatternKind.IRREGULAR, PatternKind.MAPREDUCE):
+            return patterns.irregular_accesses(
+                rng,
+                tile_base,
+                tile_blocks,
+                blocks_per_access=max(1, model.divergence),
+                hot_fraction=0.35,
+                hot_blocks=max(4, tile_blocks // 4),
+            )
+        if model.pattern is PatternKind.STENCIL:
+            row_blocks = max(2, model.chunk_blocks)
+            num_rows = max(2, tile_blocks // row_blocks)
+            return patterns.stencil_accesses(
+                tile_base, row_blocks, num_rows, sweeps=model.chunk_repeats
+            )
+        raise ValueError(f"unhandled pattern {model.pattern}")
+
+    def _stream_iterator(self, logical_index: int) -> Iterator[list[int]]:
+        stream_base = STREAM_REGION + logical_index * STREAM_STRIDE
+        stream_blocks = STREAM_STRIDE // BLOCK_SIZE // 4
+        return patterns.streaming_accesses(stream_base, stream_blocks)
+
+    def _hot_iterator(self, rng: random.Random, logical_index: int) -> Optional[Iterator[list[int]]]:
+        """Cyclic sweep over the shared hot region, phase-shifted per warp."""
+        model = self.spec.model
+        hot_blocks = int(model.hot_kb * 1024 / BLOCK_SIZE)
+        if hot_blocks <= 0:
+            return None
+        start_block = rng.randrange(hot_blocks)
+        if model.pattern in (PatternKind.IRREGULAR, PatternKind.MAPREDUCE):
+            return patterns.irregular_accesses(
+                rng,
+                HOT_REGION,
+                hot_blocks,
+                blocks_per_access=max(1, model.divergence),
+                hot_fraction=0.25,
+                hot_blocks=max(4, hot_blocks // 8),
+            )
+        return patterns.tiled_reuse_accesses(
+            HOT_REGION + start_block * BLOCK_SIZE,
+            hot_blocks,
+            chunk_blocks=hot_blocks,
+            chunk_repeats=1,
+        )
+
+    def _access_mix_for(self, logical_index: int) -> tuple[float, float]:
+        """Return (stream_fraction, hot_fraction) for this warp.
+
+        Aggressor warps stream far more and touch the shared hot structure
+        less, so they are the warps whose insertions evict everyone else's
+        hot data -- the concentrated, non-uniform interference of Figure 4.
+        """
+        model = self.spec.model
+        stream = model.stream_fraction
+        hot = model.hot_fraction
+        if self._is_aggressor(logical_index):
+            stream = min(1.0, stream + 0.35)
+            hot = hot * 0.5
+            if stream + hot > 1.0:
+                hot = max(0.0, 1.0 - stream)
+        return stream, hot
+
+    def _mem_fraction_at(self, instruction_index: int, total: int) -> float:
+        model = self.spec.model
+        if model.pattern is PatternKind.TWO_PHASE:
+            if instruction_index < model.phase_split * total:
+                return model.mem_fraction
+            return model.phase2_mem_fraction
+        return model.mem_fraction
+
+    def _warp_stream(self, cta_index: int, warp_index: int, wid: int) -> Iterator[Instruction]:
+        """Yield the instruction stream of one warp (deterministic per warp)."""
+        model = self.spec.model
+        logical_index = self._logical_index(cta_index, warp_index)
+        rng = random.Random((self.seed * 1_000_003) ^ (logical_index * 7919) ^ hash(self.spec.name) % (1 << 30))
+        reuse_iter = self._reuse_iterator(rng, logical_index)
+        stream_iter = self._stream_iterator(logical_index)
+        hot_iter = self._hot_iterator(rng, logical_index)
+        stream_fraction, hot_fraction = self._access_mix_for(logical_index)
+        if hot_iter is None:
+            hot_fraction = 0.0
+        total = self.instructions_per_warp
+        barrier_interval = model.barrier_interval if self.spec.uses_barriers else 0
+        scratch_bytes = max(128, self.spec.shared_mem_per_cta(), 1024)
+
+        emitted = 0
+        while emitted < total:
+            if (
+                barrier_interval
+                and emitted > 0
+                and emitted % barrier_interval == 0
+            ):
+                yield Instruction.barrier()
+                emitted += 1
+                continue
+            draw = rng.random()
+            mem_fraction = self._mem_fraction_at(emitted, total)
+            scratch_fraction = model.scratchpad_fraction
+            if draw < mem_fraction:
+                source = rng.random()
+                if source < stream_fraction:
+                    lanes = next(stream_iter)
+                elif source < stream_fraction + hot_fraction and hot_iter is not None:
+                    lanes = next(hot_iter)
+                else:
+                    lanes = next(reuse_iter)
+                if rng.random() < STORE_FRACTION:
+                    yield Instruction.store(lanes)
+                else:
+                    yield Instruction.load(lanes)
+            elif draw < mem_fraction + scratch_fraction:
+                offset = rng.randrange(0, max(1, scratch_bytes // 8)) * 8
+                offsets = [
+                    (offset + lane * 8) % scratch_bytes for lane in range(patterns.WARP_LANES)
+                ]
+                if rng.random() < 0.5:
+                    yield Instruction.shared_store(offsets)
+                else:
+                    yield Instruction.shared_load(offsets)
+            else:
+                yield Instruction.alu()
+            emitted += 1
+        yield Instruction.exit()
+
+
+def build_kernel(
+    spec: BenchmarkSpec,
+    *,
+    scale: float = 1.0,
+    seed: int = 1,
+    num_ctas: Optional[int] = None,
+    warps_per_cta: Optional[int] = None,
+) -> KernelLaunch:
+    """Convenience wrapper: build the kernel launch for ``spec`` directly."""
+    model = SyntheticKernelModel(
+        spec,
+        scale=scale,
+        seed=seed,
+        num_ctas=num_ctas,
+        warps_per_cta=warps_per_cta,
+    )
+    return model.kernel_launch()

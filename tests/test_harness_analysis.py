@@ -1,0 +1,154 @@
+"""Tests for the harness (runner, reporting, experiments) and the analysis models."""
+
+import pytest
+
+from repro.analysis.area import GTX480_DIE_MM2, AreaModel
+from repro.analysis.metrics import (
+    class_geomeans,
+    normalized_ipc_table,
+    speedup_summary,
+)
+from repro.analysis.power import PowerModel
+from repro.harness.reporting import format_table, geometric_mean, normalize_to
+from repro.harness.runner import RunConfig, run_benchmark, run_many
+from repro.harness import experiments
+
+
+SMALL = dict(scale=0.06, seed=1)
+
+
+class TestReporting:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([2.0]) == pytest.approx(2.0)
+
+    def test_normalize_to(self):
+        values = {"gto": 2.0, "ciao": 4.0}
+        normalized = normalize_to(values, "gto")
+        assert normalized == {"gto": 1.0, "ciao": 2.0}
+        assert normalize_to({"a": 0.0}, "a") == {"a": 0.0}
+
+    def test_format_table(self):
+        rows = [{"name": "x", "value": 1.5}, {"name": "y", "value": 2.0}]
+        text = format_table(rows)
+        assert "name" in text and "1.500" in text
+        assert format_table([]) == "(empty table)"
+
+
+class TestRunner:
+    def test_run_benchmark_returns_result(self):
+        result = run_benchmark("SYRK", "gto", **SMALL)
+        assert result.kernel_name == "SYRK"
+        assert result.scheduler_name == "gto"
+        assert result.ipc > 0
+        assert result.sm0.instructions_issued > 0
+
+    def test_determinism(self):
+        a = run_benchmark("SYRK", "ciao-c", **SMALL)
+        b = run_benchmark("SYRK", "ciao-c", **SMALL)
+        assert a.ipc == pytest.approx(b.ipc)
+        assert a.sm0.cycles == b.sm0.cycles
+        assert a.sm0.vta_hits == b.sm0.vta_hits
+
+    def test_best_swl_uses_profiled_limit(self):
+        result = run_benchmark("ATAX", "best-swl", **SMALL)
+        # ATAX's Nwrp is 2: the mean active warp count must stay close to it.
+        assert result.sm0.active_warp_series.mean() <= 4
+
+    def test_ciao_p_enables_shared_cache(self):
+        result = run_benchmark("SYRK", "ciao-p", **SMALL)
+        assert result.sm0.shared_cache_accesses >= 0
+        gto = run_benchmark("SYRK", "gto", **SMALL)
+        assert gto.sm0.shared_cache_accesses == 0
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError):
+            run_benchmark("SYRK", "gto", bogus=1)
+
+    def test_run_many_grid(self):
+        grid = run_many(["SYRK"], ["gto", "ciao-c"], **SMALL)
+        assert set(grid["SYRK"]) == {"gto", "ciao-c"}
+
+    def test_run_config_dataclass(self):
+        config = RunConfig(scale=0.06)
+        result = run_benchmark("WC", "gto", config)
+        assert result.ipc > 0
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_many(["SYRK", "Gaussian"], ["gto", "ciao-c"], scale=0.06, seed=1)
+
+    def test_normalized_table(self, grid):
+        table = normalized_ipc_table(grid)
+        assert table["SYRK"]["gto"] == pytest.approx(1.0)
+        assert table["Gaussian"]["ciao-c"] > 0
+
+    def test_speedup_summary(self, grid):
+        summary = speedup_summary(grid)
+        assert summary["gto"] == pytest.approx(1.0)
+        assert "ciao-c" in summary
+
+    def test_class_geomeans(self, grid):
+        by_class = class_geomeans(grid)
+        assert "SWS" in by_class and "CI" in by_class
+
+
+class TestExperimentsSmall:
+    def test_table1(self):
+        table = experiments.table1_configuration()
+        assert table["l1d_kb"] == 16 and table["l2_kb"] == 768
+
+    def test_table2(self):
+        assert len(experiments.table2_benchmarks()) == 21
+
+    def test_fig1_interference_matrix(self):
+        data = experiments.fig1_interference_matrix(scale=0.08)
+        assert data["benchmark"] == "Backprop"
+        assert "matrix" in data
+
+    def test_fig8_small_subset(self):
+        data = experiments.fig8_main_comparison(
+            benchmarks=["SYRK"], schedulers=("gto", "ciao-c"), scale=0.06
+        )
+        assert data["normalized_ipc"]["SYRK"]["gto"] == pytest.approx(1.0)
+        assert "geomean_speedup" in data
+
+    def test_fig9_timeseries_shape(self):
+        data = experiments.fig9_timeseries(benchmarks=("ATAX",), schedulers=("gto",), scale=0.08)
+        series = data["ATAX"]["gto"]
+        assert set(series) == {"ipc", "active_warps", "interference"}
+
+    def test_overhead_analysis_claims(self):
+        data = experiments.overhead_analysis(scale=0.06)
+        assert data["claims"]["area_below_2_percent"]
+        assert data["claims"]["power_below_1_percent_of_tdp"]
+
+
+class TestAreaPowerModels:
+    def test_area_matches_paper_anchor(self):
+        report = AreaModel().report()
+        assert report["vta_mm2"] == pytest.approx(0.65, rel=0.01)
+        assert report["fraction_of_die"] < 0.02
+
+    def test_area_scales_with_sms(self):
+        one = AreaModel(num_sms=1).total_area()
+        fifteen = AreaModel(num_sms=15).total_area()
+        assert fifteen == pytest.approx(15 * one, rel=1e-6)
+        assert AreaModel().fraction_of_die(GTX480_DIE_MM2) > 0
+
+    def test_power_anchor_and_scaling(self):
+        model = PowerModel()
+        default = model.estimate()
+        assert default["total_mw"] == pytest.approx(79.0, rel=0.01)
+        doubled = model.estimate(vta_events_per_kcycle=40.0)
+        assert doubled["total_mw"] > default["total_mw"]
+
+    def test_power_from_stats(self):
+        result = run_benchmark("SYRK", "ciao-c", **SMALL)
+        stats = result.sm0
+        report = PowerModel().from_stats(stats, stats.cycles)
+        assert report["total_mw"] >= 0
+        assert report["fraction_of_tdp"] < 0.01

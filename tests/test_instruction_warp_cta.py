@@ -1,0 +1,136 @@
+"""Unit tests for instructions, warps and CTAs."""
+
+import pytest
+
+from repro.gpu.cta import CTA, KernelLaunch
+from repro.gpu.instruction import Instruction, InstructionKind
+from repro.gpu.warp import Warp, WarpState
+
+
+def make_warp(instructions, wid=0, cta_id=0, **kwargs):
+    return Warp(wid=wid, cta_id=cta_id, instructions=iter(instructions), **kwargs)
+
+
+class TestInstruction:
+    def test_constructors(self):
+        assert Instruction.alu().kind is InstructionKind.ALU
+        assert Instruction.load([0]).is_load
+        assert Instruction.store([0]).is_store
+        assert Instruction.shared_load([0]).is_shared_memory
+        assert Instruction.barrier().kind is InstructionKind.BARRIER
+        assert Instruction.exit().kind is InstructionKind.EXIT
+
+    def test_memory_needs_addresses(self):
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.LOAD)
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.SHARED_STORE)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(InstructionKind.ALU, latency=-1)
+
+    def test_classification(self):
+        load = Instruction.load([1, 2])
+        assert load.is_global_memory and load.is_memory and not load.is_shared_memory
+        sld = Instruction.shared_load([0])
+        assert sld.is_memory and not sld.is_global_memory
+
+
+class TestWarp:
+    def test_peek_and_advance(self):
+        warp = make_warp([Instruction.alu(), Instruction.exit()])
+        assert warp.peek().kind is InstructionKind.ALU
+        assert warp.advance().kind is InstructionKind.ALU
+        assert warp.advance().kind is InstructionKind.EXIT
+
+    def test_exhausted_stream_synthesises_exit(self):
+        warp = make_warp([])
+        assert warp.peek().kind is InstructionKind.EXIT
+
+    def test_issuable_conditions(self):
+        warp = make_warp([Instruction.alu()], max_pending_loads=2)
+        assert warp.is_issuable(0)
+        warp.pending_loads = 2
+        assert not warp.is_issuable(0)
+        warp.pending_loads = 1
+        assert warp.is_issuable(0)
+        warp.active = False
+        assert warp.is_ready(0) and not warp.is_issuable(0)
+        warp.active = True
+        warp.at_barrier = True
+        assert not warp.is_issuable(0)
+        warp.at_barrier = False
+        warp.ready_at = 10
+        assert not warp.is_issuable(5)
+        assert warp.is_issuable(10)
+
+    def test_states(self):
+        warp = make_warp([Instruction.alu()])
+        assert warp.state is WarpState.READY
+        warp.pending_loads = warp.max_pending_loads
+        assert warp.state is WarpState.WAITING_MEMORY
+        warp.pending_loads = 0
+        warp.active = False
+        assert warp.state is WarpState.THROTTLED
+        warp.retire()
+        assert warp.state is WarpState.FINISHED
+        assert not warp.isolated
+
+    def test_note_issue_counts_global_accesses(self):
+        warp = make_warp([])
+        warp.note_issue(Instruction.load([0]), now=3)
+        warp.note_issue(Instruction.alu(), now=4)
+        assert warp.instructions_issued == 2
+        assert warp.global_accesses == 1
+        assert warp.last_issue_cycle == 4
+
+
+class TestCTA:
+    def _cta_with_warps(self, n=3):
+        cta = CTA(cta_id=0)
+        warps = [make_warp([Instruction.alu()], wid=i) for i in range(n)]
+        for warp in warps:
+            cta.add_warp(warp)
+        return cta, warps
+
+    def test_barrier_releases_when_all_arrive(self):
+        cta, warps = self._cta_with_warps(3)
+        assert cta.arrive_at_barrier(warps[0]) == []
+        assert cta.arrive_at_barrier(warps[1]) == []
+        released = cta.arrive_at_barrier(warps[2])
+        assert len(released) == 3
+        assert all(not w.at_barrier for w in warps)
+        assert cta.barriers_completed == 1
+
+    def test_finished_warps_do_not_block_barrier(self):
+        cta, warps = self._cta_with_warps(3)
+        warps[2].retire()
+        cta.arrive_at_barrier(warps[0])
+        released = cta.arrive_at_barrier(warps[1])
+        assert len(released) == 2
+
+    def test_release_if_unblocked_after_exit(self):
+        cta, warps = self._cta_with_warps(2)
+        cta.arrive_at_barrier(warps[0])
+        warps[1].retire()
+        released = cta.release_if_unblocked()
+        assert warps[0] in released
+
+    def test_is_finished(self):
+        cta, warps = self._cta_with_warps(2)
+        assert not cta.is_finished()
+        for warp in warps:
+            warp.retire()
+        assert cta.is_finished()
+
+
+class TestKernelLaunch:
+    def test_validation(self):
+        launch = KernelLaunch("k", num_ctas=2, warps_per_cta=4, stream_factory=lambda c, w, g: iter([]))
+        launch.validate()
+        assert launch.total_warps() == 8
+        with pytest.raises(ValueError):
+            KernelLaunch("k", 0, 4, lambda c, w, g: iter([])).validate()
+        with pytest.raises(ValueError):
+            KernelLaunch("k", 1, 1, lambda c, w, g: iter([]), shared_mem_per_cta=-1).validate()

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CIAOParameters
+from repro.core.interference import InterferenceDetector
+from repro.gpu.coalescer import Coalescer
+from repro.harness.reporting import geometric_mean
+from repro.mem.address import BLOCK_SIZE, AddressMapping
+from repro.mem.cache import AccessOutcome, Cache, CacheConfig
+from repro.mem.hashing import ipoly_set_index, xor_set_index
+from repro.mem.mshr import MSHRFile, MSHRTarget
+from repro.mem.victim_tag_array import VTAConfig, VictimTagArray
+
+addresses = st.integers(min_value=0, max_value=2**40 - 1)
+
+
+@settings(max_examples=200)
+@given(addresses, st.sampled_from([16, 32, 64, 128, 768]))
+def test_set_index_always_in_range(address, num_sets):
+    """Every hash maps every block into [0, num_sets)."""
+    block = address // BLOCK_SIZE
+    assert 0 <= xor_set_index(block, num_sets) < num_sets
+    assert 0 <= ipoly_set_index(block, num_sets) < num_sets
+
+
+@settings(max_examples=200)
+@given(addresses)
+def test_address_decomposition_is_consistent(address):
+    """tag/set/offset are stable and the offset stays within the line."""
+    mapping = AddressMapping(num_sets=32, line_size=128)
+    tag, set_index, offset = mapping.decompose(address)
+    assert 0 <= offset < 128
+    assert 0 <= set_index < 32
+    # Same block -> same tag and set regardless of the offset.
+    tag2, set2, _ = mapping.decompose((address // 128) * 128)
+    assert (tag, set_index) == (tag2, set2)
+
+
+@settings(max_examples=50)
+@given(st.lists(addresses, min_size=1, max_size=32))
+def test_coalescer_covers_all_lanes_exactly(lanes):
+    """Coalesced blocks cover every lane address and contain no duplicates."""
+    coalescer = Coalescer()
+    blocks = coalescer.coalesce(lanes)
+    assert len(blocks) == len(set(blocks))
+    assert {a // BLOCK_SIZE for a in lanes} == set(blocks)
+    assert 1 <= len(blocks) <= len(lanes)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(addresses, min_size=1, max_size=200), st.integers(0, 3))
+def test_cache_never_exceeds_capacity_and_hits_after_fill(accesses, seed):
+    """Occupancy never exceeds 1.0 and a filled block always hits next."""
+    cache = Cache(CacheConfig(name="t", size_bytes=4096, associativity=4))
+    rng = random.Random(seed)
+    for address in accesses:
+        result = cache.access(address, wid=rng.randrange(4), is_write=False, now=0)
+        if result.outcome is AccessOutcome.MISS:
+            cache.fill(result.block, 1)
+            followup = cache.access(address, wid=0, is_write=False, now=2)
+            assert followup.outcome is AccessOutcome.HIT
+        assert 0.0 <= cache.occupancy() <= 1.0
+    total = cache.stats.hits + cache.stats.misses
+    assert total >= len(accesses)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 500), st.integers(0, 7)), max_size=200)
+)
+def test_vta_occupancy_bounded(events):
+    """The per-warp victim tag sets never exceed their configured capacity."""
+    vta = VictimTagArray(VTAConfig(entries_per_warp=8, num_warps=8))
+    for owner, block, evictor in events:
+        vta.record_eviction(owner, block, evictor)
+        assert vta.occupancy(owner) <= 8
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+def test_mshr_occupancy_and_merging_invariants(blocks):
+    """MSHR occupancy stays bounded and merged entries keep one per block."""
+    mshr = MSHRFile(num_entries=8, max_merged=4)
+    for i, block in enumerate(blocks):
+        mshr.allocate(block, MSHRTarget(wid=i % 48, request_id=i), now=i)
+        assert mshr.occupancy <= 8
+        assert len(set(mshr.outstanding_blocks())) == mshr.occupancy
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.tuples(st.integers(0, 47), st.integers(0, 47)), min_size=1, max_size=500),
+    st.integers(1, 100000),
+    st.integers(1, 48),
+)
+def test_detector_irs_non_negative_and_counts_match(events, instructions, warps):
+    """IRS is non-negative and cumulative counts equal the recorded events."""
+    detector = InterferenceDetector(CIAOParameters.paper_defaults())
+    for victim, aggressor in events:
+        detector.record_vta_hit(victim, aggressor)
+    total = sum(detector.vta_hit_counts.values())
+    assert total == len(events)
+    for victim, _ in events:
+        assert detector.irs(victim, instructions, warps) >= 0.0
+        entry = detector.interference_list[victim]
+        assert 0 <= entry.counter <= detector.params.saturating_counter_max
+
+
+@settings(max_examples=100)
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+def test_geometric_mean_bounds(values):
+    """The geometric mean lies between the minimum and maximum value."""
+    mean = geometric_mean(values)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9

@@ -1,0 +1,80 @@
+"""Unit tests for the generic set-associative tag array."""
+
+import pytest
+
+from repro.mem.tag_array import ReplacementPolicy, TagArray
+
+
+@pytest.fixture
+def lru_array():
+    return TagArray(num_sets=4, associativity=2, policy=ReplacementPolicy.LRU)
+
+
+class TestBasics:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TagArray(num_sets=0, associativity=2)
+        with pytest.raises(ValueError):
+            TagArray(num_sets=4, associativity=0)
+
+    def test_initially_empty(self, lru_array):
+        assert lru_array.occupancy() == 0
+        assert lru_array.probe(0, 123) is None
+        assert lru_array.num_lines == 8
+
+    def test_insert_then_probe(self, lru_array):
+        lru_array.insert(1, tag=42, owner_wid=3, now=0)
+        line = lru_array.probe(1, 42)
+        assert line is not None
+        assert line.owner_wid == 3
+        assert lru_array.occupancy() == 1
+
+    def test_insert_no_eviction_when_space(self, lru_array):
+        _, eviction = lru_array.insert(0, tag=1, owner_wid=0, now=0)
+        assert eviction is None
+        _, eviction = lru_array.insert(0, tag=2, owner_wid=1, now=1)
+        assert eviction is None
+
+    def test_lru_eviction_order(self, lru_array):
+        lru_array.insert(0, tag=1, owner_wid=0, now=0)
+        lru_array.insert(0, tag=2, owner_wid=1, now=1)
+        # Touch tag 1 so tag 2 becomes LRU.
+        assert lru_array.lookup(0, 1, now=5) is not None
+        _, eviction = lru_array.insert(0, tag=3, owner_wid=2, now=6)
+        assert eviction is not None
+        assert eviction.tag == 2
+        assert eviction.owner_wid == 1
+        assert eviction.evictor_wid == 2
+
+    def test_fifo_eviction_order(self):
+        arr = TagArray(num_sets=1, associativity=2, policy=ReplacementPolicy.FIFO)
+        arr.insert(0, tag=1, owner_wid=0, now=0)
+        arr.insert(0, tag=2, owner_wid=1, now=1)
+        arr.lookup(0, 1, now=5)  # should NOT matter for FIFO
+        _, eviction = arr.insert(0, tag=3, owner_wid=2, now=6)
+        assert eviction.tag == 1
+
+    def test_reserved_lines_are_not_victims(self, lru_array):
+        lru_array.insert(0, tag=1, owner_wid=0, now=0, reserve=True)
+        lru_array.insert(0, tag=2, owner_wid=0, now=1, reserve=True)
+        assert lru_array.find_victim(0) is None
+        with pytest.raises(RuntimeError):
+            lru_array.insert(0, tag=3, owner_wid=0, now=2)
+
+    def test_invalidate(self, lru_array):
+        lru_array.insert(2, tag=9, owner_wid=0, now=0)
+        assert lru_array.invalidate(2, 9)
+        assert lru_array.probe(2, 9) is None
+        assert not lru_array.invalidate(2, 9)
+
+    def test_invalidate_all(self, lru_array):
+        for i in range(4):
+            lru_array.insert(i, tag=i, owner_wid=0, now=i)
+        lru_array.invalidate_all()
+        assert lru_array.occupancy() == 0
+
+    def test_dirty_writeback_reported(self, lru_array):
+        lru_array.insert(0, tag=1, owner_wid=0, now=0, dirty=True)
+        lru_array.insert(0, tag=2, owner_wid=0, now=1)
+        _, eviction = lru_array.insert(0, tag=3, owner_wid=1, now=2)
+        assert eviction is not None and eviction.dirty
