@@ -15,6 +15,10 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+# The benches time simulation work; a warm result cache would turn them
+# into pickle-load benchmarks.  Opt out unless the caller insists.
+os.environ.setdefault("REPRO_RESULT_CACHE", "0")
+
 import pytest
 
 

@@ -5,9 +5,15 @@ Ensures ``src/`` is importable even when the package has not been installed
 environment where ``pip install -e .`` is unavailable).
 """
 
+import os
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# Hermetic tests: never read or write the user's on-disk result cache by
+# default.  Tests that exercise caching construct explicit ResultCache
+# instances in tmp directories (see tests/test_result_cache.py).
+os.environ.setdefault("REPRO_RESULT_CACHE", "0")

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python examples/scheduler_shootout.py [benchmark ...]
+    python examples/scheduler_shootout.py [--workers N] [benchmark ...]
 
 Runs every scheduler of the paper's evaluation (GTO, CCWS, Best-SWL,
 statPCAL, CIAO-T, CIAO-P, CIAO-C) on the requested benchmarks (default: one
@@ -22,9 +22,23 @@ DEFAULT_BENCHMARKS = ("ATAX", "SYRK", "Backprop")
 
 
 def main() -> int:
-    benchmarks = tuple(sys.argv[1:]) or DEFAULT_BENCHMARKS
+    args = list(sys.argv[1:])
+    workers = None
+    if "--workers" in args:
+        at = args.index("--workers")
+        try:
+            workers = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("usage: scheduler_shootout.py [--workers N] [benchmark ...]",
+                  file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    benchmarks = tuple(args) or DEFAULT_BENCHMARKS
     print(f"Running the Figure 8 comparison on: {', '.join(benchmarks)}")
-    data = experiments.fig8_main_comparison(benchmarks=benchmarks, scale=0.2)
+    data = experiments.fig8_main_comparison(benchmarks=benchmarks, scale=0.2, workers=workers)
+    engine = data["engine"]
+    print(f"(engine: {engine['jobs']} jobs, {engine['cache_hits']} cached, "
+          f"{engine['workers']} workers, {engine['wall_seconds']:.1f}s)")
 
     rows = []
     for bench in data["benchmarks"]:

@@ -1,16 +1,20 @@
 """Calibration helper: print normalised IPC per scheduler for a few benchmarks.
 
 Not part of the library API; used during development to tune the workload
-models so the scheduler ordering matches the paper's Figure 8.
-Run:  python scripts/calibrate.py [benchmarks...] [--scale S]
+models so the scheduler ordering matches the paper's Figure 8.  Runs the
+whole grid through the parallel sweep engine, so ``--workers`` fans the
+runs out and repeated invocations on unchanged code are served from the
+result cache.
+
+Run:  python scripts/calibrate.py [benchmarks...] [--scale S] [--workers N]
 """
 
 import argparse
 import sys
-import time
 
-from repro.harness.reporting import format_table, geometric_mean
-from repro.harness.runner import run_benchmark
+from repro.harness.parallel import SweepJob, run_jobs
+from repro.harness.reporting import format_sweep_stats, format_table, geometric_mean
+from repro.harness.runner import RunConfig
 
 SCHEDULERS = ["gto", "ccws", "best-swl", "statpcal", "ciao-t", "ciao-p", "ciao-c"]
 
@@ -20,36 +24,45 @@ def main() -> int:
     parser.add_argument("benchmarks", nargs="*", default=["ATAX", "SYRK", "Backprop", "Gaussian"])
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--no-cache", action="store_true")
     args = parser.parse_args()
+
+    config = RunConfig(scale=args.scale, seed=args.seed)
+    jobs = [
+        SweepJob(bench, sched, config)
+        for bench in args.benchmarks
+        for sched in SCHEDULERS
+    ]
+    outcome = run_jobs(jobs, workers=args.workers,
+                       cache=None if args.no_cache else "auto")
+
+    per_bench: dict[str, dict[str, object]] = {}
+    for job, result in outcome:
+        per_bench.setdefault(job.benchmark_name, {})[job.scheduler] = result
 
     rows = []
     norm_rows = {}
     for bench in args.benchmarks:
-        per_sched = {}
-        extra = {}
-        for sched in SCHEDULERS:
-            t0 = time.time()
-            result = run_benchmark(bench, sched, scale=args.scale, seed=args.seed)
-            wall = time.time() - t0
-            per_sched[sched] = result.ipc
-            stats = result.sm0
-            extra[sched] = (stats.l1d_hit_rate, stats.shared_cache_hit_rate, stats.vta_hits,
-                            stats.active_warp_series.mean(), wall)
-        base = per_sched["gto"] or 1e-9
-        norm = {s: per_sched[s] / base for s in SCHEDULERS}
+        results = per_bench[bench]
+        base = results["gto"].ipc or 1e-9
+        norm = {s: results[s].ipc / base for s in SCHEDULERS}
         norm_rows[bench] = norm
         row = {"bench": bench}
         row.update({s: norm[s] for s in SCHEDULERS})
         rows.append(row)
-        detail = {s: f"ipc={per_sched[s]:.1f} l1={extra[s][0]:.2f} sh={extra[s][1]:.2f} vta={extra[s][2]} aw={extra[s][3]:.0f} t={extra[s][4]:.1f}s" for s in SCHEDULERS}
         print(f"--- {bench}")
         for s in SCHEDULERS:
-            print(f"    {s:9s} {detail[s]}")
+            stats = results[s].sm0
+            print(f"    {s:9s} ipc={results[s].ipc:.1f} l1={stats.l1d_hit_rate:.2f} "
+                  f"sh={stats.shared_cache_hit_rate:.2f} vta={stats.vta_hits} "
+                  f"aw={stats.active_warp_series.mean():.0f}")
     print()
     print(format_table(rows, float_format="{:.2f}"))
     print()
     gmeans = {s: geometric_mean(norm_rows[b][s] for b in norm_rows) for s in SCHEDULERS}
     print("geomean:", {s: round(v, 2) for s, v in gmeans.items()})
+    print(format_sweep_stats(outcome.stats))
     return 0
 
 

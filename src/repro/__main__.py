@@ -1,0 +1,7 @@
+"""Allow ``python -m repro ...`` to invoke the CLI without installation."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,322 @@
+"""``repro`` — the command-line front end of the reproduction.
+
+Installed as a console script by ``setup.py`` (``pip install -e .``) and also
+runnable without installation::
+
+    PYTHONPATH=src python -m repro <subcommand> ...
+
+Subcommands
+-----------
+
+``repro run BENCH [SCHED ...]``
+    Simulate one benchmark under one or more schedulers and print the
+    headline metrics.
+``repro sweep -b BENCH ... -s SCHED ...``
+    Run a benchmark x scheduler grid through the parallel sweep engine and
+    print the normalised-IPC table, geomean speedups and engine statistics.
+``repro reproduce FIGURE ...``
+    Regenerate the data behind a figure / table of the paper (``fig8``,
+    ``fig11a``, ``table2``, ... or ``all``) as JSON.
+``repro cache``
+    Show (or ``--clear``) the content-addressed result cache.
+``repro list``
+    List the available benchmarks and schedulers.
+
+Parallelism defaults to the CPU count (``--workers`` / ``REPRO_WORKERS``
+override); the result cache defaults to on (``--no-cache`` /
+``REPRO_RESULT_CACHE=0`` disable).  See docs/EXPERIMENTS.md for the full
+knob reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.cache import ResultCache, cache_enabled_by_env, default_cache_dir
+from repro.harness.parallel import SweepError, SweepJob, derive_seed, run_jobs
+from repro.harness.reporting import format_sweep_stats, format_table
+from repro.harness.runner import RunConfig
+from repro.sched.registry import canonical_scheduler_name, scheduler_names
+from repro.version import __version__
+from repro.workloads.registry import (
+    all_benchmarks,
+    get_benchmark,
+    resolve_benchmark_names,
+)
+
+#: ``repro reproduce`` targets -> experiment function names.
+REPRODUCE_TARGETS = {
+    "fig1a": "fig1_interference_matrix",
+    "fig1b": "fig1_bestswl_vs_ccws",
+    "fig4": "fig4_interference_characterisation",
+    "table1": "table1_configuration",
+    "table2": "table2_benchmarks",
+    "fig8": "fig8_main_comparison",
+    "fig9": "fig9_timeseries",
+    "fig10": "fig10_working_set",
+    "fig11a": "fig11_sensitivity_epoch",
+    "fig11b": "fig11_sensitivity_cutoff",
+    "fig12a": "fig12_cache_configs",
+    "fig12b": "fig12_dram_bandwidth",
+    "overhead": "overhead_analysis",
+}
+
+
+def _cache_from_args(args) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False) or not cache_enabled_by_env():
+        return None
+    return ResultCache()
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="workload size multiplier (default 0.3)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="base workload RNG seed (default 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: REPRO_WORKERS or CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache for this invocation")
+
+
+# ---------------------------------------------------------------------------
+# repro run
+# ---------------------------------------------------------------------------
+def cmd_run(args) -> int:
+    get_benchmark(args.benchmark)  # validate up front for a clean error
+    schedulers = [canonical_scheduler_name(s) for s in (args.schedulers or ["gto"])]
+    config = RunConfig(scale=args.scale, seed=args.seed)
+    jobs = [SweepJob(args.benchmark, sched, config) for sched in schedulers]
+    cache = _cache_from_args(args)
+    outcome = run_jobs(jobs, workers=args.workers, cache=cache)
+
+    rows = []
+    for job, result in outcome:
+        stats = result.sm0
+        rows.append({
+            "scheduler": job.scheduler,
+            "ipc": result.ipc,
+            "cycles": stats.cycles,
+            "l1d_hit_rate": stats.l1d_hit_rate,
+            "shared_cache_hit_rate": stats.shared_cache_hit_rate,
+            "vta_hits": stats.vta_hits,
+            "mean_active_warps": stats.active_warp_series.mean(),
+        })
+    if args.json:
+        json.dump({"benchmark": args.benchmark, "rows": rows}, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"{args.benchmark} @ scale {args.scale}, seed {args.seed}")
+        print(format_table(rows))
+        print(format_sweep_stats(outcome.stats))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro sweep
+# ---------------------------------------------------------------------------
+def cmd_sweep(args) -> int:
+    benchmarks = resolve_benchmark_names(args.benchmarks)
+    schedulers = [canonical_scheduler_name(s) for s in args.schedulers]
+    jobs = []
+    for bench in benchmarks:
+        for sched in schedulers:
+            seed = (
+                derive_seed(args.seed, bench, sched)
+                if args.seed_per_job
+                else args.seed
+            )
+            jobs.append(SweepJob(bench, sched, RunConfig(scale=args.scale, seed=seed)))
+    cache = _cache_from_args(args)
+    outcome = run_jobs(jobs, workers=args.workers, cache=cache)
+
+    raw: dict[str, dict[str, float]] = {}
+    for job, result in outcome:
+        raw.setdefault(job.benchmark_name, {})[job.scheduler] = result.ipc
+    baseline = schedulers[0]
+    normalized = {
+        bench: {
+            sched: (row[sched] / row[baseline] if row.get(baseline) else 0.0)
+            for sched in schedulers
+        }
+        for bench, row in raw.items()
+    }
+    if args.json:
+        json.dump(
+            {
+                "benchmarks": benchmarks,
+                "schedulers": schedulers,
+                "raw_ipc": raw,
+                "normalized_ipc": normalized,
+                "baseline": baseline,
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+        return 0
+
+    rows = [
+        {"benchmark": bench, **{s: normalized[bench][s] for s in schedulers}}
+        for bench in benchmarks
+    ]
+    print(f"IPC normalised to {baseline} (scale {args.scale}, seed {args.seed}"
+          f"{', per-job seeds' if args.seed_per_job else ''}):")
+    print(format_table(rows))
+    from repro.harness.reporting import geometric_mean
+
+    print("\nGeomean speedup over", baseline + ":")
+    for sched in schedulers:
+        gm = geometric_mean(normalized[b][sched] for b in benchmarks)
+        print(f"  {sched:10s} {gm:.3f}")
+    print()
+    print(format_sweep_stats(outcome.stats, cache.stats if cache else None))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro reproduce
+# ---------------------------------------------------------------------------
+def cmd_reproduce(args) -> int:
+    from repro.harness import experiments
+
+    targets = list(REPRODUCE_TARGETS) if "all" in args.figures else args.figures
+    unknown = [f for f in targets if f not in REPRODUCE_TARGETS]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(REPRODUCE_TARGETS)} or 'all'", file=sys.stderr)
+        return 2
+
+    cache = _cache_from_args(args)
+    output: dict[str, object] = {}
+    for figure in targets:
+        fn = getattr(experiments, REPRODUCE_TARGETS[figure])
+        kwargs: dict[str, object] = {}
+        # Tables are pure lookups; everything else simulates via the engine.
+        if figure not in ("table1", "table2"):
+            kwargs = {
+                "scale": args.scale,
+                "seed": args.seed,
+                "workers": args.workers,
+                "cache": cache,
+            }
+        print(f"reproducing {figure} ({REPRODUCE_TARGETS[figure]}) ...", file=sys.stderr)
+        output[figure] = fn(**kwargs)
+
+    payload = output if len(targets) > 1 else output[targets[0]]
+    text = json.dumps(payload, indent=2, default=str)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    if cache is not None:
+        print(
+            f"cache: {cache.stats.hits} hits / {cache.stats.lookups} lookups "
+            f"({cache.stats.hit_rate:.0%})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro cache / repro list
+# ---------------------------------------------------------------------------
+def cmd_cache(args) -> int:
+    cache = ResultCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    enabled = cache_enabled_by_env()
+    print(f"cache directory : {default_cache_dir()}")
+    print(f"enabled         : {'yes' if enabled else 'no (REPRO_RESULT_CACHE)'}")
+    print(f"entries         : {cache.entry_count()}")
+    print(f"size            : {cache.size_bytes() / 1024:.1f} KiB")
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("Benchmarks (Table II order):")
+    rows = [
+        {
+            "name": spec.name,
+            "suite": spec.suite,
+            "class": spec.workload_class.name,
+            "apki": spec.apki,
+            "nwrp": spec.nwrp,
+        }
+        for spec in all_benchmarks()
+    ]
+    print(format_table(rows))
+    print("\nSchedulers:", ", ".join(scheduler_names()))
+    print("Reproduce targets:", ", ".join(REPRODUCE_TARGETS), "(or 'all')")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CIAO (IPDPS'18) reproduction: simulate, sweep and "
+                    "regenerate the paper's figures.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one benchmark under one or more schedulers")
+    p_run.add_argument("benchmark", help="Table II benchmark name (e.g. ATAX)")
+    p_run.add_argument("schedulers", nargs="*",
+                       help="scheduler names (default: gto)")
+    _add_sweep_options(p_run)
+    p_run.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="benchmark x scheduler grid via the parallel engine")
+    p_sweep.add_argument("-b", "--benchmarks", nargs="+", required=True,
+                         help="benchmark names or selectors: all, lws, sws, ci, "
+                              "memory-intensive, polybench, mars, rodinia")
+    p_sweep.add_argument("-s", "--schedulers", nargs="+",
+                         default=["gto", "ccws", "ciao-c"],
+                         help="schedulers; the first is the normalisation baseline")
+    _add_sweep_options(p_sweep)
+    p_sweep.add_argument("--seed-per-job", action="store_true",
+                         help="derive a deterministic per-(benchmark, scheduler) seed "
+                              "from --seed instead of sharing one seed")
+    p_sweep.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate a figure/table of the paper as JSON")
+    p_rep.add_argument("figures", nargs="+",
+                       help=f"one or more of: {', '.join(REPRODUCE_TARGETS)}, all")
+    _add_sweep_options(p_rep)
+    p_rep.add_argument("--out", help="write JSON here instead of stdout")
+    p_rep.set_defaults(func=cmd_reproduce)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("--clear", action="store_true", help="delete every cached result")
+    p_cache.set_defaults(func=cmd_cache)
+
+    p_list = sub.add_parser("list", help="list benchmarks, schedulers and reproduce targets")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

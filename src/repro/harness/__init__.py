@@ -3,22 +3,49 @@
 * :mod:`repro.harness.runner` -- run one (benchmark, scheduler) pair on the
   simulator with the paper's per-benchmark settings (Best-SWL warp limits,
   statPCAL tokens, CIAO parameters, shared-cache enablement).
+* :mod:`repro.harness.parallel` -- the sweep engine: fans independent
+  (benchmark, scheduler, config) jobs over a process pool with
+  deterministic per-job seeding and an in-process ``workers=1`` fallback.
+* :mod:`repro.harness.cache` -- content-addressed on-disk result cache keyed
+  by benchmark spec, scheduler kwargs, run configuration and a fingerprint
+  of the package source.
 * :mod:`repro.harness.experiments` -- one function per table / figure of the
   evaluation section, returning plain data structures (dicts / lists) that
-  the benches print and EXPERIMENTS.md records.
+  the benches print and docs/EXPERIMENTS.md records.
 * :mod:`repro.harness.reporting` -- formatting helpers (aligned text tables,
-  geometric means, normalisation).
+  geometric means, normalisation, sweep statistics).
 """
 
+from repro.harness.cache import ResultCache, job_key
+from repro.harness.parallel import (
+    SweepJob,
+    SweepOutcome,
+    SweepStats,
+    derive_seed,
+    run_jobs,
+)
+from repro.harness.reporting import (
+    format_sweep_stats,
+    format_table,
+    geometric_mean,
+    normalize_to,
+)
 from repro.harness.runner import RunConfig, run_benchmark, run_many
-from repro.harness.reporting import format_table, geometric_mean, normalize_to
 from repro.harness import experiments
 
 __all__ = [
     "RunConfig",
     "run_benchmark",
     "run_many",
+    "SweepJob",
+    "SweepOutcome",
+    "SweepStats",
+    "run_jobs",
+    "derive_seed",
+    "ResultCache",
+    "job_key",
     "format_table",
+    "format_sweep_stats",
     "geometric_mean",
     "normalize_to",
     "experiments",

@@ -1,0 +1,245 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every (benchmark, scheduler, configuration) job the sweep engine executes is
+fully determined by its inputs: the workload models are seeded, the simulator
+has no other sources of nondeterminism, and the scheduler state is rebuilt
+from scratch per run.  That makes simulation results safe to memoise on disk,
+keyed by a stable hash of
+
+* the full :class:`~repro.workloads.spec.BenchmarkSpec` (Table II facts plus
+  every synthetic-model parameter),
+* the canonical scheduler name and the constructor kwargs the runner derives
+  for it (warp limits, token counts, CIAO parameters),
+* the complete :class:`~repro.harness.runner.RunConfig` (scale, seed, launch
+  geometry, GPU configuration, DRAM scaling, cycle budget), and
+* a fingerprint of the ``repro`` package source, so any code change
+  invalidates the cache automatically — no manual version bumps needed.
+
+Environment knobs (see docs/EXPERIMENTS.md):
+
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/repro-ciao``).
+``REPRO_RESULT_CACHE``
+    Set to ``0`` / ``off`` / ``false`` to disable caching entirely (CI does
+    this to stay hermetic).
+``REPRO_CACHE_VERSION``
+    Overrides the source fingerprint, pinning cache validity manually.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+#: Bumped when the cache payload layout changes (not when simulation
+#: semantics change — the code fingerprint covers that).
+CACHE_SCHEMA = 1
+
+_FALSY = ("0", "off", "false", "no")
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether the environment allows result caching at all."""
+    return os.environ.get("REPRO_RESULT_CACHE", "1").lower() not in _FALSY
+
+
+def default_cache_dir() -> Path:
+    """Cache root honouring ``REPRO_CACHE_DIR``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-ciao"
+
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` file in the ``repro`` package.
+
+    Any source change — a fixed bug, a retuned workload model — yields a new
+    fingerprint and therefore fresh cache keys, so stale results can never be
+    served after an edit.  ``REPRO_CACHE_VERSION`` overrides the computed
+    value for users who want to pin validity across checkouts.
+    """
+    global _CODE_FINGERPRINT
+    env = os.environ.get("REPRO_CACHE_VERSION")
+    if env:
+        return env
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()[:20]
+    return _CODE_FINGERPRINT
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce a configuration object to JSON-serialisable primitives.
+
+    Dataclasses become ``{"__type__": name, fields...}`` so two different
+    config classes with identical field values cannot collide; enums become
+    their qualified name; mappings are key-sorted by the JSON encoder later.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: dict[str, Any] = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = canonicalize(getattr(value, f.name))
+        return out
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, Mapping):
+        return {str(k): canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return [canonicalize(v) for v in items]
+    if isinstance(value, float):
+        # repr() round-trips exactly; formatting would alias nearby floats.
+        return f"f:{value!r}"
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return f"repr:{value!r}"
+
+
+def job_key(
+    spec: Any,
+    scheduler: str,
+    scheduler_kwargs: Mapping[str, Any],
+    run_config: Any,
+    *,
+    code_version: Optional[str] = None,
+) -> str:
+    """Stable content hash identifying one simulation job."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "code": code_version if code_version is not None else code_fingerprint(),
+        "benchmark": canonicalize(spec),
+        "scheduler": scheduler,
+        "scheduler_kwargs": canonicalize(dict(scheduler_kwargs)),
+        "run_config": canonicalize(run_config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Pickle-backed content-addressed store of :class:`SimulationResult`.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl`` and are written atomically
+    (temp file + ``os.replace``) so concurrent workers and interrupted runs
+    can never leave a torn entry behind; a corrupt or unreadable entry is
+    treated as a miss and deleted.
+    """
+
+    def __init__(self, root: Optional[Path | str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        """The default cache, or ``None`` when caching is disabled by env."""
+        if not cache_enabled_by_env():
+            return None
+        return cls()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the stored result for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
+                raise ValueError("stale or mismatched cache entry")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Torn write, unpicklable payload, schema drift: drop and re-run.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # read-only/shared cache dir: still just a miss
+            return None
+        self.stats.hits += 1
+        return payload["result"]
+
+    def put(self, key: str, result: Any) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA, "key": key, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            self.stats.errors += 1
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            return
+        self.stats.puts += 1
+
+    # ------------------------------------------------------------------
+    def _entries(self):
+        if not self.root.exists():
+            return
+        yield from self.root.glob("*/*.pkl")
+
+    def entry_count(self) -> int:
+        """Number of cached results on disk."""
+        return sum(1 for _ in self._entries())
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of the cache."""
+        return sum(p.stat().st_size for p in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -2,11 +2,20 @@
 
 Each function regenerates the data behind one table or figure of the paper's
 evaluation section and returns plain Python data structures (dicts / lists)
-so the benches can print them and EXPERIMENTS.md can record them.  All of
-them accept a ``scale`` (workload size multiplier) and, where meaningful, a
-restricted benchmark list so the pytest-benchmark harnesses stay fast.
+so the benches can print them and docs/EXPERIMENTS.md can record them.  All
+of them accept a ``scale`` (workload size multiplier) and, where meaningful,
+a restricted benchmark list so the pytest-benchmark harnesses stay fast.
 
-Index (see DESIGN.md for the full mapping):
+Every simulation is submitted through the parallel sweep engine
+(:mod:`repro.harness.parallel`): the ``workers`` argument fans independent
+(benchmark, scheduler, config) jobs out over a process pool, and the
+``cache`` argument controls the content-addressed result cache
+(:mod:`repro.harness.cache`) so re-generating a figure whose runs overlap an
+earlier experiment is near-free.  Both default to the environment
+(``REPRO_WORKERS``, ``REPRO_RESULT_CACHE``); results are bit-identical for
+any worker count.
+
+Index (see docs/ARCHITECTURE.md for the full mapping):
 
 ========  =====================================================
 Fig. 1a   ``fig1_interference_matrix``
@@ -27,7 +36,6 @@ Sec. V-F  ``overhead_analysis``
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.area import AreaModel
@@ -41,7 +49,8 @@ from repro.analysis.metrics import (
 from repro.analysis.power import PowerModel
 from repro.core.config import CIAOParameters
 from repro.gpu.config import GPUConfig
-from repro.harness.runner import RunConfig, run_benchmark, run_many
+from repro.harness.parallel import SweepJob, SweepOutcome, run_jobs
+from repro.harness.runner import RunConfig, run_many
 from repro.workloads.registry import (
     MEMORY_INTENSIVE_BENCHMARKS,
     TABLE_II_ROWS,
@@ -54,28 +63,66 @@ from repro.workloads.spec import WorkloadClass
 FIGURE8_SCHEDULERS = ("gto", "ccws", "best-swl", "statpcal", "ciao-t", "ciao-p", "ciao-c")
 
 
+def _sweep(jobs: Sequence[SweepJob], workers, cache) -> SweepOutcome:
+    """Run ``jobs`` through the engine (shared by every experiment below)."""
+    return run_jobs(jobs, workers=workers, cache=cache)
+
+
+def _engine_stats(stats) -> dict:
+    """Serialisable engine statistics attached to experiment outputs."""
+    return {
+        "jobs": stats.jobs,
+        "cache_hits": stats.cache_hits,
+        "executed": stats.executed,
+        "workers": stats.workers,
+        "wall_seconds": stats.wall_seconds,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Motivation figures
 # ---------------------------------------------------------------------------
-def fig1_interference_matrix(*, benchmark: str = "Backprop", scale: float = 0.4, seed: int = 1) -> dict:
+def fig1_interference_matrix(
+    *,
+    benchmark: str = "Backprop",
+    scale: float = 0.4,
+    seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
+) -> dict:
     """Figure 1a: pairwise warp interference heat-map data for Backprop."""
-    result = run_benchmark(benchmark, "gto", scale=scale, seed=seed)
+    config = RunConfig(scale=scale, seed=seed)
+    outcome = _sweep([SweepJob(benchmark, "gto", config)], workers, cache)
+    result = outcome.results[0]
     summary = interference_summary(result, top_n=20)
     matrix = result.sm0.interference_matrix
     return {
         "benchmark": benchmark,
         "matrix": {victim: dict(row) for victim, row in matrix.items()},
         "summary": summary,
+        "engine": _engine_stats(outcome.stats),
     }
 
 
-def fig1_bestswl_vs_ccws(*, benchmark: str = "Backprop", scale: float = 0.4, seed: int = 1) -> dict:
+def fig1_bestswl_vs_ccws(
+    *,
+    benchmark: str = "Backprop",
+    scale: float = 0.4,
+    seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
+) -> dict:
     """Figure 1b: IPC / hit rate / active warps of Best-SWL vs CCWS."""
+    config = RunConfig(scale=scale, seed=seed)
+    outcome = _sweep(
+        [SweepJob(benchmark, sched, config) for sched in ("best-swl", "ccws")],
+        workers,
+        cache,
+    )
     rows = {}
-    for sched in ("best-swl", "ccws"):
-        result = run_benchmark(benchmark, sched, scale=scale, seed=seed)
+    for job, result in outcome:
         stats = result.sm0
-        rows[sched] = {
+        rows[job.scheduler] = {
             "ipc": result.ipc,
             "l1d_hit_rate": stats.l1d_hit_rate,
             "mean_active_warps": stats.active_warp_series.mean(),
@@ -83,7 +130,7 @@ def fig1_bestswl_vs_ccws(*, benchmark: str = "Backprop", scale: float = 0.4, see
     baseline = max(rows["best-swl"]["ipc"], rows["ccws"]["ipc"], 1e-9)
     for row in rows.values():
         row["ipc_normalized"] = row["ipc"] / baseline
-    return {"benchmark": benchmark, "rows": rows}
+    return {"benchmark": benchmark, "rows": rows, "engine": _engine_stats(outcome.stats)}
 
 
 def fig4_interference_characterisation(
@@ -92,18 +139,26 @@ def fig4_interference_characterisation(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 0.35,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 4a/b: interference frequency distribution per warp and workload."""
-    focus = run_benchmark(focus_benchmark, "gto", scale=scale, seed=seed)
-    focus_summary = interference_summary(focus, top_n=48)
-    extremes = {}
-    for name in benchmarks or MEMORY_INTENSIVE_BENCHMARKS[:4]:
-        result = run_benchmark(name, "gto", scale=scale, seed=seed)
-        extremes[name] = result.sm0.interference_extremes()
+    config = RunConfig(scale=scale, seed=seed)
+    extreme_names = list(benchmarks or MEMORY_INTENSIVE_BENCHMARKS[:4])
+    jobs = [SweepJob(focus_benchmark, "gto", config, tag="focus")]
+    jobs += [SweepJob(name, "gto", config, tag="extremes") for name in extreme_names]
+    outcome = _sweep(jobs, workers, cache)
+    focus_summary = interference_summary(outcome.results[0], top_n=48)
+    extremes = {
+        job.benchmark_name: result.sm0.interference_extremes()
+        for job, result in outcome
+        if job.tag == "extremes"
+    }
     return {
         "focus_benchmark": focus_benchmark,
         "focus_top_pairs": focus_summary["top_pairs"],
         "per_workload_min_max": extremes,
+        "engine": _engine_stats(outcome.stats),
     }
 
 
@@ -142,10 +197,20 @@ def fig8_main_comparison(
     schedulers: Sequence[str] = FIGURE8_SCHEDULERS,
     scale: float = 0.3,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 8a/b: normalised IPC per benchmark + class geomeans + shared-memory use."""
     names = list(benchmarks or benchmark_names())
-    results = run_many(names, list(schedulers), scale=scale, seed=seed)
+    results, stats = run_many(
+        names,
+        list(schedulers),
+        scale=scale,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        return_stats=True,
+    )
     normalized = normalized_ipc_table(results)
     return {
         "benchmarks": names,
@@ -158,6 +223,7 @@ def fig8_main_comparison(
             bench: {sched: res.ipc for sched, res in row.items()}
             for bench, row in results.items()
         },
+        "engine": _engine_stats(stats),
     }
 
 
@@ -179,14 +245,20 @@ def fig9_timeseries(
     schedulers: Sequence[str] = ("best-swl", "ccws", "ciao-t"),
     scale: float = 0.4,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 9: IPC / active warps / interference over time (ATAX, Backprop)."""
+    config = RunConfig(scale=scale, seed=seed)
+    jobs = [
+        SweepJob(bench, sched, config)
+        for bench in benchmarks
+        for sched in schedulers
+    ]
+    outcome = _sweep(jobs, workers, cache)
     out: dict = {}
-    for bench in benchmarks:
-        out[bench] = {}
-        for sched in schedulers:
-            result = run_benchmark(bench, sched, scale=scale, seed=seed)
-            out[bench][sched] = _timeseries_rows(result)
+    for job, result in outcome:
+        out.setdefault(job.benchmark_name, {})[job.scheduler] = _timeseries_rows(result)
     return out
 
 
@@ -196,9 +268,18 @@ def fig10_working_set(
     schedulers: Sequence[str] = ("ciao-t", "ciao-p", "ciao-c"),
     scale: float = 0.4,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 10: the three CIAO schemes over time on an SWS and an LWS workload."""
-    return fig9_timeseries(benchmarks=benchmarks, schedulers=schedulers, scale=scale, seed=seed)
+    return fig9_timeseries(
+        benchmarks=benchmarks,
+        schedulers=schedulers,
+        scale=scale,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -210,16 +291,30 @@ def fig11_sensitivity_epoch(
     epochs: Iterable[int] = (1000, 5000, 10000, 50000),
     scale: float = 0.3,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 11a: IPC of CIAO-C for different high-cutoff epoch lengths."""
     names = list(benchmarks or MEMORY_INTENSIVE_BENCHMARKS)
-    table: dict[str, dict[int, float]] = {}
-    for bench in names:
-        table[bench] = {}
-        for epoch in epochs:
-            params = CIAOParameters.paper_defaults().with_high_epoch(epoch)
-            result = run_benchmark(bench, "ciao-c", scale=scale, seed=seed, ciao_params=params)
-            table[bench][epoch] = result.ipc
+    epochs = list(epochs)
+    jobs = [
+        SweepJob(
+            bench,
+            "ciao-c",
+            RunConfig(
+                scale=scale,
+                seed=seed,
+                ciao_params=CIAOParameters.paper_defaults().with_high_epoch(epoch),
+            ),
+            tag=str(epoch),
+        )
+        for bench in names
+        for epoch in epochs
+    ]
+    outcome = _sweep(jobs, workers, cache)
+    table: dict[str, dict[int, float]] = {bench: {} for bench in names}
+    for job, result in outcome:
+        table[job.benchmark_name][int(job.tag)] = result.ipc
     normalized = {
         bench: {
             epoch: (value / row[5000] if row.get(5000) else 0.0)
@@ -236,16 +331,30 @@ def fig11_sensitivity_cutoff(
     cutoffs: Iterable[float] = (0.04, 0.02, 0.01, 0.005),
     scale: float = 0.3,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 11b: IPC of CIAO-C for different high-cutoff thresholds."""
     names = list(benchmarks or MEMORY_INTENSIVE_BENCHMARKS)
-    table: dict[str, dict[float, float]] = {}
-    for bench in names:
-        table[bench] = {}
-        for cutoff in cutoffs:
-            params = CIAOParameters.paper_defaults().with_high_cutoff(cutoff)
-            result = run_benchmark(bench, "ciao-c", scale=scale, seed=seed, ciao_params=params)
-            table[bench][cutoff] = result.ipc
+    cutoffs = list(cutoffs)
+    jobs = [
+        SweepJob(
+            bench,
+            "ciao-c",
+            RunConfig(
+                scale=scale,
+                seed=seed,
+                ciao_params=CIAOParameters.paper_defaults().with_high_cutoff(cutoff),
+            ),
+            tag=repr(cutoff),
+        )
+        for bench in names
+        for cutoff in cutoffs
+    ]
+    outcome = _sweep(jobs, workers, cache)
+    table: dict[str, dict[float, float]] = {bench: {} for bench in names}
+    for job, result in outcome:
+        table[job.benchmark_name][float(job.tag)] = result.ipc
     normalized = {
         bench: {
             cutoff: (value / row[0.01] if row.get(0.01) else 0.0)
@@ -264,6 +373,8 @@ def fig12_cache_configs(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 0.3,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 12a: GTO vs GTO-cap vs GTO-8way vs CIAO-C."""
     names = list(
@@ -280,13 +391,20 @@ def fig12_cache_configs(
         "gto-8way": ("gto", GPUConfig.gtx480_8way_l1d()),
         "ciao-c": ("ciao-c", GPUConfig.gtx480()),
     }
-    raw: dict[str, dict[str, float]] = {}
-    for bench in names:
-        raw[bench] = {}
-        for label, (sched, config) in variants.items():
-            run_config = RunConfig(scale=scale, seed=seed, gpu_config=config)
-            result = run_benchmark(bench, sched, run_config)
-            raw[bench][label] = result.ipc
+    jobs = [
+        SweepJob(
+            bench,
+            sched,
+            RunConfig(scale=scale, seed=seed, gpu_config=config),
+            tag=label,
+        )
+        for bench in names
+        for label, (sched, config) in variants.items()
+    ]
+    outcome = _sweep(jobs, workers, cache)
+    raw: dict[str, dict[str, float]] = {bench: {} for bench in names}
+    for job, result in outcome:
+        raw[job.benchmark_name][job.tag] = result.ipc
     normalized = {
         bench: {label: (v / row["gto"] if row.get("gto") else 0.0) for label, v in row.items()}
         for bench, row in raw.items()
@@ -299,6 +417,8 @@ def fig12_dram_bandwidth(
     benchmarks: Optional[Sequence[str]] = None,
     scale: float = 0.3,
     seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
 ) -> dict:
     """Figure 12b: statPCAL-2X vs CIAO-C-2X (doubled DRAM bandwidth)."""
     names = list(
@@ -309,16 +429,17 @@ def fig12_dram_bandwidth(
             if spec.workload_class in (WorkloadClass.LWS, WorkloadClass.SWS)
         ]
     )
-    raw: dict[str, dict[str, float]] = {}
+    base = RunConfig(scale=scale, seed=seed)
+    doubled = RunConfig(scale=scale, seed=seed, dram_bandwidth_scale=2.0)
+    jobs = []
     for bench in names:
-        baseline = run_benchmark(bench, "gto", scale=scale, seed=seed)
-        statpcal_2x = run_benchmark(bench, "statpcal", scale=scale, seed=seed, dram_bandwidth_scale=2.0)
-        ciao_2x = run_benchmark(bench, "ciao-c", scale=scale, seed=seed, dram_bandwidth_scale=2.0)
-        raw[bench] = {
-            "gto": baseline.ipc,
-            "statpcal-2x": statpcal_2x.ipc,
-            "ciao-c-2x": ciao_2x.ipc,
-        }
+        jobs.append(SweepJob(bench, "gto", base, tag="gto"))
+        jobs.append(SweepJob(bench, "statpcal", doubled, tag="statpcal-2x"))
+        jobs.append(SweepJob(bench, "ciao-c", doubled, tag="ciao-c-2x"))
+    outcome = _sweep(jobs, workers, cache)
+    raw: dict[str, dict[str, float]] = {bench: {} for bench in names}
+    for job, result in outcome:
+        raw[job.benchmark_name][job.tag] = result.ipc
     normalized = {
         bench: {label: (v / row["gto"] if row.get("gto") else 0.0) for label, v in row.items()}
         for bench, row in raw.items()
@@ -329,11 +450,19 @@ def fig12_dram_bandwidth(
 # ---------------------------------------------------------------------------
 # Overhead analysis (Section V-F)
 # ---------------------------------------------------------------------------
-def overhead_analysis(*, benchmark: str = "SYRK", scale: float = 0.3, seed: int = 1) -> dict:
+def overhead_analysis(
+    *,
+    benchmark: str = "SYRK",
+    scale: float = 0.3,
+    seed: int = 1,
+    workers: Optional[int] = None,
+    cache="auto",
+) -> dict:
     """Section V-F: area and power overhead of the CIAO hardware."""
     area = AreaModel().report()
-    result = run_benchmark(benchmark, "ciao-c", scale=scale, seed=seed)
-    stats = result.sm0
+    config = RunConfig(scale=scale, seed=seed)
+    outcome = _sweep([SweepJob(benchmark, "ciao-c", config)], workers, cache)
+    stats = outcome.results[0].sm0
     power = PowerModel().from_stats(stats, stats.cycles)
     return {
         "area": area,

@@ -1,0 +1,237 @@
+"""Parallel sweep engine: fan (benchmark, scheduler, config) jobs out.
+
+This module is the single execution substrate behind :func:`run_many`, every
+``figN_*`` / ``tableN_*`` experiment and the ``repro`` CLI.  A sweep is a
+list of :class:`SweepJob` values — each one fully describes a simulation
+(benchmark spec, scheduler, :class:`~repro.harness.runner.RunConfig`) — and
+:func:`run_jobs` executes them:
+
+1. every job's cache key is computed up front (see
+   :mod:`repro.harness.cache`) and hits are served without simulating;
+2. the remaining jobs run on a ``ProcessPoolExecutor`` when ``workers > 1``,
+   or in-process (no pool, no pickling) when ``workers == 1``;
+3. fresh results are written back to the cache and the outcome is returned
+   in submission order together with :class:`SweepStats`.
+
+Determinism: a job's seed is part of its ``RunConfig`` and is fixed at
+submission time, never derived from worker identity or execution order, so a
+sweep returns bit-identical :class:`SimulationResult` objects whatever the
+worker count.  :func:`derive_seed` builds stable per-job seeds for callers
+who want decorrelated seeds across a sweep (e.g. ``repro sweep
+--seed-per-job``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.gpu.gpu import SimulationResult
+from repro.harness.cache import ResultCache, job_key
+from repro.harness.runner import RunConfig, _scheduler_kwargs, run_benchmark
+from repro.sched.registry import canonical_scheduler_name
+from repro.workloads.registry import get_benchmark
+from repro.workloads.spec import BenchmarkSpec
+
+#: ``cache`` argument sentinel: use the environment-default cache.
+AUTO_CACHE = "auto"
+
+
+class SweepError(RuntimeError):
+    """A job of a sweep failed; carries the offending job for context."""
+
+    def __init__(self, job: "SweepJob", cause: BaseException) -> None:
+        super().__init__(
+            f"sweep job failed: benchmark={job.benchmark_name!r} "
+            f"scheduler={job.scheduler!r} ({type(cause).__name__}: {cause})"
+        )
+        self.job = job
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One fully-specified simulation: benchmark x scheduler x config."""
+
+    benchmark: Union[str, BenchmarkSpec]
+    scheduler: str = "gto"
+    run_config: RunConfig = field(default_factory=RunConfig)
+    #: Free-form label callers use to route results (e.g. a Figure 12
+    #: variant name or a sensitivity-sweep parameter value).
+    tag: Optional[str] = None
+
+    @property
+    def benchmark_name(self) -> str:
+        return (
+            self.benchmark.name
+            if isinstance(self.benchmark, BenchmarkSpec)
+            else str(self.benchmark)
+        )
+
+    def spec(self) -> BenchmarkSpec:
+        """The resolved benchmark specification."""
+        if isinstance(self.benchmark, BenchmarkSpec):
+            return self.benchmark
+        return get_benchmark(self.benchmark)
+
+    def cache_key(self) -> str:
+        """Content hash identifying this job (see :mod:`repro.harness.cache`)."""
+        spec = self.spec()
+        scheduler = canonical_scheduler_name(self.scheduler)
+        kwargs = _scheduler_kwargs(scheduler, spec, self.run_config)
+        return job_key(spec, scheduler, kwargs, self.run_config)
+
+
+@dataclass
+class SweepStats:
+    """Execution statistics of one sweep (surfaced by the CLI / reporting)."""
+
+    jobs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.jobs if self.jobs else 0.0
+
+
+@dataclass
+class SweepOutcome:
+    """Results of a sweep, aligned with the submitted job list."""
+
+    jobs: list[SweepJob]
+    results: list[SimulationResult]
+    stats: SweepStats
+
+    def __iter__(self):
+        return iter(zip(self.jobs, self.results))
+
+    def nested(self) -> dict[str, dict[str, SimulationResult]]:
+        """``{benchmark: {scheduler: result}}`` view (``run_many`` shape)."""
+        table: dict[str, dict[str, SimulationResult]] = {}
+        for job, result in self:
+            table.setdefault(job.benchmark_name, {})[job.scheduler] = result
+        return table
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """Deterministic per-job seed from a base seed and identifying parts.
+
+    Stable across processes and Python versions (unlike ``hash``), so a
+    sweep that decorrelates seeds per (benchmark, scheduler) still produces
+    reproducible results.
+    """
+    blob = ":".join([str(base_seed), *[str(p) for p in parts]])
+    digest = hashlib.blake2b(blob.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % (2**31 - 1) + 1
+
+
+def resolve_workers(workers: Optional[int], n_jobs: int) -> int:
+    """Turn a ``workers`` argument into a concrete worker count.
+
+    ``None`` means "auto": honour ``REPRO_WORKERS`` when set, else use the
+    machine's CPU count.  The result is clamped to the job count (no idle
+    processes) and floored at one.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        workers = int(env) if env else (os.cpu_count() or 1)
+    return max(1, min(int(workers), max(1, n_jobs)))
+
+
+def _execute(job: SweepJob) -> SimulationResult:
+    """Worker entry point: run one job (module-level so it pickles)."""
+    return run_benchmark(job.benchmark, job.scheduler, job.run_config)
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits ``sys.path``) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_jobs(
+    jobs: Sequence[SweepJob],
+    *,
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = AUTO_CACHE,
+) -> SweepOutcome:
+    """Execute ``jobs`` and return results in submission order.
+
+    ``cache`` is :data:`AUTO_CACHE` (environment default), ``None`` (caching
+    off for this sweep), or an explicit :class:`ResultCache`.  Cache lookups
+    and writes happen in the parent process; workers only ever simulate.
+    """
+    jobs = list(jobs)
+    if isinstance(cache, str):
+        if cache != AUTO_CACHE:
+            raise ValueError(f"unknown cache mode {cache!r}")
+        cache = ResultCache.from_env()
+
+    start = time.perf_counter()
+    results: list[Optional[SimulationResult]] = [None] * len(jobs)
+    pending: list[tuple[int, SweepJob, Optional[str]]] = []
+
+    stats = SweepStats(jobs=len(jobs))
+    for index, job in enumerate(jobs):
+        key = None
+        if cache is not None:
+            try:
+                key = job.cache_key()
+            except Exception as exc:
+                # Same contract as execution failures: an unknown benchmark
+                # or scheduler surfaces as SweepError whether or not a cache
+                # is attached.
+                raise SweepError(job, exc) from exc
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                stats.cache_hits += 1
+                continue
+        pending.append((index, job, key))
+
+    stats.executed = len(pending)
+    stats.workers = resolve_workers(workers, len(pending))
+
+    if stats.workers <= 1:
+        for index, job, key in pending:
+            try:
+                result = _execute(job)
+            except Exception as exc:
+                raise SweepError(job, exc) from exc
+            results[index] = result
+            if cache is not None and key is not None:
+                cache.put(key, result)
+    elif pending:
+        with ProcessPoolExecutor(
+            max_workers=stats.workers, mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(_execute, job): (index, job, key)
+                for index, job, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, job, key = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        for other in remaining:
+                            other.cancel()
+                        raise SweepError(job, exc) from exc
+                    result = future.result()
+                    results[index] = result
+                    if cache is not None and key is not None:
+                        cache.put(key, result)
+
+    stats.wall_seconds = time.perf_counter() - start
+    return SweepOutcome(jobs=jobs, results=results, stats=stats)

@@ -58,6 +58,28 @@ def format_table(
     return f"{header}\n{separator}\n{body}"
 
 
+def format_sweep_stats(stats, cache_stats=None) -> str:
+    """One-line summary of a sweep's execution statistics.
+
+    ``stats`` is a :class:`repro.harness.parallel.SweepStats`;
+    ``cache_stats`` optionally a :class:`repro.harness.cache.CacheStats` for
+    the cache the sweep used.  The ``repro`` CLI prints this after every
+    sweep so users can see parallelism and cache effectiveness at a glance.
+    """
+    parts = [
+        f"{stats.jobs} job{'s' if stats.jobs != 1 else ''}",
+        f"{stats.executed} simulated",
+        f"{stats.cache_hits} cached ({stats.cache_hit_rate:.0%})",
+        f"{stats.workers} worker{'s' if stats.workers != 1 else ''}",
+        f"{stats.wall_seconds:.2f}s wall",
+    ]
+    if stats.executed:
+        parts.append(f"{stats.wall_seconds / stats.executed:.2f}s/sim")
+    if cache_stats is not None and cache_stats.errors:
+        parts.append(f"{cache_stats.errors} cache errors")
+    return "sweep: " + ", ".join(parts)
+
+
 def summarize_speedups(normalized: Mapping[str, Mapping[str, float]], schedulers: Sequence[str]) -> dict[str, float]:
     """Geometric-mean speedup per scheduler across benchmarks.
 

@@ -20,7 +20,11 @@ from typing import Optional
 from repro.core.config import CIAOParameters
 from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU, SimulationResult
-from repro.sched.registry import create_scheduler, uses_shared_cache
+from repro.sched.registry import (
+    canonical_scheduler_name,
+    create_scheduler,
+    uses_shared_cache,
+)
 from repro.workloads.registry import get_benchmark
 from repro.workloads.spec import BenchmarkSpec
 from repro.workloads.synthetic import SyntheticKernelModel
@@ -74,6 +78,9 @@ def run_benchmark(
     ``overrides`` are applied on top of ``run_config`` (e.g.
     ``run_benchmark("ATAX", "ciao-c", scale=0.5)``).
     """
+    # Canonicalise up front so execution, cache keys and the recorded
+    # scheduler_name can never disagree about which policy ran.
+    scheduler = canonical_scheduler_name(scheduler)
     config = replace(run_config, **overrides) if run_config is not None else RunConfig(**overrides)
     spec = benchmark if isinstance(benchmark, BenchmarkSpec) else get_benchmark(benchmark)
 
@@ -100,17 +107,34 @@ def run_many(
     benchmarks: list[str],
     schedulers: list[str],
     run_config: Optional[RunConfig] = None,
+    *,
+    workers: Optional[int] = None,
+    cache="auto",
+    return_stats: bool = False,
     **overrides,
-) -> dict[str, dict[str, SimulationResult]]:
-    """Run a benchmark x scheduler sweep.
+):
+    """Run a benchmark x scheduler sweep through the parallel engine.
 
-    Returns ``{benchmark: {scheduler: SimulationResult}}``.
+    Returns ``{benchmark: {scheduler: SimulationResult}}`` — or, when
+    ``return_stats`` is true, a ``(results, SweepStats)`` pair so callers can
+    surface cache hits and worker counts.
+
+    ``workers=None`` resolves to ``REPRO_WORKERS`` or the CPU count (a
+    single worker runs in-process with no pool); results are bit-identical
+    for any worker count because every job's seed is fixed at submission.
+    ``cache`` is ``"auto"`` (environment-default result cache), ``None``
+    (disabled), or an explicit :class:`repro.harness.cache.ResultCache`.
     """
-    results: dict[str, dict[str, SimulationResult]] = {}
-    for benchmark in benchmarks:
-        results[benchmark] = {}
-        for scheduler in schedulers:
-            results[benchmark][scheduler] = run_benchmark(
-                benchmark, scheduler, run_config, **overrides
-            )
+    from repro.harness.parallel import SweepJob, run_jobs
+
+    config = replace(run_config, **overrides) if run_config is not None else RunConfig(**overrides)
+    jobs = [
+        SweepJob(benchmark, scheduler, config)
+        for benchmark in benchmarks
+        for scheduler in schedulers
+    ]
+    outcome = run_jobs(jobs, workers=workers, cache=cache)
+    results = outcome.nested()
+    if return_stats:
+        return results, outcome.stats
     return results

@@ -35,15 +35,40 @@ from repro.sched.two_level import TwoLevelScheduler
 _BASELINES = ("gto", "lrr", "two-level", "best-swl", "ccws", "statpcal")
 _CIAO = ("ciao-p", "ciao-t", "ciao-c")
 
+#: Accepted spelling variants mapped onto the canonical hyphenated names.
+_ALIASES = {
+    "two_level": "two-level",
+    "twolevel": "two-level",
+    "best_swl": "best-swl",
+    "bestswl": "best-swl",
+    "ciao_p": "ciao-p",
+    "ciao_t": "ciao-t",
+    "ciao_c": "ciao-c",
+}
+
 
 def scheduler_names() -> tuple[str, ...]:
     """All scheduler names :func:`create_scheduler` accepts."""
     return _BASELINES + _CIAO
 
 
+def canonical_scheduler_name(name: str) -> str:
+    """Normalise spelling variants (``ciao_c`` -> ``ciao-c``).
+
+    The result cache keys jobs by this canonical name so the same policy is
+    never simulated twice just because two callers spelled it differently.
+    Raises ``KeyError`` for unknown schedulers.
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _BASELINES + _CIAO:
+        raise KeyError(f"unknown scheduler {name!r}; expected one of {scheduler_names()}")
+    return key
+
+
 def uses_shared_cache(name: str) -> bool:
     """True for policies that need the CIAO shared-memory cache enabled."""
-    return name.lower() in ("ciao-p", "ciao-c")
+    return canonical_scheduler_name(name) in ("ciao-p", "ciao-c")
 
 
 def create_scheduler(name: str, **kwargs) -> WarpScheduler:

@@ -21,6 +21,7 @@ __all__ = [
     "benchmarks_by_class",
     "benchmarks_by_suite",
     "get_benchmark",
+    "resolve_benchmark_names",
     "MEMORY_INTENSIVE_BENCHMARKS",
     "TABLE_II_ROWS",
 ]
@@ -68,6 +69,36 @@ def get_benchmark(name: str) -> BenchmarkSpec:
         raise KeyError(
             f"unknown benchmark {name!r}; expected one of {benchmark_names()}"
         ) from exc
+
+
+def resolve_benchmark_names(selectors: "list[str] | tuple[str, ...]") -> list[str]:
+    """Expand CLI-style benchmark selectors into concrete benchmark names.
+
+    Each selector is a benchmark name, a suite name (``polybench``,
+    ``mars``, ``rodinia``), a working-set class (``lws``, ``sws``, ``ci``),
+    ``memory-intensive`` (the Figure 11 set), or ``all``.  Order follows
+    Table II; duplicates are dropped while preserving first occurrence.
+    """
+    names: list[str] = []
+
+    def add(more):
+        for name in more:
+            if name not in names:
+                names.append(name)
+
+    for selector in selectors:
+        key = selector.lower()
+        if key == "all":
+            add(benchmark_names())
+        elif key in ("memory-intensive", "memory_intensive", "mem"):
+            add(MEMORY_INTENSIVE_BENCHMARKS)
+        elif key in ("lws", "sws", "ci"):
+            add(spec.name for spec in benchmarks_by_class(WorkloadClass[key.upper()]))
+        elif key in ("polybench", "mars", "rodinia"):
+            add(spec.name for spec in benchmarks_by_suite(key))
+        else:
+            add([get_benchmark(selector).name])
+    return names
 
 
 def benchmarks_by_class(workload_class: WorkloadClass) -> tuple[BenchmarkSpec, ...]:

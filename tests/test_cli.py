@@ -1,0 +1,110 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import REPRODUCE_TARGETS, build_parser, main
+from repro.harness import experiments
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "ATAX"],
+            ["sweep", "-b", "ATAX", "-s", "gto"],
+            ["reproduce", "fig8"],
+            ["cache"],
+            ["list"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_every_reproduce_target_maps_to_an_experiment(self):
+        for target, fn_name in REPRODUCE_TARGETS.items():
+            assert hasattr(experiments, fn_name), (target, fn_name)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ATAX" in out and "ciao-c" in out and "fig8" in out
+
+    def test_run_json(self, capsys):
+        rc = main(["run", "ATAX", "gto", "ciao_c",
+                   "--scale", "0.05", "--no-cache", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmark"] == "ATAX"
+        schedulers = [row["scheduler"] for row in data["rows"]]
+        assert schedulers == ["gto", "ciao-c"]  # alias canonicalised
+        assert all(row["ipc"] > 0 for row in data["rows"])
+
+    def test_sweep_json(self, capsys):
+        rc = main(["sweep", "-b", "ATAX", "SYRK", "-s", "gto", "ciao-c",
+                   "--scale", "0.05", "--no-cache", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmarks"] == ["ATAX", "SYRK"]
+        assert data["baseline"] == "gto"
+        assert data["normalized_ipc"]["ATAX"]["gto"] == pytest.approx(1.0)
+
+    def test_sweep_selector(self, capsys):
+        rc = main(["sweep", "-b", "memory-intensive", "-s", "gto",
+                   "--scale", "0.03", "--no-cache", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "GESUMMV" in data["benchmarks"] and len(data["benchmarks"]) == 7
+
+    def test_sweep_seed_per_job_is_deterministic(self, capsys):
+        argv = ["sweep", "-b", "ATAX", "-s", "gto", "--scale", "0.05",
+                "--seed-per-job", "--no-cache", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_reproduce_table(self, capsys):
+        rc = main(["reproduce", "table1"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_sms"] == 15
+
+    def test_reproduce_to_file(self, tmp_path, capsys):
+        out = tmp_path / "fig1b.json"
+        rc = main(["reproduce", "fig1b", "--scale", "0.05", "--no-cache",
+                   "--out", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert set(data["rows"]) == {"best-swl", "ccws"}
+
+    def test_reproduce_unknown_figure(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+
+    def test_reproduce_forwards_seed_scale_workers(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake(**kwargs):
+            seen.update(kwargs)
+            return {"ok": True}
+
+        monkeypatch.setattr(experiments, "fig1_bestswl_vs_ccws", fake)
+        assert main(["reproduce", "fig1b", "--seed", "7", "--scale", "0.2",
+                     "--workers", "2", "--no-cache"]) == 0
+        assert seen["seed"] == 7
+        assert seen["scale"] == pytest.approx(0.2)
+        assert seen["workers"] == 2
+        assert seen["cache"] is None
+
+    def test_unknown_benchmark_exits_cleanly(self, capsys):
+        assert main(["run", "NOPE", "--no-cache"]) == 2
+
+    def test_cache_info_and_clear(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache"]) == 0
+        assert str(tmp_path) in capsys.readouterr().out
+        assert main(["cache", "--clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out

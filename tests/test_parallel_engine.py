@@ -1,0 +1,132 @@
+"""Tests for the parallel sweep engine (repro.harness.parallel)."""
+
+import os
+
+import pytest
+
+from repro.harness.parallel import (
+    SweepError,
+    SweepJob,
+    derive_seed,
+    resolve_workers,
+    run_jobs,
+)
+from repro.harness.runner import RunConfig, run_benchmark, run_many
+
+SMALL = RunConfig(scale=0.05, seed=1)
+
+
+def _grid(benchmarks=("SYRK", "ATAX"), schedulers=("gto", "ciao-c"), config=SMALL):
+    return [SweepJob(b, s, config) for b in benchmarks for s in schedulers]
+
+
+class TestIdenticalResults:
+    def test_parallel_matches_sequential(self):
+        jobs = _grid()
+        sequential = run_jobs(jobs, workers=1, cache=None)
+        parallel = run_jobs(jobs, workers=2, cache=None)
+        assert sequential.stats.workers == 1
+        assert parallel.stats.workers == 2
+        for seq, par in zip(sequential.results, parallel.results):
+            # Full dataclass equality: every counter, series and matrix.
+            assert seq == par
+
+    def test_engine_matches_direct_runner(self):
+        jobs = _grid()
+        outcome = run_jobs(jobs, workers=1, cache=None)
+        for job, via_engine in zip(jobs, outcome.results):
+            direct = run_benchmark(job.benchmark, job.scheduler, job.run_config)
+            assert direct == via_engine
+
+    def test_results_in_submission_order(self):
+        jobs = _grid()
+        outcome = run_jobs(jobs, workers=2, cache=None)
+        for job, result in zip(jobs, outcome.results):
+            assert result.kernel_name == job.benchmark_name
+            assert result.scheduler_name == job.scheduler
+
+
+class TestRunMany:
+    def test_shape_and_stats(self):
+        results, stats = run_many(
+            ["SYRK", "ATAX"], ["gto", "ciao-c"],
+            scale=0.05, seed=1, workers=1, cache=None, return_stats=True,
+        )
+        assert set(results) == {"SYRK", "ATAX"}
+        assert set(results["SYRK"]) == {"gto", "ciao-c"}
+        assert stats.jobs == 4 and stats.executed == 4 and stats.cache_hits == 0
+        assert all(r.ipc > 0 for row in results.values() for r in row.values())
+
+    def test_default_return_is_plain_dict(self):
+        results = run_many(["SYRK"], ["gto"], scale=0.05, seed=1,
+                           workers=1, cache=None)
+        assert isinstance(results, dict)
+        assert results["SYRK"]["gto"].ipc > 0
+
+
+class TestDeterministicSeeds:
+    def test_derive_seed_stable_and_distinct(self):
+        a = derive_seed(1, "SYRK", "gto")
+        assert a == derive_seed(1, "SYRK", "gto")
+        assert a != derive_seed(1, "ATAX", "gto")
+        assert a != derive_seed(2, "SYRK", "gto")
+        assert a > 0
+
+    def test_seed_lives_in_the_job_not_the_engine(self):
+        # Two sweeps over permuted job lists must return the same result for
+        # the same job whatever its position.
+        jobs = _grid()
+        forward = run_jobs(jobs, workers=1, cache=None)
+        backward = run_jobs(list(reversed(jobs)), workers=2, cache=None)
+        assert forward.results[0] == backward.results[-1]
+
+
+class TestWorkersAndErrors:
+    def test_resolve_workers(self, monkeypatch):
+        assert resolve_workers(4, 100) == 4
+        assert resolve_workers(4, 2) == 2       # clamped to job count
+        assert resolve_workers(0, 8) == 1       # floored
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None, 100) == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None, 100) == max(1, min(os.cpu_count() or 1, 100))
+
+    def test_unknown_benchmark_raises_sweep_error(self):
+        with pytest.raises(SweepError, match="NOPE"):
+            run_jobs([SweepJob("NOPE", "gto", SMALL)], workers=1, cache=None)
+
+    def test_unknown_benchmark_raises_sweep_error_with_cache(self, tmp_path):
+        from repro.harness.cache import ResultCache
+
+        with pytest.raises(SweepError, match="NOPE"):
+            run_jobs([SweepJob("NOPE", "gto", SMALL)], workers=1,
+                     cache=ResultCache(tmp_path))
+
+    def test_scheduler_alias_runs_identically_to_canonical(self):
+        # Aliases share a cache key, so they must also share execution
+        # semantics (notably shared-cache enablement for ciao-p / ciao-c).
+        alias = run_jobs([SweepJob("SYRK", "ciao_c", SMALL)], workers=1, cache=None)
+        canonical = run_jobs([SweepJob("SYRK", "ciao-c", SMALL)], workers=1, cache=None)
+        assert alias.results[0] == canonical.results[0]
+        assert alias.results[0].scheduler_name == "ciao-c"
+
+    def test_unknown_benchmark_raises_in_pool_too(self):
+        jobs = [SweepJob("SYRK", "gto", SMALL), SweepJob("NOPE", "gto", SMALL)]
+        with pytest.raises(SweepError, match="NOPE"):
+            run_jobs(jobs, workers=2, cache=None)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="needs >=2 CPUs to demonstrate a speedup")
+def test_parallel_sweep_is_faster_than_sequential():
+    """Acceptance: >=4 benchmarks x >=3 schedulers, workers>1 beats workers=1."""
+    config = RunConfig(scale=0.3, seed=1)
+    jobs = [
+        SweepJob(b, s, config)
+        for b in ("ATAX", "SYRK", "BICG", "MVT")
+        for s in ("gto", "ccws", "ciao-c")
+    ]
+    sequential = run_jobs(jobs, workers=1, cache=None)
+    parallel = run_jobs(jobs, workers=min(4, os.cpu_count()), cache=None)
+    assert all(a == b for a, b in zip(sequential.results, parallel.results))
+    assert parallel.stats.wall_seconds < sequential.stats.wall_seconds

@@ -1,0 +1,163 @@
+"""Tests for the content-addressed result cache (repro.harness.cache)."""
+
+import pickle
+
+import pytest
+
+import repro.harness.parallel as parallel_mod
+from repro.core.config import CIAOParameters
+from repro.gpu.config import GPUConfig
+from repro.harness.cache import ResultCache, canonicalize, code_fingerprint
+from repro.harness.parallel import SweepJob, run_jobs
+from repro.harness.runner import RunConfig
+
+SMALL = RunConfig(scale=0.05, seed=1)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCacheHits:
+    def test_hit_returns_stored_result_and_skips_simulation(self, cache, monkeypatch):
+        jobs = [SweepJob("SYRK", "gto", SMALL), SweepJob("ATAX", "ciao-c", SMALL)]
+        calls = []
+        real = parallel_mod.run_benchmark
+
+        def counting(benchmark, scheduler, run_config):
+            calls.append((str(benchmark), scheduler))
+            return real(benchmark, scheduler, run_config)
+
+        monkeypatch.setattr(parallel_mod, "run_benchmark", counting)
+        cold = run_jobs(jobs, workers=1, cache=cache)
+        assert len(calls) == 2
+        assert cold.stats.cache_hits == 0 and cold.stats.executed == 2
+
+        warm = run_jobs(jobs, workers=1, cache=cache)
+        assert len(calls) == 2, "warm run must not simulate"
+        assert warm.stats.cache_hits == 2 and warm.stats.executed == 0
+        for a, b in zip(cold.results, warm.results):
+            assert a == b
+
+    def test_warm_sweep_is_nearly_free(self, cache):
+        jobs = [SweepJob(b, s, RunConfig(scale=0.1, seed=1))
+                for b in ("SYRK", "ATAX") for s in ("gto", "ciao-c")]
+        cold = run_jobs(jobs, workers=1, cache=cache)
+        warm = run_jobs(jobs, workers=1, cache=cache)
+        assert warm.stats.cache_hits == len(jobs)
+        # Acceptance bar is <10% of cold; leave slack for slow filesystems.
+        assert warm.stats.wall_seconds < cold.stats.wall_seconds * 0.5
+
+
+class TestCacheKeys:
+    def test_key_stable_for_identical_jobs(self):
+        assert SweepJob("SYRK", "gto", SMALL).cache_key() == \
+            SweepJob("SYRK", "gto", RunConfig(scale=0.05, seed=1)).cache_key()
+
+    def test_key_changes_with_run_config(self):
+        base = SweepJob("SYRK", "gto", SMALL).cache_key()
+        assert base != SweepJob("SYRK", "gto", RunConfig(scale=0.06, seed=1)).cache_key()
+        assert base != SweepJob("SYRK", "gto", RunConfig(scale=0.05, seed=2)).cache_key()
+        assert base != SweepJob(
+            "SYRK", "gto", RunConfig(scale=0.05, seed=1, dram_bandwidth_scale=2.0)
+        ).cache_key()
+        assert base != SweepJob(
+            "SYRK", "gto",
+            RunConfig(scale=0.05, seed=1, gpu_config=GPUConfig.gtx480_8way_l1d()),
+        ).cache_key()
+
+    def test_key_changes_with_scheduler_kwargs(self):
+        # ciao_params flow into the scheduler constructor kwargs.
+        default = SweepJob("SYRK", "ciao-c", SMALL).cache_key()
+        tweaked = SweepJob(
+            "SYRK", "ciao-c",
+            RunConfig(scale=0.05, seed=1,
+                      ciao_params=CIAOParameters.paper_defaults().with_high_epoch(1000)),
+        ).cache_key()
+        assert default != tweaked
+
+    def test_key_changes_with_benchmark_and_scheduler(self):
+        base = SweepJob("SYRK", "gto", SMALL).cache_key()
+        assert base != SweepJob("ATAX", "gto", SMALL).cache_key()
+        assert base != SweepJob("SYRK", "ccws", SMALL).cache_key()
+
+    def test_scheduler_aliases_share_a_key(self):
+        assert SweepJob("SYRK", "ciao_c", SMALL).cache_key() == \
+            SweepJob("SYRK", "ciao-c", SMALL).cache_key()
+
+    def test_code_fingerprint_in_key(self, monkeypatch):
+        base = SweepJob("SYRK", "gto", SMALL).cache_key()
+        monkeypatch.setenv("REPRO_CACHE_VERSION", "pinned-test-version")
+        assert SweepJob("SYRK", "gto", SMALL).cache_key() != base
+
+    def test_code_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+
+
+class TestCanonicalize:
+    def test_primitives_dataclasses_enums(self):
+        from repro.workloads.registry import get_benchmark
+        from repro.workloads.spec import WorkloadClass
+
+        spec = get_benchmark("SYRK")
+        out = canonicalize(spec)
+        assert out["__type__"] == "BenchmarkSpec"
+        assert out["workload_class"] == "WorkloadClass.SWS"
+        assert canonicalize(WorkloadClass.LWS) == "WorkloadClass.LWS"
+        assert canonicalize(0.1) == f"f:{0.1!r}"
+        assert canonicalize((1, "a", None)) == [1, "a", None]
+        assert canonicalize({"b": 1, "a": 2}) == {"b": 1, "a": 2}
+
+
+class TestStorage:
+    def test_roundtrip_and_counters(self, cache):
+        cache.put("ab" * 32, {"x": 1})
+        assert cache.get("ab" * 32) == {"x": 1}
+        assert cache.entry_count() == 1
+        assert cache.size_bytes() > 0
+        assert cache.stats.hits == 1 and cache.stats.puts == 1
+
+    def test_miss(self, cache):
+        assert cache.get("cd" * 32) is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_is_dropped(self, cache):
+        key = "ef" * 32
+        cache.put(key, {"x": 1})
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats.errors == 1
+
+    def test_key_mismatch_is_dropped(self, cache):
+        key = "12" * 32
+        other = "34" * 32
+        cache.put(key, {"x": 1})
+        # Copy the payload under the wrong key: must be rejected.
+        payload = cache._path(key).read_bytes()
+        wrong = cache._path(other)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_bytes(payload)
+        assert cache.get(other) is None
+        assert pickle.loads(payload)["key"] == key  # sanity
+
+    def test_clear(self, cache):
+        cache.put("ab" * 32, 1)
+        cache.put("cd" * 32, 2)
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+
+class TestEnvironmentControl:
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        assert ResultCache.from_env() is None
+
+    def test_enabled_by_default(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ResultCache.from_env()
+        assert cache is not None
+        assert cache.root == tmp_path
