@@ -17,3 +17,7 @@ if str(_SRC) not in sys.path:
 # default.  Tests that exercise caching construct explicit ResultCache
 # instances in tmp directories (see tests/test_result_cache.py).
 os.environ.setdefault("REPRO_RESULT_CACHE", "0")
+
+# Likewise, never append to the repository's bench ledger from the suite;
+# ledger tests pass explicit tmp paths (see tests/test_ledger.py).
+os.environ.setdefault("REPRO_LEDGER", "0")

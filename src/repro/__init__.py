@@ -26,7 +26,9 @@ def quick_run(benchmark: str, scheduler: str = "gto", **kwargs):
 
     This is a convenience wrapper around
     :func:`repro.harness.runner.run_benchmark`; see that function for the
-    full parameter list.
+    full parameter list.  ``backend="lockstep"`` (or ``REPRO_BACKEND``)
+    selects the cycle-level multi-SM engine; see :mod:`repro.api` and
+    :mod:`repro.backends` for the full typed API.
     """
     from repro.harness.runner import run_benchmark
 

@@ -1,0 +1,336 @@
+"""``repro.api`` — the typed, backend-pluggable simulation API.
+
+This module defines the *one* canonical description of a simulation job and
+the seam through which execution engines plug in:
+
+* :class:`SimulationRequest` — benchmark + scheduler + :class:`RunConfig`
+  (+ optional backend selection).  Every path that used to re-describe "one
+  simulation" in its own shape (``run_benchmark``'s kwargs, the sweep
+  engine's jobs, the result cache's key dicts, the CLI) now builds or
+  consumes this dataclass.  ``canonicalize()`` resolves aliases so two
+  spellings of the same job can never diverge; ``cache_key()`` derives the
+  content-addressed result-cache key; ``to_dict()`` / ``from_dict()`` give
+  it a stable, versioned, JSON-safe wire form (:data:`REQUEST_SCHEMA`).
+* :func:`execute` — run a request on a backend.  Backends implement the
+  :class:`repro.backends.Backend` protocol (``execute(request) ->
+  SimulationResult``) and are selected per request, per call, or through the
+  ``REPRO_BACKEND`` environment variable.  ``"reference"`` is the original
+  serialized-SM engine; ``"lockstep"`` advances all SMs cycle-by-cycle
+  against the shared L2/DRAM (see :mod:`repro.gpu.lockstep`).
+* a serialization codec (:func:`encode_value` / :func:`decode_value`) that
+  round-trips every registered configuration / statistics dataclass through
+  JSON-safe primitives.  :class:`repro.gpu.gpu.SimulationResult` uses the
+  same codec (:data:`RESULT_SCHEMA`), so cache entries and CLI JSON share
+  one schema.
+
+The convenience front end :func:`repro.harness.runner.run_benchmark` remains
+supported and is now a thin shim over this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.config import CIAOParameters
+from repro.gpu.config import GPUConfig
+from repro.sched.registry import canonical_scheduler_name
+from repro.workloads.registry import get_benchmark
+from repro.workloads.spec import BenchmarkSpec
+
+#: Version of the :meth:`SimulationRequest.to_dict` wire format.  Bump when
+#: the request schema changes incompatibly; ``from_dict`` rejects mismatches.
+REQUEST_SCHEMA = 1
+
+#: Version of the :meth:`~repro.gpu.gpu.SimulationResult.to_dict` wire
+#: format (shared by the result cache and the CLI's JSON output).
+RESULT_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Serialization codec: registered dataclasses/enums <-> JSON-safe primitives
+# ---------------------------------------------------------------------------
+_SERIALIZABLE: dict[str, type] = {}
+
+
+def register_serializable(cls: type) -> type:
+    """Register a dataclass or enum for :func:`encode_value` round-trips.
+
+    Usable as a decorator.  Registration is by class name, which therefore
+    must be unique across the package (it already is — the cache's
+    ``canonicalize`` relies on the same property).
+    """
+    name = cls.__name__
+    existing = _SERIALIZABLE.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"serializable name collision: {name!r}")
+    _SERIALIZABLE[name] = cls
+    return cls
+
+
+def encode_value(value: Any) -> Any:
+    """Reduce ``value`` to JSON-safe primitives, reversibly.
+
+    Registered dataclasses become ``{"__dc__": name, "fields": {...}}``,
+    enums ``{"__enum__": name, "name": member}``, tuples
+    ``{"__tuple__": [...]}`` and mappings with non-string keys
+    ``{"__map__": [[k, v], ...]}``; everything composes recursively.
+    ``decode_value`` restores an equal object graph.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if _SERIALIZABLE.get(name) is not type(value):
+            raise TypeError(f"{name} is not registered with register_serializable()")
+        return {
+            "__dc__": name,
+            "fields": {
+                f.name: encode_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        name = type(value).__name__
+        if _SERIALIZABLE.get(name) is not type(value):
+            raise TypeError(f"{name} is not registered with register_serializable()")
+        return {"__enum__": name, "name": value.name}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, Mapping):
+        if all(isinstance(k, str) and not k.startswith("__") for k in value):
+            return {k: encode_value(v) for k, v in value.items()}
+        return {"__map__": [[encode_value(k), encode_value(v)] for k, v in value.items()]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if "__dc__" in value:
+            cls = _SERIALIZABLE.get(value["__dc__"])
+            if cls is None:
+                raise ValueError(f"unknown serialized type {value['__dc__']!r}")
+            fields = {k: decode_value(v) for k, v in value["fields"].items()}
+            return cls(**fields)
+        if "__enum__" in value:
+            cls = _SERIALIZABLE.get(value["__enum__"])
+            if cls is None:
+                raise ValueError(f"unknown serialized enum {value['__enum__']!r}")
+            return cls[value["name"]]
+        if "__tuple__" in value:
+            return tuple(decode_value(v) for v in value["__tuple__"])
+        if "__map__" in value:
+            return {decode_value(k): decode_value(v) for k, v in value["__map__"]}
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+def check_schema(payload: Mapping[str, Any], kind: str, schema: int) -> None:
+    """Validate the envelope of a versioned ``to_dict`` payload."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"{kind} payload must be a mapping, got {type(payload).__name__}")
+    if payload.get("kind") != kind:
+        raise ValueError(f"expected a {kind} payload, got kind={payload.get('kind')!r}")
+    if payload.get("schema") != schema:
+        raise ValueError(
+            f"unsupported {kind} schema {payload.get('schema')!r} (supported: {schema})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# RunConfig (moved here from repro.harness.runner, which re-exports it)
+# ---------------------------------------------------------------------------
+@register_serializable
+@dataclass
+class RunConfig:
+    """Sizing and configuration of one simulation run."""
+
+    #: Scales the per-warp instruction count of the workload models
+    #: (1.0 reproduces the default ~2000-2600 instructions per warp).
+    scale: float = 1.0
+    #: Workload RNG seed (streams are deterministic given the seed).
+    seed: int = 1
+    #: Optional launch-geometry overrides (defaults come from the spec).
+    num_ctas: Optional[int] = None
+    warps_per_cta: Optional[int] = None
+    #: Machine configuration (Table I baseline when omitted).
+    gpu_config: GPUConfig = field(default_factory=GPUConfig.gtx480)
+    #: Fig. 12b knob: multiply DRAM bandwidth (2.0 = the "2X" variants).
+    dram_bandwidth_scale: float = 1.0
+    #: CIAO thresholds / epochs (paper defaults when omitted).
+    ciao_params: Optional[CIAOParameters] = None
+    #: Hard cycle budget per SM (guards against pathological runs).
+    max_cycles: Optional[int] = None
+
+
+def scheduler_kwargs_for(
+    scheduler: str, spec: BenchmarkSpec, run_config: RunConfig
+) -> dict:
+    """Per-benchmark scheduler constructor arguments (profiled knobs)."""
+    key = canonical_scheduler_name(scheduler)
+    if key == "best-swl":
+        return {"warp_limit": spec.nwrp}
+    if key == "statpcal":
+        # Token holders keep L1D allocation rights; the profiled limit is the
+        # natural token count (Li et al. size tokens like a wavefront limit).
+        return {"token_count": max(2, spec.nwrp)}
+    if key.startswith("ciao"):
+        params = run_config.ciao_params or CIAOParameters.paper_defaults()
+        return {"params": params}
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# The canonical job descriptor
+# ---------------------------------------------------------------------------
+@register_serializable
+@dataclass(frozen=True)
+class SimulationRequest:
+    """One fully-specified simulation: benchmark x scheduler x config.
+
+    This is the single job descriptor shared by :func:`run_benchmark`, the
+    parallel sweep engine (where it was historically called ``SweepJob`` —
+    that name remains as an alias), the result cache's key derivation and
+    the CLI.
+    """
+
+    benchmark: Union[str, BenchmarkSpec]
+    scheduler: str = "gto"
+    run_config: RunConfig = field(default_factory=RunConfig)
+    #: Free-form label callers use to route results (e.g. a Figure 12
+    #: variant name or a sensitivity-sweep parameter value).
+    tag: Optional[str] = None
+    #: Execution engine name (see :mod:`repro.backends`).  ``None`` defers
+    #: to ``REPRO_BACKEND`` or the default ``"reference"`` engine.
+    backend: Optional[str] = None
+
+    # -- identity ------------------------------------------------------
+    @property
+    def benchmark_name(self) -> str:
+        return (
+            self.benchmark.name
+            if isinstance(self.benchmark, BenchmarkSpec)
+            else str(self.benchmark)
+        )
+
+    def spec(self) -> BenchmarkSpec:
+        """The resolved benchmark specification."""
+        if isinstance(self.benchmark, BenchmarkSpec):
+            return self.benchmark
+        return get_benchmark(self.benchmark)
+
+    def scheduler_kwargs(self) -> dict:
+        """Constructor kwargs the scheduler receives for this request."""
+        return scheduler_kwargs_for(self.scheduler, self.spec(), self.run_config)
+
+    def canonicalize(self) -> "SimulationRequest":
+        """Resolve every alias so equal jobs compare equal.
+
+        The benchmark name takes the registry's canonical spelling, the
+        scheduler its canonical hyphenated name, and the backend its
+        concrete resolved name (environment default applied).  Unknown
+        names raise ``KeyError`` here rather than mid-simulation.
+        """
+        from repro.backends import resolve_backend_name
+
+        benchmark = (
+            self.benchmark
+            if isinstance(self.benchmark, BenchmarkSpec)
+            else self.spec().name
+        )
+        return replace(
+            self,
+            benchmark=benchmark,
+            scheduler=canonical_scheduler_name(self.scheduler),
+            backend=resolve_backend_name(self.backend),
+        )
+
+    def cache_key(self, *, code_version: Optional[str] = None) -> str:
+        """Content hash identifying this job (see :mod:`repro.harness.cache`)."""
+        from repro.backends import resolve_backend_name
+        from repro.harness.cache import job_key
+
+        spec = self.spec()
+        scheduler = canonical_scheduler_name(self.scheduler)
+        kwargs = scheduler_kwargs_for(scheduler, spec, self.run_config)
+        return job_key(
+            spec,
+            scheduler,
+            kwargs,
+            self.run_config,
+            backend=resolve_backend_name(self.backend),
+            code_version=code_version,
+        )
+
+    # -- wire format ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe form; ``from_dict`` restores an equal request."""
+        return {
+            "schema": REQUEST_SCHEMA,
+            "kind": "SimulationRequest",
+            "data": encode_value(self),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationRequest":
+        """Inverse of :meth:`to_dict` (raises ``ValueError`` on schema drift)."""
+        check_schema(payload, "SimulationRequest", REQUEST_SCHEMA)
+        value = decode_value(payload["data"])
+        if not isinstance(value, cls):
+            raise ValueError(f"payload decoded to {type(value).__name__}, not {cls.__name__}")
+        return value
+
+
+def execute(request: SimulationRequest):
+    """Execute ``request`` on its backend and return the ``SimulationResult``.
+
+    The backend is ``request.backend``, or — when that is ``None`` — the
+    ``REPRO_BACKEND`` environment variable, falling back to ``"reference"``.
+    """
+    from repro.backends import get_backend
+
+    return get_backend(request.backend).execute(request)
+
+
+# ---------------------------------------------------------------------------
+# Codec registrations for the configuration / statistics object graph
+# ---------------------------------------------------------------------------
+def _register_known_types() -> None:
+    from repro.gpu.gpu import SimulationResult
+    from repro.gpu.stats import SMStats, StallBreakdown, TimeSeries
+    from repro.mem.cache import CacheConfig, WritePolicy
+    from repro.mem.dram import DRAMConfig
+    from repro.mem.interconnect import InterconnectConfig
+    from repro.mem.tag_array import ReplacementPolicy
+    from repro.mem.victim_tag_array import VTAConfig
+    from repro.workloads.spec import ModelParams, PatternKind, WorkloadClass
+
+    for cls in (
+        GPUConfig,
+        CacheConfig,
+        WritePolicy,
+        ReplacementPolicy,
+        DRAMConfig,
+        InterconnectConfig,
+        VTAConfig,
+        CIAOParameters,
+        BenchmarkSpec,
+        ModelParams,
+        PatternKind,
+        WorkloadClass,
+        SMStats,
+        StallBreakdown,
+        TimeSeries,
+        SimulationResult,
+    ):
+        register_serializable(cls)
+
+
+_register_known_types()

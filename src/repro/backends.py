@@ -1,0 +1,154 @@
+"""``repro.backends`` — pluggable execution engines behind one protocol.
+
+A *backend* turns a :class:`repro.api.SimulationRequest` into a
+:class:`repro.gpu.gpu.SimulationResult`.  Two real engines ship in-tree:
+
+``reference``
+    The original serialized-SM loop (:meth:`repro.gpu.gpu.GPU.run`): SMs are
+    simulated one after another against the shared memory subsystem.  Exact
+    for the paper's per-SM mechanisms, underestimates inter-SM contention.
+``lockstep``
+    Cycle-by-cycle multi-SM execution (:func:`repro.gpu.lockstep.run_lockstep`):
+    all SMs advance against one global clock, so simultaneous DRAM bursts
+    genuinely queue behind each other.  Bit-for-bit identical to
+    ``reference`` for single-SM runs.
+
+Selection precedence: an explicit ``backend=`` argument (or
+``SimulationRequest.backend``) > the ``REPRO_BACKEND`` environment variable
+> ``"reference"``.
+
+Out-of-tree engines register through :func:`register_backend`::
+
+    from repro.backends import register_backend
+
+    class VectorizedBackend:
+        name = "numpy"
+        def execute(self, request):
+            ...
+
+    register_backend("numpy", VectorizedBackend)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+from repro.gpu.gpu import GPU, SimulationResult
+from repro.gpu.lockstep import run_lockstep
+from repro.registry import Registry
+from repro.sched.registry import (
+    canonical_scheduler_name,
+    scheduler_factory,
+    uses_shared_cache,
+)
+from repro.workloads.synthetic import SyntheticKernelModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import SimulationRequest
+
+#: Environment variable naming the default backend for requests that do not
+#: pin one explicitly.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: The engine used when neither the request nor the environment chooses.
+DEFAULT_BACKEND = "reference"
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The execution-engine seam: one method, one canonical job descriptor."""
+
+    #: Canonical registry name, recorded on every result this engine produces.
+    name: str
+
+    def execute(self, request: "SimulationRequest") -> SimulationResult:
+        """Run ``request`` to completion and return its result."""
+        ...  # pragma: no cover - protocol
+
+
+# ---------------------------------------------------------------------------
+# Request materialisation shared by the in-tree engines
+# ---------------------------------------------------------------------------
+def materialize(request: "SimulationRequest"):
+    """Build the concrete (scheduler name, kernel, GPU, run config) of a request.
+
+    Canonicalises the request first, so aliases ("ciao_c", "LockStep") can
+    never yield a different machine than their canonical spellings.
+    """
+    request = request.canonicalize()
+    spec = request.spec()
+    config = request.run_config
+    model = SyntheticKernelModel(
+        spec,
+        scale=config.scale,
+        seed=config.seed,
+        num_ctas=config.num_ctas,
+        warps_per_cta=config.warps_per_cta,
+    )
+    kernel = model.kernel_launch()
+    scheduler = canonical_scheduler_name(request.scheduler)
+    gpu = GPU(
+        config.gpu_config,
+        scheduler_factory=scheduler_factory(scheduler, **request.scheduler_kwargs()),
+        enable_shared_cache=uses_shared_cache(scheduler),
+        dram_bandwidth_scale=config.dram_bandwidth_scale,
+    )
+    return scheduler, kernel, gpu, config
+
+
+class ReferenceBackend:
+    """The serialized per-SM execution loop (the original engine)."""
+
+    name = "reference"
+
+    def execute(self, request: "SimulationRequest") -> SimulationResult:
+        scheduler, kernel, gpu, config = materialize(request)
+        return gpu.run(kernel, max_cycles=config.max_cycles, scheduler_name=scheduler)
+
+
+class LockstepBackend:
+    """Cycle-by-cycle multi-SM execution against the shared L2/DRAM."""
+
+    name = "lockstep"
+
+    def execute(self, request: "SimulationRequest") -> SimulationResult:
+        scheduler, kernel, gpu, config = materialize(request)
+        return run_lockstep(
+            gpu, kernel, max_cycles=config.max_cycles, scheduler_name=scheduler
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+_REGISTRY: Registry = Registry("backend")
+
+
+def register_backend(name, factory, *, aliases=(), replace=False):
+    """Register an execution engine; ``factory()`` must yield a :class:`Backend`."""
+    return _REGISTRY.register(name, factory, aliases=aliases, replace=replace)
+
+
+register_backend("reference", ReferenceBackend, aliases=("serial", "serialized"))
+register_backend("lockstep", LockstepBackend, aliases=("lock-step", "lock_step"))
+
+
+def backend_names() -> tuple[str, ...]:
+    """Canonical names of every registered backend."""
+    return _REGISTRY.names()
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve ``name`` (or the environment / default) to a canonical name.
+
+    Raises ``KeyError`` for unknown backends, naming the known ones.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    return _REGISTRY.canonical(name)
+
+
+def get_backend(name: Optional[str] = None) -> Backend:
+    """Instantiate the backend selected by ``name`` / ``REPRO_BACKEND``."""
+    return _REGISTRY.get(resolve_backend_name(name))()

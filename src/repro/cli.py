@@ -17,15 +17,19 @@ Subcommands
 ``repro reproduce FIGURE ...``
     Regenerate the data behind a figure / table of the paper (``fig8``,
     ``fig11a``, ``table2``, ... or ``all``) as JSON.
-``repro cache``
-    Show (or ``--clear``) the content-addressed result cache.
+``repro cache [show|stats|clear]``
+    Show the content-addressed result cache, print the bench-ledger
+    statistics (warm vs cold sweep trajectory), or clear the cache.
 ``repro list``
-    List the available benchmarks and schedulers.
+    List the available benchmarks, schedulers and backends
+    (``--backends`` for backends only).
 
 Parallelism defaults to the CPU count (``--workers`` / ``REPRO_WORKERS``
 override); the result cache defaults to on (``--no-cache`` /
-``REPRO_RESULT_CACHE=0`` disable).  See docs/EXPERIMENTS.md for the full
-knob reference.
+``REPRO_RESULT_CACHE=0`` disable); the execution engine defaults to the
+serialized ``reference`` backend (``--backend`` / ``REPRO_BACKEND``
+select e.g. the lock-step multi-SM engine).  See docs/EXPERIMENTS.md and
+docs/API.md for the full knob reference.
 """
 
 from __future__ import annotations
@@ -35,8 +39,11 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.api import SimulationRequest
+from repro.backends import backend_names
 from repro.harness.cache import ResultCache, cache_enabled_by_env, default_cache_dir
-from repro.harness.parallel import SweepError, SweepJob, derive_seed, run_jobs
+from repro.harness.ledger import ledger_path, read_ledger, summarize_ledger
+from repro.harness.parallel import SweepError, derive_seed, run_jobs
 from repro.harness.reporting import format_sweep_stats, format_table
 from repro.harness.runner import RunConfig
 from repro.sched.registry import canonical_scheduler_name, scheduler_names
@@ -80,6 +87,10 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                         help="process-pool size (default: REPRO_WORKERS or CPU count)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache for this invocation")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution engine, one of: "
+                             f"{', '.join(backend_names())} (or any registered "
+                             "alias; default: REPRO_BACKEND or 'reference')")
 
 
 # ---------------------------------------------------------------------------
@@ -89,7 +100,10 @@ def cmd_run(args) -> int:
     get_benchmark(args.benchmark)  # validate up front for a clean error
     schedulers = [canonical_scheduler_name(s) for s in (args.schedulers or ["gto"])]
     config = RunConfig(scale=args.scale, seed=args.seed)
-    jobs = [SweepJob(args.benchmark, sched, config) for sched in schedulers]
+    jobs = [
+        SimulationRequest(args.benchmark, sched, config, backend=args.backend)
+        for sched in schedulers
+    ]
     cache = _cache_from_args(args)
     outcome = run_jobs(jobs, workers=args.workers, cache=cache)
 
@@ -106,7 +120,18 @@ def cmd_run(args) -> int:
             "mean_active_warps": stats.active_warp_series.mean(),
         })
     if args.json:
-        json.dump({"benchmark": args.benchmark, "rows": rows}, sys.stdout, indent=2)
+        from repro.api import RESULT_SCHEMA
+
+        json.dump(
+            {
+                "benchmark": args.benchmark,
+                "rows": rows,
+                "backend": outcome.stats.backend,
+                "result_schema": RESULT_SCHEMA,
+            },
+            sys.stdout,
+            indent=2,
+        )
         print()
     else:
         print(f"{args.benchmark} @ scale {args.scale}, seed {args.seed}")
@@ -129,7 +154,12 @@ def cmd_sweep(args) -> int:
                 if args.seed_per_job
                 else args.seed
             )
-            jobs.append(SweepJob(bench, sched, RunConfig(scale=args.scale, seed=seed)))
+            jobs.append(
+                SimulationRequest(
+                    bench, sched, RunConfig(scale=args.scale, seed=seed),
+                    backend=args.backend,
+                )
+            )
     cache = _cache_from_args(args)
     outcome = run_jobs(jobs, workers=args.workers, cache=cache)
 
@@ -152,6 +182,7 @@ def cmd_sweep(args) -> int:
                 "raw_ipc": raw,
                 "normalized_ipc": normalized,
                 "baseline": baseline,
+                "backend": outcome.stats.backend,
             },
             sys.stdout,
             indent=2,
@@ -202,6 +233,7 @@ def cmd_reproduce(args) -> int:
                 "seed": args.seed,
                 "workers": args.workers,
                 "cache": cache,
+                "backend": args.backend,
             }
         print(f"reproducing {figure} ({REPRODUCE_TARGETS[figure]}) ...", file=sys.stderr)
         output[figure] = fn(**kwargs)
@@ -227,20 +259,59 @@ def cmd_reproduce(args) -> int:
 # repro cache / repro list
 # ---------------------------------------------------------------------------
 def cmd_cache(args) -> int:
+    action = "clear" if getattr(args, "clear", False) else args.action
     cache = ResultCache()
-    if args.clear:
+    if action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    if action == "stats":
+        path = ledger_path()
+        entries = read_ledger(path)
+        if not entries:
+            print(f"bench ledger    : {path} (empty)")
+            return 0
+        summary = summarize_ledger(entries)
+        print(f"bench ledger    : {path}")
+        print(f"sweeps          : {summary['sweeps']} "
+              f"({summary['cold_sweeps']} cold, {summary['warm_sweeps']} warm)")
+        print(f"jobs            : {summary['jobs']} "
+              f"({summary['cache_hits']} cached, {summary['hit_rate']:.0%})")
+        print(f"wall time       : {summary['wall_seconds']:.2f}s total")
+        print(f"mean cold sweep : {summary['mean_cold_wall_seconds']:.2f}s")
+        print(f"mean warm sweep : {summary['mean_warm_wall_seconds']:.2f}s")
+        if summary["sweeps_by_backend"]:
+            per_backend = ", ".join(
+                f"{name}: {count}" for name, count in sorted(summary["sweeps_by_backend"].items())
+            )
+            print(f"by backend      : {per_backend}")
+        recent = entries[-5:]
+        print("\nmost recent sweeps:")
+        print(format_table([
+            {
+                "jobs": e.get("jobs", 0),
+                "cached": e.get("cache_hits", 0),
+                "workers": e.get("workers", 0),
+                "wall_s": e.get("wall_seconds", 0.0),
+                "backend": e.get("backend", ""),
+            }
+            for e in recent
+        ]))
         return 0
     enabled = cache_enabled_by_env()
     print(f"cache directory : {default_cache_dir()}")
     print(f"enabled         : {'yes' if enabled else 'no (REPRO_RESULT_CACHE)'}")
     print(f"entries         : {cache.entry_count()}")
     print(f"size            : {cache.size_bytes() / 1024:.1f} KiB")
+    print(f"bench ledger    : {ledger_path()} ({len(read_ledger())} sweeps recorded)")
     return 0
 
 
 def cmd_list(args) -> int:
+    if args.backends:
+        for name in backend_names():
+            print(name)
+        return 0
     print("Benchmarks (Table II order):")
     rows = [
         {
@@ -254,6 +325,8 @@ def cmd_list(args) -> int:
     ]
     print(format_table(rows))
     print("\nSchedulers:", ", ".join(scheduler_names()))
+    print("Backends:", ", ".join(backend_names()),
+          "(select with --backend or REPRO_BACKEND)")
     print("Reproduce targets:", ", ".join(REPRODUCE_TARGETS), "(or 'all')")
     return 0
 
@@ -297,11 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", help="write JSON here instead of stdout")
     p_rep.set_defaults(func=cmd_reproduce)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    p_cache.add_argument("--clear", action="store_true", help="delete every cached result")
+    p_cache = sub.add_parser("cache", help="inspect the result cache and bench ledger")
+    p_cache.add_argument("action", nargs="?", choices=("show", "stats", "clear"),
+                         default="show",
+                         help="show the cache, print bench-ledger statistics, "
+                              "or clear the cache (default: show)")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="deprecated alias of the 'clear' action")
     p_cache.set_defaults(func=cmd_cache)
 
-    p_list = sub.add_parser("list", help="list benchmarks, schedulers and reproduce targets")
+    p_list = sub.add_parser("list", help="list benchmarks, schedulers, backends and reproduce targets")
+    p_list.add_argument("--backends", action="store_true",
+                        help="list only the registered execution backends")
     p_list.set_defaults(func=cmd_list)
     return parser
 

@@ -6,16 +6,18 @@ study are per-SM policies), but the :class:`GPU` wrapper supports any number
 of SMs, each running the same kernel launch with its own scheduler instance,
 all sharing the L2 slice and DRAM channels exactly as on the real chip.
 
-SMs are simulated one after another against the shared memory subsystem.
-This "serialised concurrency" slightly underestimates inter-SM DRAM
-contention compared to a lock-step simulation, which is acceptable because
-none of the paper's mechanisms react to inter-SM effects.
+Two execution modes exist.  :meth:`GPU.run` simulates SMs one after another
+against the shared memory subsystem ("serialised concurrency", the
+``"reference"`` backend) — this underestimates inter-SM DRAM contention but
+is exact for the paper's per-SM mechanisms.  The ``"lockstep"`` backend
+(:func:`repro.gpu.lockstep.run_lockstep`) advances all SMs cycle-by-cycle so
+simultaneous requests genuinely contend for the shared L2/DRAM.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.cta import KernelLaunch
@@ -36,6 +38,15 @@ class SimulationResult:
     scheduler_name: str
     per_sm: list[SMStats] = field(default_factory=list)
     machine: SMStats = field(default_factory=SMStats)
+    #: Name of the execution engine that produced this result (see
+    #: :mod:`repro.backends`).
+    backend: str = "reference"
+    #: DRAM requests that queued behind a different SM's burst.  Only the
+    #: lock-step backend interleaves SMs in time, so only it records this
+    #: signal (the serialized reference mode cannot observe true inter-SM
+    #: interleaving and always reports zero); it is also zero for
+    #: single-SM lock-step runs.
+    inter_sm_dram_conflicts: int = 0
 
     @property
     def ipc(self) -> float:
@@ -57,6 +68,31 @@ class SimulationResult:
         summary["ipc"] = self.ipc
         return summary
 
+    # ------------------------------------------------------------------
+    # Versioned wire format (shared by the result cache and the CLI JSON;
+    # see repro.api.RESULT_SCHEMA).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe form; :meth:`from_dict` restores an equal result."""
+        from repro.api import RESULT_SCHEMA, encode_value
+
+        return {
+            "schema": RESULT_SCHEMA,
+            "kind": "SimulationResult",
+            "data": encode_value(self),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (raises ``ValueError`` on schema drift)."""
+        from repro.api import RESULT_SCHEMA, check_schema, decode_value
+
+        check_schema(payload, "SimulationResult", RESULT_SCHEMA)
+        value = decode_value(payload["data"])
+        if not isinstance(value, cls):
+            raise ValueError(f"payload decoded to {type(value).__name__}, not {cls.__name__}")
+        return value
+
 
 class GPU:
     """A multi-SM machine sharing one memory subsystem."""
@@ -72,6 +108,10 @@ class GPU:
         self.config = config or GPUConfig.gtx480()
         self.config.validate()
         self.scheduler_factory = scheduler_factory
+        # Derive the fallback display name from the factory exactly once, so
+        # run() never has to reach into self.sms[0] for it (which raised
+        # IndexError when the SM loop had not populated any SMs yet).
+        self.default_scheduler_name = type(scheduler_factory()).__name__
         self.enable_shared_cache = enable_shared_cache
         mem_config = MemorySubsystemConfig(
             l2=self._scaled_l2_config(),
@@ -116,27 +156,63 @@ class GPU:
             dram = dram.scaled_bandwidth(factor)
         return dram
 
-    def run(self, kernel: KernelLaunch, *, max_cycles: Optional[int] = None, scheduler_name: str = "") -> SimulationResult:
-        """Run ``kernel`` on every SM and return aggregated statistics."""
+    def build_sms(self, kernel: KernelLaunch) -> list[StreamingMultiprocessor]:
+        """Construct and launch one SM per configured SM slot.
+
+        Validates the launch geometry up front (so a bad kernel fails before
+        any SM has simulated a cycle) and leaves the SMs in ``self.sms`` for
+        the caller — :meth:`run` or the lock-step driver — to execute.
+        """
+        kernel.validate()
+        if self.config.num_sms <= 0:
+            raise ValueError("need at least one SM")
         self.sms = []
-        per_sm_stats: list[SMStats] = []
         for sm_id in range(self.config.num_sms):
-            scheduler = self.scheduler_factory()
             sm = StreamingMultiprocessor(
                 sm_id,
                 self.config,
                 self.memory,
-                scheduler,
+                self.scheduler_factory(),
                 enable_shared_cache=self.enable_shared_cache,
             )
             sm.launch(kernel)
-            stats = sm.run(max_cycles)
-            per_sm_stats.append(stats)
             self.sms.append(sm)
-        result = SimulationResult(
+        return self.sms
+
+    def collect_result(
+        self,
+        kernel: KernelLaunch,
+        per_sm_stats: list[SMStats],
+        *,
+        scheduler_name: str = "",
+        backend: str = "reference",
+    ) -> SimulationResult:
+        """Aggregate per-SM statistics into a :class:`SimulationResult`.
+
+        ``inter_sm_dram_conflicts`` is only recorded for the lock-step
+        backend: the serialized mode restarts each SM's clock at zero while
+        the DRAM channel state persists, so its raw conflict counter would
+        compare incompatible time bases.
+        """
+        conflicts = (
+            self.memory.inter_sm_dram_conflicts if backend == "lockstep" else 0
+        )
+        return SimulationResult(
             kernel_name=kernel.name,
-            scheduler_name=scheduler_name or type(self.sms[0].scheduler).__name__,
+            scheduler_name=scheduler_name or self.default_scheduler_name,
             per_sm=per_sm_stats,
             machine=merge_stats(per_sm_stats),
+            backend=backend,
+            inter_sm_dram_conflicts=conflicts,
         )
-        return result
+
+    def run(self, kernel: KernelLaunch, *, max_cycles: Optional[int] = None, scheduler_name: str = "") -> SimulationResult:
+        """Run ``kernel`` on every SM, one after another, and aggregate stats.
+
+        This is the ``"reference"`` execution mode.  For the cycle-by-cycle
+        multi-SM mode see :func:`repro.gpu.lockstep.run_lockstep`.
+        """
+        per_sm_stats = [sm.run(max_cycles) for sm in self.build_sms(kernel)]
+        return self.collect_result(
+            kernel, per_sm_stats, scheduler_name=scheduler_name, backend="reference"
+        )

@@ -1,0 +1,114 @@
+"""Lock-step multi-SM execution: all SMs advance against one global clock.
+
+The reference execution mode (:meth:`repro.gpu.gpu.GPU.run`) simulates SMs
+one after another, so two SMs never contend for a DRAM channel *in the same
+cycle* — inter-SM contention only appears indirectly through leftover
+channel-busy state.  :func:`run_lockstep` instead advances every SM
+cycle-by-cycle against the shared :class:`~repro.mem.subsystem.MemorySubsystem`:
+within a cycle, SMs issue in ``sm_id`` order (deterministic), and their
+memory transactions interleave in true time order, so simultaneous bursts
+genuinely queue behind each other (counted by
+``SimulationResult.inter_sm_dram_conflicts``).
+
+The driver is built from the same per-cycle stepping primitives the
+serialized loop uses (``StreamingMultiprocessor.step_cycle`` /
+``next_event_time`` / ``record_stall`` / ``handle_no_progress`` /
+``finalize``), and its control flow reduces *exactly* to the serialized loop
+when one SM is simulated: single-SM results are bit-for-bit identical
+between the two backends, which the test suite pins down
+(``tests/test_lockstep.py``).
+
+The global fast-forward keeps pure-Python simulation practical: when no SM
+can issue, the clock jumps straight to the earliest in-flight memory event
+across all SMs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.cta import KernelLaunch
+from repro.gpu.gpu import GPU, SimulationResult
+from repro.gpu.stats import SMStats
+
+
+def run_lockstep(
+    gpu: GPU,
+    kernel: KernelLaunch,
+    *,
+    max_cycles: Optional[int] = None,
+    scheduler_name: str = "",
+) -> SimulationResult:
+    """Run ``kernel`` on every SM of ``gpu`` in lock step; aggregate stats.
+
+    ``max_cycles`` bounds the *global* clock (for a single SM this is the
+    same budget the serialized mode applies per SM).
+    """
+    sms = gpu.build_sms(kernel)
+    budget = max_cycles if max_cycles is not None else gpu.config.max_cycles
+
+    cycle = 0
+    live = list(sms)
+    finalized: set[int] = set()
+    per_sm_stats: dict[int, SMStats] = {}
+
+    while live and cycle < budget:
+        stepped: list[tuple] = []
+        issued_any = False
+        for sm in live:
+            if not sm.has_work():
+                # This SM drained between cycles: seal its stats at the
+                # global time it was observed idle.
+                per_sm_stats[sm.sm_id] = sm.finalize(cycle)
+                finalized.add(sm.sm_id)
+                continue
+            issued = sm.step_cycle(cycle)
+            issued_any = issued_any or issued
+            stepped.append((sm, issued))
+        live = [sm for sm, _ in stepped]
+        if not live:
+            break
+
+        if issued_any:
+            # At least one SM made progress: SMs that could not issue this
+            # cycle lost an issue slot, exactly as in the serialized loop.
+            for sm, issued in stepped:
+                if not issued:
+                    sm.record_stall(1)
+            cycle += 1
+            continue
+
+        # Nobody issued anywhere: fast-forward the global clock to the
+        # earliest in-flight memory event across all SMs.
+        event_times = [t for sm in live if (t := sm.next_event_time()) is not None]
+        if event_times:
+            target = min(event_times)
+            if target > cycle:
+                for sm in live:
+                    sm.record_stall(target - cycle)
+                cycle = target
+            else:  # pragma: no cover - events <= cycle are drained in step_cycle
+                for sm in live:
+                    sm.record_stall(1)
+                cycle += 1
+        elif not any(sm.can_issue(cycle) for sm in live):
+            # No events in flight and nobody can issue: every remaining warp
+            # is throttled (scheduler livelock guard) or waiting on ready_at
+            # timers; let each SM's scheduler resolve it, then tick once.
+            for sm in live:
+                sm.handle_no_progress()
+                sm.record_stall(1)
+            cycle += 1
+        else:
+            for sm in live:
+                sm.record_stall(1)
+            cycle += 1
+
+    for sm in sms:
+        if sm.sm_id not in finalized:
+            per_sm_stats[sm.sm_id] = sm.finalize(cycle)
+
+    stats_in_order = [per_sm_stats[sm.sm_id] for sm in sms]
+    return gpu.collect_result(
+        kernel, stats_in_order, scheduler_name=scheduler_name, backend="lockstep"
+    )

@@ -184,33 +184,79 @@ class StreamingMultiprocessor:
     # Main loop
     # ------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None) -> SMStats:
-        """Run the kernel to completion (or the cycle budget) and return stats."""
+        """Run the kernel to completion (or the cycle budget) and return stats.
+
+        This is the serialized per-SM loop; :mod:`repro.gpu.lockstep` drives
+        several SMs against the shared memory subsystem with the same
+        stepping primitives (:meth:`step_cycle`, :meth:`next_event_time`,
+        :meth:`record_stall`, :meth:`handle_no_progress`, :meth:`finalize`),
+        so the two execution modes cannot drift apart semantically.
+        """
         if self._kernel is None:
             raise RuntimeError("launch() must be called before run()")
         budget = max_cycles if max_cycles is not None else self.config.max_cycles
-        while self._has_resident_work() and self.cycle < budget:
-            self._drain_events(self.cycle)
-            issued = self._issue_cycle(self.cycle)
-            self._maybe_sample()
+        now = self.cycle
+        while self.has_work() and now < budget:
+            issued = self.step_cycle(now)
             if issued:
-                self.cycle += 1
+                now += 1
                 continue
             # Nothing issued: fast-forward to the next interesting time.
-            next_event = self._events[0].time if self._events else None
-            if next_event is not None and next_event > self.cycle:
-                self.stats.stalls.no_issuable_warp += next_event - self.cycle
-                self.cycle = next_event
-            elif next_event is None and not self._any_issuable(self.cycle):
+            next_event = self.next_event_time()
+            if next_event is not None and next_event > now:
+                self.record_stall(next_event - now)
+                now = next_event
+            elif next_event is None and not self.can_issue(now):
                 # No events in flight and nobody can issue: either every
                 # remaining warp is throttled (scheduler livelock guard) or
                 # we wait one cycle for ready_at timers.
-                self._resolve_no_progress()
-                self.stats.stalls.no_issuable_warp += 1
-                self.cycle += 1
+                self.handle_no_progress()
+                self.record_stall(1)
+                now += 1
             else:
-                self.stats.stalls.no_issuable_warp += 1
-                self.cycle += 1
-        self._drain_events(self.cycle)
+                self.record_stall(1)
+                now += 1
+        return self.finalize(now)
+
+    # -- stepping primitives (shared with the lock-step driver) --------
+    def has_work(self) -> bool:
+        """Whether any resident or pending CTA still has instructions left."""
+        return self._has_resident_work()
+
+    def step_cycle(self, now: int) -> bool:
+        """Run one cycle at global time ``now``; returns True if a warp issued.
+
+        Drains due memory-fill events, lets the scheduler issue up to
+        ``issue_width`` instructions and samples the time series.
+        """
+        if self._kernel is None:
+            raise RuntimeError("launch() must be called before step_cycle()")
+        self.cycle = now
+        self._drain_events(now)
+        issued = self._issue_cycle(now)
+        self._maybe_sample()
+        return issued
+
+    def next_event_time(self) -> Optional[int]:
+        """Completion time of the earliest in-flight memory fill, if any."""
+        return self._events[0].time if self._events else None
+
+    def can_issue(self, now: int) -> bool:
+        """Whether any warp could issue at ``now`` (ignoring issue width)."""
+        return self._any_issuable(now)
+
+    def record_stall(self, cycles: int = 1) -> None:
+        """Account ``cycles`` of lost issue slots (no issuable warp)."""
+        self.stats.stalls.no_issuable_warp += cycles
+
+    def handle_no_progress(self) -> None:
+        """Break scheduler-induced livelock (everything throttled, no events)."""
+        self._resolve_no_progress()
+
+    def finalize(self, now: int) -> SMStats:
+        """Drain outstanding events at ``now`` and seal the statistics."""
+        self.cycle = now
+        self._drain_events(now)
         self._finalize_stats()
         return self.stats
 

@@ -40,8 +40,10 @@ from pathlib import Path
 from typing import Any, Mapping, Optional
 
 #: Bumped when the cache payload layout changes (not when simulation
-#: semantics change — the code fingerprint covers that).
-CACHE_SCHEMA = 1
+#: semantics change — the code fingerprint covers that).  Schema 2: the
+#: sweep engine stores results in the versioned ``SimulationResult.to_dict``
+#: form instead of pickled result objects.
+CACHE_SCHEMA = 2
 
 _FALSY = ("0", "off", "false", "no")
 
@@ -123,9 +125,15 @@ def job_key(
     scheduler_kwargs: Mapping[str, Any],
     run_config: Any,
     *,
+    backend: str = "reference",
     code_version: Optional[str] = None,
 ) -> str:
-    """Stable content hash identifying one simulation job."""
+    """Stable content hash identifying one simulation job.
+
+    ``backend`` is the *resolved* execution-engine name: engines may model
+    timing differently (e.g. lock-step multi-SM contention), so their
+    results must never be served from each other's cache entries.
+    """
     payload = {
         "schema": CACHE_SCHEMA,
         "code": code_version if code_version is not None else code_fingerprint(),
@@ -133,6 +141,7 @@ def job_key(
         "scheduler": scheduler,
         "scheduler_kwargs": canonicalize(dict(scheduler_kwargs)),
         "run_config": canonicalize(run_config),
+        "backend": backend,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -49,7 +49,8 @@ from repro.analysis.metrics import (
 from repro.analysis.power import PowerModel
 from repro.core.config import CIAOParameters
 from repro.gpu.config import GPUConfig
-from repro.harness.parallel import SweepJob, SweepOutcome, run_jobs
+from repro.api import SimulationRequest
+from repro.harness.parallel import SweepOutcome, run_jobs
 from repro.harness.runner import RunConfig, run_many
 from repro.workloads.registry import (
     MEMORY_INTENSIVE_BENCHMARKS,
@@ -63,9 +64,11 @@ from repro.workloads.spec import WorkloadClass
 FIGURE8_SCHEDULERS = ("gto", "ccws", "best-swl", "statpcal", "ciao-t", "ciao-p", "ciao-c")
 
 
-def _sweep(jobs: Sequence[SweepJob], workers, cache) -> SweepOutcome:
+def _sweep(
+    jobs: Sequence[SimulationRequest], workers, cache, backend=None
+) -> SweepOutcome:
     """Run ``jobs`` through the engine (shared by every experiment below)."""
-    return run_jobs(jobs, workers=workers, cache=cache)
+    return run_jobs(jobs, workers=workers, cache=cache, backend=backend)
 
 
 def _engine_stats(stats) -> dict:
@@ -76,6 +79,7 @@ def _engine_stats(stats) -> dict:
         "executed": stats.executed,
         "workers": stats.workers,
         "wall_seconds": stats.wall_seconds,
+        "backend": stats.backend,
     }
 
 
@@ -89,10 +93,11 @@ def fig1_interference_matrix(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 1a: pairwise warp interference heat-map data for Backprop."""
     config = RunConfig(scale=scale, seed=seed)
-    outcome = _sweep([SweepJob(benchmark, "gto", config)], workers, cache)
+    outcome = _sweep([SimulationRequest(benchmark, "gto", config)], workers, cache, backend)
     result = outcome.results[0]
     summary = interference_summary(result, top_n=20)
     matrix = result.sm0.interference_matrix
@@ -111,13 +116,15 @@ def fig1_bestswl_vs_ccws(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 1b: IPC / hit rate / active warps of Best-SWL vs CCWS."""
     config = RunConfig(scale=scale, seed=seed)
     outcome = _sweep(
-        [SweepJob(benchmark, sched, config) for sched in ("best-swl", "ccws")],
+        [SimulationRequest(benchmark, sched, config) for sched in ("best-swl", "ccws")],
         workers,
         cache,
+        backend,
     )
     rows = {}
     for job, result in outcome:
@@ -141,13 +148,14 @@ def fig4_interference_characterisation(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 4a/b: interference frequency distribution per warp and workload."""
     config = RunConfig(scale=scale, seed=seed)
     extreme_names = list(benchmarks or MEMORY_INTENSIVE_BENCHMARKS[:4])
-    jobs = [SweepJob(focus_benchmark, "gto", config, tag="focus")]
-    jobs += [SweepJob(name, "gto", config, tag="extremes") for name in extreme_names]
-    outcome = _sweep(jobs, workers, cache)
+    jobs = [SimulationRequest(focus_benchmark, "gto", config, tag="focus")]
+    jobs += [SimulationRequest(name, "gto", config, tag="extremes") for name in extreme_names]
+    outcome = _sweep(jobs, workers, cache, backend)
     focus_summary = interference_summary(outcome.results[0], top_n=48)
     extremes = {
         job.benchmark_name: result.sm0.interference_extremes()
@@ -199,6 +207,7 @@ def fig8_main_comparison(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 8a/b: normalised IPC per benchmark + class geomeans + shared-memory use."""
     names = list(benchmarks or benchmark_names())
@@ -209,6 +218,7 @@ def fig8_main_comparison(
         seed=seed,
         workers=workers,
         cache=cache,
+        backend=backend,
         return_stats=True,
     )
     normalized = normalized_ipc_table(results)
@@ -247,15 +257,16 @@ def fig9_timeseries(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 9: IPC / active warps / interference over time (ATAX, Backprop)."""
     config = RunConfig(scale=scale, seed=seed)
     jobs = [
-        SweepJob(bench, sched, config)
+        SimulationRequest(bench, sched, config)
         for bench in benchmarks
         for sched in schedulers
     ]
-    outcome = _sweep(jobs, workers, cache)
+    outcome = _sweep(jobs, workers, cache, backend)
     out: dict = {}
     for job, result in outcome:
         out.setdefault(job.benchmark_name, {})[job.scheduler] = _timeseries_rows(result)
@@ -270,6 +281,7 @@ def fig10_working_set(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 10: the three CIAO schemes over time on an SWS and an LWS workload."""
     return fig9_timeseries(
@@ -279,6 +291,7 @@ def fig10_working_set(
         seed=seed,
         workers=workers,
         cache=cache,
+        backend=backend,
     )
 
 
@@ -293,12 +306,13 @@ def fig11_sensitivity_epoch(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 11a: IPC of CIAO-C for different high-cutoff epoch lengths."""
     names = list(benchmarks or MEMORY_INTENSIVE_BENCHMARKS)
     epochs = list(epochs)
     jobs = [
-        SweepJob(
+        SimulationRequest(
             bench,
             "ciao-c",
             RunConfig(
@@ -311,7 +325,7 @@ def fig11_sensitivity_epoch(
         for bench in names
         for epoch in epochs
     ]
-    outcome = _sweep(jobs, workers, cache)
+    outcome = _sweep(jobs, workers, cache, backend)
     table: dict[str, dict[int, float]] = {bench: {} for bench in names}
     for job, result in outcome:
         table[job.benchmark_name][int(job.tag)] = result.ipc
@@ -333,12 +347,13 @@ def fig11_sensitivity_cutoff(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 11b: IPC of CIAO-C for different high-cutoff thresholds."""
     names = list(benchmarks or MEMORY_INTENSIVE_BENCHMARKS)
     cutoffs = list(cutoffs)
     jobs = [
-        SweepJob(
+        SimulationRequest(
             bench,
             "ciao-c",
             RunConfig(
@@ -351,7 +366,7 @@ def fig11_sensitivity_cutoff(
         for bench in names
         for cutoff in cutoffs
     ]
-    outcome = _sweep(jobs, workers, cache)
+    outcome = _sweep(jobs, workers, cache, backend)
     table: dict[str, dict[float, float]] = {bench: {} for bench in names}
     for job, result in outcome:
         table[job.benchmark_name][float(job.tag)] = result.ipc
@@ -375,6 +390,7 @@ def fig12_cache_configs(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 12a: GTO vs GTO-cap vs GTO-8way vs CIAO-C."""
     names = list(
@@ -392,7 +408,7 @@ def fig12_cache_configs(
         "ciao-c": ("ciao-c", GPUConfig.gtx480()),
     }
     jobs = [
-        SweepJob(
+        SimulationRequest(
             bench,
             sched,
             RunConfig(scale=scale, seed=seed, gpu_config=config),
@@ -401,7 +417,7 @@ def fig12_cache_configs(
         for bench in names
         for label, (sched, config) in variants.items()
     ]
-    outcome = _sweep(jobs, workers, cache)
+    outcome = _sweep(jobs, workers, cache, backend)
     raw: dict[str, dict[str, float]] = {bench: {} for bench in names}
     for job, result in outcome:
         raw[job.benchmark_name][job.tag] = result.ipc
@@ -419,6 +435,7 @@ def fig12_dram_bandwidth(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Figure 12b: statPCAL-2X vs CIAO-C-2X (doubled DRAM bandwidth)."""
     names = list(
@@ -433,10 +450,10 @@ def fig12_dram_bandwidth(
     doubled = RunConfig(scale=scale, seed=seed, dram_bandwidth_scale=2.0)
     jobs = []
     for bench in names:
-        jobs.append(SweepJob(bench, "gto", base, tag="gto"))
-        jobs.append(SweepJob(bench, "statpcal", doubled, tag="statpcal-2x"))
-        jobs.append(SweepJob(bench, "ciao-c", doubled, tag="ciao-c-2x"))
-    outcome = _sweep(jobs, workers, cache)
+        jobs.append(SimulationRequest(bench, "gto", base, tag="gto"))
+        jobs.append(SimulationRequest(bench, "statpcal", doubled, tag="statpcal-2x"))
+        jobs.append(SimulationRequest(bench, "ciao-c", doubled, tag="ciao-c-2x"))
+    outcome = _sweep(jobs, workers, cache, backend)
     raw: dict[str, dict[str, float]] = {bench: {} for bench in names}
     for job, result in outcome:
         raw[job.benchmark_name][job.tag] = result.ipc
@@ -457,11 +474,12 @@ def overhead_analysis(
     seed: int = 1,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
 ) -> dict:
     """Section V-F: area and power overhead of the CIAO hardware."""
     area = AreaModel().report()
     config = RunConfig(scale=scale, seed=seed)
-    outcome = _sweep([SweepJob(benchmark, "ciao-c", config)], workers, cache)
+    outcome = _sweep([SimulationRequest(benchmark, "ciao-c", config)], workers, cache, backend)
     stats = outcome.results[0].sm0
     power = PowerModel().from_stats(stats, stats.cycles)
     return {

@@ -1,0 +1,138 @@
+"""Append-only bench ledger: sweep statistics across sessions.
+
+Every sweep the engine runs (:func:`repro.harness.parallel.run_jobs`)
+appends one JSON line — wall time, job/cache counters, worker count,
+backend — to a small ledger file.  Because the result cache persists across
+sessions, the ledger is what makes *warm-vs-cold* performance trends
+visible over time: a perf PR can show that a figure regeneration went from
+N cold seconds to M warm seconds rather than quoting a one-off timing.
+``repro cache stats`` prints the summary.
+
+Environment knobs:
+
+``REPRO_LEDGER``
+    Set to ``0`` / ``off`` / ``false`` to disable recording (the test suite
+    does this to stay hermetic).
+``REPRO_LEDGER_PATH``
+    Ledger file path (default ``.repro/bench_ledger.jsonl`` under the
+    current working directory).
+
+Recording is strictly best-effort: a read-only filesystem or concurrent
+writer can never fail a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+_FALSY = ("0", "off", "false", "no")
+
+#: Default ledger location, relative to the working directory.
+DEFAULT_LEDGER_PATH = Path(".repro") / "bench_ledger.jsonl"
+
+
+def ledger_enabled() -> bool:
+    """Whether the environment allows ledger recording."""
+    return os.environ.get("REPRO_LEDGER", "1").lower() not in _FALSY
+
+
+def ledger_path() -> Path:
+    """Ledger file honouring ``REPRO_LEDGER_PATH``."""
+    env = os.environ.get("REPRO_LEDGER_PATH")
+    if env:
+        return Path(env).expanduser()
+    return DEFAULT_LEDGER_PATH
+
+
+def record_sweep(stats, *, path: Optional[Path] = None) -> Optional[Path]:
+    """Append one ledger entry for ``stats`` (a ``SweepStats``).
+
+    Returns the path written, or ``None`` when recording is disabled or the
+    write failed (best-effort by design).  An explicit ``path`` bypasses the
+    enable/disable environment check.
+    """
+    if path is None:
+        if not ledger_enabled():
+            return None
+        path = ledger_path()
+    entry = {
+        "ts": round(time.time(), 3),
+        "jobs": stats.jobs,
+        "cache_hits": stats.cache_hits,
+        "executed": stats.executed,
+        "workers": stats.workers,
+        "wall_seconds": round(stats.wall_seconds, 6),
+        "cache_hit_rate": round(stats.cache_hit_rate, 6),
+        "backend": getattr(stats, "backend", ""),
+    }
+    try:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError:
+        return None
+    return path
+
+
+def read_ledger(path: Optional[Path] = None) -> list[dict]:
+    """Parse the ledger into a list of entries (corrupt lines are skipped)."""
+    path = Path(path) if path is not None else ledger_path()
+    entries: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict):
+                    entries.append(entry)
+    except OSError:
+        return []
+    return entries
+
+
+def summarize_ledger(entries: list[dict]) -> dict:
+    """Aggregate ledger entries into the warm-vs-cold trajectory summary.
+
+    A sweep counts as *cold* when it simulated every job (no cache hits) and
+    *warm* when at least half its jobs were served from the cache.
+    """
+    total_jobs = sum(e.get("jobs", 0) for e in entries)
+    total_hits = sum(e.get("cache_hits", 0) for e in entries)
+    cold = [e for e in entries if e.get("jobs") and not e.get("cache_hits")]
+    warm = [e for e in entries if e.get("jobs") and e.get("cache_hit_rate", 0.0) >= 0.5]
+
+    def _mean_wall(subset: list[dict]) -> float:
+        return (
+            sum(e.get("wall_seconds", 0.0) for e in subset) / len(subset)
+            if subset
+            else 0.0
+        )
+
+    by_backend: dict[str, int] = {}
+    for e in entries:
+        for name in str(e.get("backend", "")).split(","):
+            name = name.strip()
+            if name:
+                by_backend[name] = by_backend.get(name, 0) + 1
+    return {
+        "sweeps": len(entries),
+        "jobs": total_jobs,
+        "cache_hits": total_hits,
+        "hit_rate": total_hits / total_jobs if total_jobs else 0.0,
+        "wall_seconds": sum(e.get("wall_seconds", 0.0) for e in entries),
+        "cold_sweeps": len(cold),
+        "warm_sweeps": len(warm),
+        "mean_cold_wall_seconds": _mean_wall(cold),
+        "mean_warm_wall_seconds": _mean_wall(warm),
+        "sweeps_by_backend": by_backend,
+    }

@@ -2,16 +2,19 @@
 
 This module is the single execution substrate behind :func:`run_many`, every
 ``figN_*`` / ``tableN_*`` experiment and the ``repro`` CLI.  A sweep is a
-list of :class:`SweepJob` values — each one fully describes a simulation
-(benchmark spec, scheduler, :class:`~repro.harness.runner.RunConfig`) — and
-:func:`run_jobs` executes them:
+list of :class:`repro.api.SimulationRequest` values — the canonical job
+descriptor shared with ``run_benchmark``, the result cache and the CLI
+(:data:`SweepJob` remains as a compatibility alias) — and :func:`run_jobs`
+executes them:
 
 1. every job's cache key is computed up front (see
    :mod:`repro.harness.cache`) and hits are served without simulating;
 2. the remaining jobs run on a ``ProcessPoolExecutor`` when ``workers > 1``,
    or in-process (no pool, no pickling) when ``workers == 1``;
-3. fresh results are written back to the cache and the outcome is returned
-   in submission order together with :class:`SweepStats`.
+3. fresh results are written back to the cache (in the versioned
+   ``SimulationResult.to_dict`` schema) and the outcome is returned in
+   submission order together with :class:`SweepStats`, which is also
+   appended to the bench ledger (:mod:`repro.harness.ledger`).
 
 Determinism: a job's seed is part of its ``RunConfig`` and is fixed at
 submission time, never derived from worker identity or execution order, so a
@@ -19,6 +22,10 @@ sweep returns bit-identical :class:`SimulationResult` objects whatever the
 worker count.  :func:`derive_seed` builds stable per-job seeds for callers
 who want decorrelated seeds across a sweep (e.g. ``repro sweep
 --seed-per-job``).
+
+Backends: each request carries its own ``backend`` selection; ``run_jobs``'s
+``backend`` argument fills it in for requests that left it ``None``, and the
+environment default (``REPRO_BACKEND``) applies last, inside the worker.
 """
 
 from __future__ import annotations
@@ -28,15 +35,17 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Sequence, Union
 
+from repro.api import SimulationRequest
 from repro.gpu.gpu import SimulationResult
-from repro.harness.cache import ResultCache, job_key
-from repro.harness.runner import RunConfig, _scheduler_kwargs, run_benchmark
-from repro.sched.registry import canonical_scheduler_name
-from repro.workloads.registry import get_benchmark
-from repro.workloads.spec import BenchmarkSpec
+from repro.harness.cache import ResultCache
+from repro.harness.ledger import record_sweep
+from repro.harness.runner import run_benchmark
+
+#: Compatibility alias: the engine's job type *is* the canonical request.
+SweepJob = SimulationRequest
 
 #: ``cache`` argument sentinel: use the environment-default cache.
 AUTO_CACHE = "auto"
@@ -45,45 +54,12 @@ AUTO_CACHE = "auto"
 class SweepError(RuntimeError):
     """A job of a sweep failed; carries the offending job for context."""
 
-    def __init__(self, job: "SweepJob", cause: BaseException) -> None:
+    def __init__(self, job: SimulationRequest, cause: BaseException) -> None:
         super().__init__(
             f"sweep job failed: benchmark={job.benchmark_name!r} "
             f"scheduler={job.scheduler!r} ({type(cause).__name__}: {cause})"
         )
         self.job = job
-
-
-@dataclass(frozen=True)
-class SweepJob:
-    """One fully-specified simulation: benchmark x scheduler x config."""
-
-    benchmark: Union[str, BenchmarkSpec]
-    scheduler: str = "gto"
-    run_config: RunConfig = field(default_factory=RunConfig)
-    #: Free-form label callers use to route results (e.g. a Figure 12
-    #: variant name or a sensitivity-sweep parameter value).
-    tag: Optional[str] = None
-
-    @property
-    def benchmark_name(self) -> str:
-        return (
-            self.benchmark.name
-            if isinstance(self.benchmark, BenchmarkSpec)
-            else str(self.benchmark)
-        )
-
-    def spec(self) -> BenchmarkSpec:
-        """The resolved benchmark specification."""
-        if isinstance(self.benchmark, BenchmarkSpec):
-            return self.benchmark
-        return get_benchmark(self.benchmark)
-
-    def cache_key(self) -> str:
-        """Content hash identifying this job (see :mod:`repro.harness.cache`)."""
-        spec = self.spec()
-        scheduler = canonical_scheduler_name(self.scheduler)
-        kwargs = _scheduler_kwargs(scheduler, spec, self.run_config)
-        return job_key(spec, scheduler, kwargs, self.run_config)
 
 
 @dataclass
@@ -95,6 +71,9 @@ class SweepStats:
     executed: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    #: Resolved backend name(s) the sweep's jobs ran on (comma-joined when
+    #: a sweep mixes engines).
+    backend: str = ""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -105,7 +84,7 @@ class SweepStats:
 class SweepOutcome:
     """Results of a sweep, aligned with the submitted job list."""
 
-    jobs: list[SweepJob]
+    jobs: list[SimulationRequest]
     results: list[SimulationResult]
     stats: SweepStats
 
@@ -145,9 +124,32 @@ def resolve_workers(workers: Optional[int], n_jobs: int) -> int:
     return max(1, min(int(workers), max(1, n_jobs)))
 
 
-def _execute(job: SweepJob) -> SimulationResult:
+def _execute(job: SimulationRequest) -> SimulationResult:
     """Worker entry point: run one job (module-level so it pickles)."""
-    return run_benchmark(job.benchmark, job.scheduler, job.run_config)
+    return run_benchmark(job.benchmark, job.scheduler, job.run_config,
+                         backend=job.backend)
+
+
+def _decode_cached(payload: Any) -> Optional[SimulationResult]:
+    """Reconstruct a cached result; ``None`` (treated as a miss) on drift."""
+    if isinstance(payload, SimulationResult):  # legacy pre-schema entry
+        return payload
+    if isinstance(payload, Mapping):
+        try:
+            return SimulationResult.from_dict(payload)
+        except (ValueError, KeyError, TypeError):
+            return None
+    return None
+
+
+def _resolved_backends(jobs: Sequence[SimulationRequest]) -> str:
+    """Comma-joined resolved backend names of ``jobs`` ("" when unknown)."""
+    from repro.backends import resolve_backend_name
+
+    try:
+        return ",".join(sorted({resolve_backend_name(job.backend) for job in jobs}))
+    except KeyError:
+        return ""
 
 
 def _pool_context():
@@ -159,18 +161,25 @@ def _pool_context():
 
 
 def run_jobs(
-    jobs: Sequence[SweepJob],
+    jobs: Sequence[SimulationRequest],
     *,
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, None] = AUTO_CACHE,
+    backend: Optional[str] = None,
 ) -> SweepOutcome:
     """Execute ``jobs`` and return results in submission order.
 
     ``cache`` is :data:`AUTO_CACHE` (environment default), ``None`` (caching
     off for this sweep), or an explicit :class:`ResultCache`.  Cache lookups
     and writes happen in the parent process; workers only ever simulate.
+    ``backend`` selects the engine for jobs that did not pin one themselves.
     """
     jobs = list(jobs)
+    if backend is not None:
+        jobs = [
+            job if job.backend is not None else replace(job, backend=backend)
+            for job in jobs
+        ]
     if isinstance(cache, str):
         if cache != AUTO_CACHE:
             raise ValueError(f"unknown cache mode {cache!r}")
@@ -178,9 +187,9 @@ def run_jobs(
 
     start = time.perf_counter()
     results: list[Optional[SimulationResult]] = [None] * len(jobs)
-    pending: list[tuple[int, SweepJob, Optional[str]]] = []
+    pending: list[tuple[int, SimulationRequest, Optional[str]]] = []
 
-    stats = SweepStats(jobs=len(jobs))
+    stats = SweepStats(jobs=len(jobs), backend=_resolved_backends(jobs))
     for index, job in enumerate(jobs):
         key = None
         if cache is not None:
@@ -191,7 +200,7 @@ def run_jobs(
                 # or scheduler surfaces as SweepError whether or not a cache
                 # is attached.
                 raise SweepError(job, exc) from exc
-            hit = cache.get(key)
+            hit = _decode_cached(cache.get(key))
             if hit is not None:
                 results[index] = hit
                 stats.cache_hits += 1
@@ -209,7 +218,7 @@ def run_jobs(
                 raise SweepError(job, exc) from exc
             results[index] = result
             if cache is not None and key is not None:
-                cache.put(key, result)
+                cache.put(key, result.to_dict())
     elif pending:
         with ProcessPoolExecutor(
             max_workers=stats.workers, mp_context=_pool_context()
@@ -231,7 +240,11 @@ def run_jobs(
                     result = future.result()
                     results[index] = result
                     if cache is not None and key is not None:
-                        cache.put(key, result)
+                        cache.put(key, result.to_dict())
 
     stats.wall_seconds = time.perf_counter() - start
+    try:
+        record_sweep(stats)
+    except Exception:
+        pass  # the ledger is best-effort; never fail a sweep over it
     return SweepOutcome(jobs=jobs, results=results, stats=stats)

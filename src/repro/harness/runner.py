@@ -1,7 +1,13 @@
 """Run one (benchmark, scheduler) pair with the paper's methodology.
 
-The runner wires together the workload registry, the scheduler registry and
-the GPU model, applying the per-benchmark knobs the paper describes:
+Historically this module owned the whole execution path; today it is a thin
+convenience front end over :mod:`repro.api`: :func:`run_benchmark` builds a
+:class:`~repro.api.SimulationRequest` and hands it to
+:func:`repro.api.execute`, which dispatches to the selected backend
+(``"reference"`` serialized SMs, ``"lockstep"`` cycle-level multi-SM, or any
+engine registered with :func:`repro.backends.register_backend`).
+
+The per-benchmark knobs the paper describes all live in the request:
 
 * Best-SWL uses the profiled warp limit ``Nwrp`` from Table II;
 * statPCAL's token count is also derived from the profiled limit (token
@@ -10,97 +16,48 @@ the GPU model, applying the per-benchmark knobs the paper describes:
   and the default or caller-supplied :class:`~repro.core.config.CIAOParameters`;
 * Figure 12 variants are supported through ``gpu_config`` /
   ``dram_bandwidth_scale`` overrides.
+
+``RunConfig`` itself now lives in :mod:`repro.api`; it is re-exported here
+(together with :func:`run_benchmark` / :func:`run_many`) so existing imports
+keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Optional
 
-from repro.core.config import CIAOParameters
-from repro.gpu.config import GPUConfig
-from repro.gpu.gpu import GPU, SimulationResult
-from repro.sched.registry import (
-    canonical_scheduler_name,
-    create_scheduler,
-    uses_shared_cache,
+from repro.api import (  # noqa: F401  (RunConfig re-exported for compatibility)
+    RunConfig,
+    SimulationRequest,
+    execute,
+    scheduler_kwargs_for,
 )
-from repro.workloads.registry import get_benchmark
+from repro.gpu.gpu import SimulationResult
 from repro.workloads.spec import BenchmarkSpec
-from repro.workloads.synthetic import SyntheticKernelModel
-
-
-@dataclass
-class RunConfig:
-    """Sizing and configuration of one simulation run."""
-
-    #: Scales the per-warp instruction count of the workload models
-    #: (1.0 reproduces the default ~2000-2600 instructions per warp).
-    scale: float = 1.0
-    #: Workload RNG seed (streams are deterministic given the seed).
-    seed: int = 1
-    #: Optional launch-geometry overrides (defaults come from the spec).
-    num_ctas: Optional[int] = None
-    warps_per_cta: Optional[int] = None
-    #: Machine configuration (Table I baseline when omitted).
-    gpu_config: GPUConfig = field(default_factory=GPUConfig.gtx480)
-    #: Fig. 12b knob: multiply DRAM bandwidth (2.0 = the "2X" variants).
-    dram_bandwidth_scale: float = 1.0
-    #: CIAO thresholds / epochs (paper defaults when omitted).
-    ciao_params: Optional[CIAOParameters] = None
-    #: Hard cycle budget per SM (guards against pathological runs).
-    max_cycles: Optional[int] = None
 
 
 def _scheduler_kwargs(scheduler: str, spec: BenchmarkSpec, run_config: RunConfig) -> dict:
-    """Per-benchmark scheduler constructor arguments (profiled knobs)."""
-    key = scheduler.lower()
-    if key in ("best-swl", "best_swl", "bestswl"):
-        return {"warp_limit": spec.nwrp}
-    if key == "statpcal":
-        # Token holders keep L1D allocation rights; the profiled limit is the
-        # natural token count (Li et al. size tokens like a wavefront limit).
-        return {"token_count": max(2, spec.nwrp)}
-    if key.startswith("ciao"):
-        params = run_config.ciao_params or CIAOParameters.paper_defaults()
-        return {"params": params}
-    return {}
+    """Deprecated alias of :func:`repro.api.scheduler_kwargs_for`."""
+    return scheduler_kwargs_for(scheduler, spec, run_config)
 
 
 def run_benchmark(
     benchmark: str | BenchmarkSpec,
     scheduler: str = "gto",
     run_config: Optional[RunConfig] = None,
+    *,
+    backend: Optional[str] = None,
     **overrides,
 ) -> SimulationResult:
     """Simulate ``benchmark`` under ``scheduler`` and return the result.
 
     ``overrides`` are applied on top of ``run_config`` (e.g.
-    ``run_benchmark("ATAX", "ciao-c", scale=0.5)``).
+    ``run_benchmark("ATAX", "ciao-c", scale=0.5)``).  ``backend`` selects the
+    execution engine (default: ``REPRO_BACKEND`` or ``"reference"``).
     """
-    # Canonicalise up front so execution, cache keys and the recorded
-    # scheduler_name can never disagree about which policy ran.
-    scheduler = canonical_scheduler_name(scheduler)
     config = replace(run_config, **overrides) if run_config is not None else RunConfig(**overrides)
-    spec = benchmark if isinstance(benchmark, BenchmarkSpec) else get_benchmark(benchmark)
-
-    model = SyntheticKernelModel(
-        spec,
-        scale=config.scale,
-        seed=config.seed,
-        num_ctas=config.num_ctas,
-        warps_per_cta=config.warps_per_cta,
-    )
-    kernel = model.kernel_launch()
-
-    kwargs = _scheduler_kwargs(scheduler, spec, config)
-    gpu = GPU(
-        config.gpu_config,
-        scheduler_factory=lambda: create_scheduler(scheduler, **kwargs),
-        enable_shared_cache=uses_shared_cache(scheduler),
-        dram_bandwidth_scale=config.dram_bandwidth_scale,
-    )
-    return gpu.run(kernel, max_cycles=config.max_cycles, scheduler_name=scheduler)
+    return execute(SimulationRequest(benchmark, scheduler, config, backend=backend))
 
 
 def run_many(
@@ -110,6 +67,7 @@ def run_many(
     *,
     workers: Optional[int] = None,
     cache="auto",
+    backend: Optional[str] = None,
     return_stats: bool = False,
     **overrides,
 ):
@@ -124,12 +82,13 @@ def run_many(
     for any worker count because every job's seed is fixed at submission.
     ``cache`` is ``"auto"`` (environment-default result cache), ``None``
     (disabled), or an explicit :class:`repro.harness.cache.ResultCache`.
+    ``backend`` selects the execution engine for every job of the sweep.
     """
-    from repro.harness.parallel import SweepJob, run_jobs
+    from repro.harness.parallel import run_jobs
 
     config = replace(run_config, **overrides) if run_config is not None else RunConfig(**overrides)
     jobs = [
-        SweepJob(benchmark, scheduler, config)
+        SimulationRequest(benchmark, scheduler, config, backend=backend)
         for benchmark in benchmarks
         for scheduler in schedulers
     ]

@@ -70,6 +70,10 @@ class DRAMStats:
     bytes_transferred: int = 0
     total_queue_delay: int = 0
     busy_cycles: float = 0.0
+    #: Requests that queued behind a burst issued by a *different* requester
+    #: (SM).  This is the inter-SM DRAM contention signal the lock-step
+    #: backend surfaces; it stays zero for single-SM simulations.
+    inter_requester_conflicts: int = 0
 
     @property
     def mean_queue_delay(self) -> float:
@@ -91,6 +95,7 @@ class DRAMModel:
         if self.config.bytes_per_cycle <= 0:
             raise ValueError("DRAM bandwidth must be positive")
         self._channel_free_at = [0.0] * self.config.num_channels
+        self._channel_last_requester = [-1] * self.config.num_channels
         self.stats = DRAMStats()
 
     # ------------------------------------------------------------------
@@ -103,17 +108,25 @@ class DRAMModel:
         per_channel_bw = self.config.bytes_per_cycle / self.config.num_channels
         return self.config.burst_bytes / per_channel_bw
 
-    def service(self, block: int, now: int, *, is_write: bool = False) -> int:
+    def service(
+        self, block: int, now: int, *, is_write: bool = False, requester: int = -1
+    ) -> int:
         """Schedule one 128-byte request; returns its completion cycle.
 
         Writes occupy channel bandwidth but complete (from the requester's
         point of view) after posting, which the caller models by ignoring the
-        returned time for stores.
+        returned time for stores.  ``requester`` identifies the SM the
+        request came from (-1 when unknown) and only feeds the
+        inter-requester contention counter.
         """
         channel = self._channel_of(block)
         burst = self.burst_cycles()
         start = max(float(now), self._channel_free_at[channel])
         queue_delay = start - now
+        previous = self._channel_last_requester[channel]
+        if queue_delay > 0 and requester >= 0 and previous >= 0 and previous != requester:
+            self.stats.inter_requester_conflicts += 1
+        self._channel_last_requester[channel] = requester
         self._channel_free_at[channel] = start + burst
         completion = start + burst + self.config.access_latency
         self.stats.requests += 1

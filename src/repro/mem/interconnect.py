@@ -69,19 +69,25 @@ class L2Slice:
         #: L2 can accept one 128-byte access per ``port_cycles`` cycles.
         self.port_cycles = 2.0
 
-    def access(self, block: int, wid: int, now: int, *, is_write: bool = False) -> int:
-        """Access the L2 for one 128-byte block; returns data-ready cycle."""
+    def access(
+        self, block: int, wid: int, now: int, *, is_write: bool = False, requester: int = -1
+    ) -> int:
+        """Access the L2 for one 128-byte block; returns data-ready cycle.
+
+        ``requester`` is the originating SM id (-1 when unknown); it is
+        forwarded to the DRAM model's inter-requester contention accounting.
+        """
         start = max(float(now), self._port_free_at)
         self._port_free_at = start + self.port_cycles
         byte_address = self.cache.mapping.block_to_byte(block)
         result = self.cache.access(byte_address, wid, is_write=is_write, now=int(start))
         ready = int(start) + self.cache.hit_latency
         if result.is_miss:
-            ready = self.dram.service(block, ready, is_write=is_write)
+            ready = self.dram.service(block, ready, is_write=is_write, requester=requester)
             self.cache.fill(block, ready)
         if result.writeback_block is not None:
             # Dirty L2 victim: consumes DRAM bandwidth but is off the critical path.
-            self.dram.service(result.writeback_block, int(start), is_write=True)
+            self.dram.service(result.writeback_block, int(start), is_write=True, requester=requester)
         return ready
 
     @property

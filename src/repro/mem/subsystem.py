@@ -50,14 +50,16 @@ class MemorySubsystem:
         """Fetch one block for SM ``sm_id``; returns the fill-arrival cycle."""
         port = self._ports[sm_id]
         arrival_at_l2 = port.inject(now)
-        data_ready_at_l2 = self.l2.access(block, wid, arrival_at_l2, is_write=False)
+        data_ready_at_l2 = self.l2.access(
+            block, wid, arrival_at_l2, is_write=False, requester=sm_id
+        )
         return data_ready_at_l2 + port.return_latency()
 
     def write_block(self, sm_id: int, block: int, wid: int, now: int) -> int:
         """Post one write-through store; returns its L2 completion cycle."""
         port = self._ports[sm_id]
         arrival_at_l2 = port.inject(now)
-        return self.l2.access(block, wid, arrival_at_l2, is_write=True)
+        return self.l2.access(block, wid, arrival_at_l2, is_write=True, requester=sm_id)
 
     # ------------------------------------------------------------------
     def dram_utilization(self, elapsed_cycles: int) -> float:
@@ -72,3 +74,8 @@ class MemorySubsystem:
     def l2_hit_rate(self) -> float:
         """L2 hit rate so far."""
         return self.l2.hit_rate
+
+    @property
+    def inter_sm_dram_conflicts(self) -> int:
+        """DRAM requests that queued behind a different SM's burst."""
+        return self.l2.dram.stats.inter_requester_conflicts

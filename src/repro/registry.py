@@ -1,0 +1,109 @@
+"""A small generic name registry with aliases and metadata.
+
+Schedulers, benchmarks and simulation backends are all looked up by
+case-insensitive name from several layers (the harness, the CLI, cache-key
+derivation).  Before this module each of those registries hand-rolled its
+own alias table and error messages; :class:`Registry` centralises the
+behaviour and, more importantly, gives out-of-tree code a supported
+``register()`` hook so new schedulers / benchmarks / backends can be added
+without editing the in-tree registry modules::
+
+    from repro.sched.registry import register_scheduler
+
+    register_scheduler("my-policy", MyScheduler, aliases=("my_policy",))
+
+Lookups are case-insensitive; every registered alias resolves to the
+canonical (registration) name, which is what cache keys and results record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+
+class Registry:
+    """Name -> value mapping with aliases, metadata and ordered listing."""
+
+    def __init__(self, kind: str) -> None:
+        #: Human-readable kind used in error messages ("scheduler", ...).
+        self.kind = kind
+        self._values: dict[str, Any] = {}
+        self._meta: dict[str, dict[str, Any]] = {}
+        self._lookup: dict[str, str] = {}  # lowered name/alias -> canonical
+        self._order: list[str] = []
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        value: Any,
+        *,
+        aliases: Iterable[str] = (),
+        meta: Optional[Mapping[str, Any]] = None,
+        replace: bool = False,
+    ) -> Any:
+        """Register ``value`` under ``name`` (and ``aliases``); returns ``value``.
+
+        Re-registering an existing name (or colliding with another entry's
+        alias) raises ``ValueError`` unless ``replace`` is true, so typos
+        cannot silently shadow built-ins.
+        """
+        keys = [str(name).lower()] + [str(a).lower() for a in aliases]
+        if not replace:
+            for key in keys:
+                if key in self._lookup:
+                    raise ValueError(
+                        f"{self.kind} {key!r} is already registered "
+                        f"(to {self._lookup[key]!r}); pass replace=True to override"
+                    )
+        if name not in self._values:
+            self._order.append(name)
+        self._values[name] = value
+        self._meta[name] = dict(meta or {})
+        for key in keys:
+            self._lookup[key] = name
+        return value
+
+    def unregister(self, name: str) -> Any:
+        """Remove an entry (and all its aliases); returns the stored value.
+
+        Mainly for tests and plugins that shadow a built-in temporarily.
+        """
+        canonical = self.canonical(name)
+        value = self._values.pop(canonical)
+        self._meta.pop(canonical, None)
+        self._order.remove(canonical)
+        self._lookup = {k: v for k, v in self._lookup.items() if v != canonical}
+        return value
+
+    # ------------------------------------------------------------------
+    def canonical(self, name: str) -> str:
+        """Resolve a name or alias to the canonical registered name."""
+        try:
+            return self._lookup[str(name).lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; expected one of {self.names()}"
+            ) from None
+
+    def get(self, name: str) -> Any:
+        """Return the registered value for ``name`` (or one of its aliases)."""
+        return self._values[self.canonical(name)]
+
+    def meta(self, name: str) -> dict[str, Any]:
+        """Metadata dict attached at registration time."""
+        return self._meta[self.canonical(name)]
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names in registration order."""
+        return tuple(self._order)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return str(name).lower() in self._lookup
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {self.names()})"

@@ -1,10 +1,18 @@
-"""Scheduler factory.
+"""Scheduler registry and factory.
 
 Maps the scheduler names used throughout the evaluation (and in Figure 8's
-legend) onto constructor calls.  The CIAO schedulers are imported lazily to
+legend) onto constructor calls, backed by the generic
+:class:`repro.registry.Registry` helper so out-of-tree policies can be added
+without editing this module::
+
+    from repro.sched.registry import register_scheduler
+
+    register_scheduler("my-policy", MyScheduler, aliases=("my_policy",))
+
+The CIAO schedulers are constructed through lazily-importing factories to
 keep the dependency direction ``core -> sched.base`` clean.
 
-Recognised names (case-insensitive):
+Recognised built-in names (case-insensitive):
 
 =============  ==========================================================
 ``gto``        Greedy-then-oldest (the normalisation baseline)
@@ -21,8 +29,9 @@ Recognised names (case-insensitive):
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
+from repro.registry import Registry
 from repro.sched.base import WarpScheduler
 from repro.sched.best_swl import BestSWLScheduler
 from repro.sched.ccws import CCWSScheduler
@@ -31,25 +40,61 @@ from repro.sched.lrr import LooseRoundRobinScheduler
 from repro.sched.statpcal import StatPCALScheduler
 from repro.sched.two_level import TwoLevelScheduler
 
-#: Names of every policy the registry can construct.
-_BASELINES = ("gto", "lrr", "two-level", "best-swl", "ccws", "statpcal")
-_CIAO = ("ciao-p", "ciao-t", "ciao-c")
+_REGISTRY: Registry = Registry("scheduler")
 
-#: Accepted spelling variants mapped onto the canonical hyphenated names.
-_ALIASES = {
-    "two_level": "two-level",
-    "twolevel": "two-level",
-    "best_swl": "best-swl",
-    "bestswl": "best-swl",
-    "ciao_p": "ciao-p",
-    "ciao_t": "ciao-t",
-    "ciao_c": "ciao-c",
-}
+
+def register_scheduler(
+    name: str,
+    factory: Callable[..., WarpScheduler],
+    *,
+    aliases: Iterable[str] = (),
+    shared_cache: bool = False,
+    replace: bool = False,
+) -> Callable[..., WarpScheduler]:
+    """Register a scheduler constructor under ``name`` (and ``aliases``).
+
+    ``shared_cache=True`` marks policies that need the CIAO shared-memory
+    cache enabled on every SM they run on.
+    """
+    return _REGISTRY.register(
+        name,
+        factory,
+        aliases=aliases,
+        meta={"shared_cache": shared_cache},
+        replace=replace,
+    )
+
+
+def unregister_scheduler(name: str) -> Callable[..., WarpScheduler]:
+    """Remove a registered scheduler (by any alias); returns its factory."""
+    return _REGISTRY.unregister(name)
+
+
+def _ciao(mode_name: str) -> Callable[..., WarpScheduler]:
+    """Factory for one CIAO mode, importing ``repro.core`` only when called."""
+
+    def build(**kwargs) -> WarpScheduler:
+        from repro.core.ciao_scheduler import CIAOMode, CIAOScheduler
+
+        return CIAOScheduler(mode=CIAOMode[mode_name], **kwargs)
+
+    return build
+
+
+register_scheduler("gto", GTOScheduler)
+register_scheduler("lrr", LooseRoundRobinScheduler)
+register_scheduler("two-level", TwoLevelScheduler, aliases=("two_level", "twolevel"))
+register_scheduler("best-swl", BestSWLScheduler, aliases=("best_swl", "bestswl"))
+register_scheduler("ccws", CCWSScheduler)
+register_scheduler("statpcal", StatPCALScheduler)
+register_scheduler("ciao-p", _ciao("PARTITION_ONLY"), aliases=("ciao_p",), shared_cache=True)
+register_scheduler("ciao-t", _ciao("THROTTLE_ONLY"), aliases=("ciao_t",))
+register_scheduler("ciao-c", _ciao("COMBINED"), aliases=("ciao_c",), shared_cache=True)
 
 
 def scheduler_names() -> tuple[str, ...]:
     """All scheduler names :func:`create_scheduler` accepts."""
-    return _BASELINES + _CIAO
+    return _REGISTRY.names()
 
 
 def canonical_scheduler_name(name: str) -> str:
@@ -59,16 +104,12 @@ def canonical_scheduler_name(name: str) -> str:
     never simulated twice just because two callers spelled it differently.
     Raises ``KeyError`` for unknown schedulers.
     """
-    key = name.lower()
-    key = _ALIASES.get(key, key)
-    if key not in _BASELINES + _CIAO:
-        raise KeyError(f"unknown scheduler {name!r}; expected one of {scheduler_names()}")
-    return key
+    return _REGISTRY.canonical(name)
 
 
 def uses_shared_cache(name: str) -> bool:
     """True for policies that need the CIAO shared-memory cache enabled."""
-    return canonical_scheduler_name(name) in ("ciao-p", "ciao-c")
+    return bool(_REGISTRY.meta(name).get("shared_cache"))
 
 
 def create_scheduler(name: str, **kwargs) -> WarpScheduler:
@@ -79,32 +120,7 @@ def create_scheduler(name: str, **kwargs) -> WarpScheduler:
     cutoff/epoch parameters (see
     :class:`repro.core.config.CIAOParameters`).
     """
-    key = name.lower()
-    if key == "gto":
-        return GTOScheduler(**kwargs)
-    if key == "lrr":
-        return LooseRoundRobinScheduler(**kwargs)
-    if key in ("two-level", "two_level", "twolevel"):
-        return TwoLevelScheduler(**kwargs)
-    if key in ("best-swl", "best_swl", "bestswl"):
-        return BestSWLScheduler(**kwargs)
-    if key == "ccws":
-        return CCWSScheduler(**kwargs)
-    if key == "statpcal":
-        return StatPCALScheduler(**kwargs)
-    if key in ("ciao-p", "ciao_p", "ciao-t", "ciao_t", "ciao-c", "ciao_c"):
-        from repro.core.ciao_scheduler import CIAOScheduler, CIAOMode
-
-        mode = {
-            "ciao-p": CIAOMode.PARTITION_ONLY,
-            "ciao_p": CIAOMode.PARTITION_ONLY,
-            "ciao-t": CIAOMode.THROTTLE_ONLY,
-            "ciao_t": CIAOMode.THROTTLE_ONLY,
-            "ciao-c": CIAOMode.COMBINED,
-            "ciao_c": CIAOMode.COMBINED,
-        }[key]
-        return CIAOScheduler(mode=mode, **kwargs)
-    raise KeyError(f"unknown scheduler {name!r}; expected one of {scheduler_names()}")
+    return _REGISTRY.get(name)(**kwargs)
 
 
 def scheduler_factory(name: str, **kwargs) -> Callable[[], WarpScheduler]:

@@ -1,11 +1,20 @@
 """Benchmark registry (the programmatic form of Table II).
 
 Aggregates the benchmark specifications of the three suites and provides
-lookup helpers used by the harness, the examples and the benches.
+lookup helpers used by the harness, the examples and the benches.  Backed by
+the generic :class:`repro.registry.Registry`, so out-of-tree workloads can
+be added without editing this module::
+
+    from repro.workloads.registry import register_benchmark
+
+    register_benchmark(my_spec)  # then run_benchmark(my_spec.name, ...)
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
+from repro.registry import Registry
 from repro.workloads.mars import MARS_BENCHMARKS
 from repro.workloads.polybench import POLYBENCH_BENCHMARKS
 from repro.workloads.rodinia import RODINIA_BENCHMARKS
@@ -21,22 +30,55 @@ __all__ = [
     "benchmarks_by_class",
     "benchmarks_by_suite",
     "get_benchmark",
+    "register_benchmark",
     "resolve_benchmark_names",
+    "unregister_benchmark",
     "MEMORY_INTENSIVE_BENCHMARKS",
     "TABLE_II_ROWS",
 ]
 
-#: Every benchmark of Table II, in the paper's listing order.
-_ALL: tuple[BenchmarkSpec, ...] = (
+_REGISTRY: Registry = Registry("benchmark")
+
+#: Every registered benchmark, in registration (Table II) order.
+_ALL: list[BenchmarkSpec] = []
+
+
+def register_benchmark(
+    spec: BenchmarkSpec, *, aliases: Iterable[str] = (), replace: bool = False
+) -> BenchmarkSpec:
+    """Register ``spec`` for lookup by (case-insensitive) name.
+
+    Out-of-tree benchmarks registered here are accepted everywhere a
+    benchmark name is: ``run_benchmark``, sweeps, the CLI and cache keys.
+    """
+    if replace and spec.name in _REGISTRY:
+        # Replacing in place: drop the old spec from the listing so the
+        # name never appears (and sweeps never simulate it) twice.
+        old = _REGISTRY.get(spec.name)
+        if old in _ALL:
+            _ALL.remove(old)
+    _REGISTRY.register(spec.name, spec, aliases=aliases, replace=replace)
+    _ALL.append(spec)
+    return spec
+
+
+def unregister_benchmark(name: str) -> BenchmarkSpec:
+    """Remove a registered benchmark (by any alias); returns its spec."""
+    spec = _REGISTRY.unregister(name)
+    _ALL.remove(spec)
+    return spec
+
+
+#: Table II, in the paper's listing order.
+for _spec in (
     POLYBENCH_BENCHMARKS[:6]          # ATAX, BICG, MVT, GESUMMV, SYR2K, SYRK
     + (MARS_BENCHMARKS[0],)           # KMN
     + (RODINIA_BENCHMARKS[0],)        # Kmeans
     + MARS_BENCHMARKS[1:]             # II, PVC, SS, SM, WC
     + POLYBENCH_BENCHMARKS[6:]        # 2DCONV, CORR
     + RODINIA_BENCHMARKS[1:]          # Gaussian, Backprop, Hotspot, Lud, NN, NW
-)
-
-_BY_NAME: dict[str, BenchmarkSpec] = {spec.name.upper(): spec for spec in _ALL}
+):
+    register_benchmark(_spec)
 
 #: The seven memory-intensive workloads used in the sensitivity study
 #: (Figure 11): ATAX, GESUMMV, SYR2K, SYRK, BICG, MVT, Kmeans.
@@ -53,7 +95,7 @@ MEMORY_INTENSIVE_BENCHMARKS: tuple[str, ...] = (
 
 def all_benchmarks() -> tuple[BenchmarkSpec, ...]:
     """Every benchmark spec, in Table II order (as plotted in Figure 8a)."""
-    return _ALL
+    return tuple(_ALL)
 
 
 def benchmark_names() -> tuple[str, ...]:
@@ -63,12 +105,7 @@ def benchmark_names() -> tuple[str, ...]:
 
 def get_benchmark(name: str) -> BenchmarkSpec:
     """Look a benchmark up by (case-insensitive) name."""
-    try:
-        return _BY_NAME[name.upper()]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown benchmark {name!r}; expected one of {benchmark_names()}"
-        ) from exc
+    return _REGISTRY.get(name)
 
 
 def resolve_benchmark_names(selectors: "list[str] | tuple[str, ...]") -> list[str]:

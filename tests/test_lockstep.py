@@ -1,0 +1,134 @@
+"""Tests for the lock-step multi-SM backend (repro.gpu.lockstep)."""
+
+import pytest
+
+from repro.api import RunConfig, SimulationRequest
+from repro.gpu.config import GPUConfig
+from repro.harness.parallel import run_jobs
+from repro.harness.runner import run_benchmark
+
+SMALL = dict(scale=0.05, seed=1)
+
+
+def _pair(benchmark, scheduler, **overrides):
+    ref = run_benchmark(benchmark, scheduler, backend="reference", **SMALL, **overrides)
+    lock = run_benchmark(benchmark, scheduler, backend="lockstep", **SMALL, **overrides)
+    return ref, lock
+
+
+def _without_backend(result):
+    payload = result.to_dict()
+    payload["data"]["fields"].pop("backend")
+    return payload
+
+
+class TestSingleSMParity:
+    """At num_sms=1 the lock-step loop must reduce exactly to the serialized
+    loop: every counter, stall, time series and interference matrix is
+    bit-for-bit identical (only the recorded backend name differs)."""
+
+    @pytest.mark.parametrize("scheduler", ["gto", "ccws", "best-swl", "ciao-c"])
+    def test_bit_for_bit_across_schedulers(self, scheduler):
+        ref, lock = _pair("ATAX", scheduler)
+        assert _without_backend(ref) == _without_backend(lock)
+
+    @pytest.mark.parametrize("bench", ["SYRK", "WC", "Backprop"])
+    def test_bit_for_bit_across_workload_classes(self, bench):
+        ref, lock = _pair(bench, "gto")
+        assert _without_backend(ref) == _without_backend(lock)
+
+    def test_parity_with_cycle_budget(self):
+        ref, lock = _pair("SYRK", "gto", max_cycles=5_000)
+        assert _without_backend(ref) == _without_backend(lock)
+
+    def test_single_sm_has_no_inter_sm_conflicts(self):
+        _, lock = _pair("ATAX", "gto")
+        assert lock.inter_sm_dram_conflicts == 0
+
+
+class TestMultiSM:
+    CONFIG = RunConfig(scale=0.05, seed=1, gpu_config=GPUConfig.gtx480(num_sms=2))
+
+    def test_lockstep_observes_inter_sm_dram_contention(self):
+        result = run_benchmark("ATAX", "gto", self.CONFIG, backend="lockstep")
+        assert len(result.per_sm) == 2
+        assert result.inter_sm_dram_conflicts > 0
+
+    def test_sms_finish_together_not_serially(self):
+        # In the serialized mode SM1 only starts once SM0 finished, so its
+        # recorded cycle count balloons; in lock step both SMs share the
+        # clock and finish within a whisker of each other.
+        lock = run_benchmark("ATAX", "gto", self.CONFIG, backend="lockstep")
+        cycles = [stats.cycles for stats in lock.per_sm]
+        assert max(cycles) < 1.05 * min(cycles)
+
+    def test_serialized_mode_underestimates_contention(self):
+        # The whole point of the lock-step engine: SMs simulated one after
+        # another almost never observe another SM's in-flight DRAM bursts,
+        # while interleaved SMs genuinely queue behind each other.
+        ref = run_benchmark("ATAX", "gto", self.CONFIG, backend="reference")
+        lock = run_benchmark("ATAX", "gto", self.CONFIG, backend="lockstep")
+        assert lock.inter_sm_dram_conflicts > ref.inter_sm_dram_conflicts
+
+    def test_lockstep_is_deterministic(self):
+        a = run_benchmark("SYRK", "ccws", self.CONFIG, backend="lockstep")
+        b = run_benchmark("SYRK", "ccws", self.CONFIG, backend="lockstep")
+        assert a == b
+
+
+class TestEngineIntegration:
+    def test_sweep_engine_runs_lockstep_jobs(self):
+        jobs = [
+            SimulationRequest("ATAX", "gto", RunConfig(**SMALL), backend="lockstep"),
+            SimulationRequest("SYRK", "gto", RunConfig(**SMALL), backend="reference"),
+        ]
+        outcome = run_jobs(jobs, workers=1, cache=None)
+        assert outcome.results[0].backend == "lockstep"
+        assert outcome.results[1].backend == "reference"
+        assert "lockstep" in outcome.stats.backend
+        assert "reference" in outcome.stats.backend
+
+    def test_run_jobs_backend_argument_fills_unpinned_jobs(self):
+        jobs = [SimulationRequest("ATAX", "gto", RunConfig(**SMALL))]
+        outcome = run_jobs(jobs, workers=1, cache=None, backend="lockstep")
+        assert outcome.results[0].backend == "lockstep"
+
+    def test_cached_lockstep_results_round_trip(self, tmp_path):
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        jobs = [SimulationRequest("ATAX", "gto", RunConfig(**SMALL), backend="lockstep")]
+        cold = run_jobs(jobs, workers=1, cache=cache)
+        warm = run_jobs(jobs, workers=1, cache=cache)
+        assert warm.stats.cache_hits == 1
+        assert warm.results[0] == cold.results[0]
+        assert warm.results[0].backend == "lockstep"
+
+    def test_backends_never_share_cache_entries(self, tmp_path):
+        from repro.harness.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        ref_job = SimulationRequest("ATAX", "gto", RunConfig(**SMALL), backend="reference")
+        lock_job = SimulationRequest("ATAX", "gto", RunConfig(**SMALL), backend="lockstep")
+        run_jobs([ref_job], workers=1, cache=cache)
+        outcome = run_jobs([lock_job], workers=1, cache=cache)
+        assert outcome.stats.cache_hits == 0
+        assert outcome.results[0].backend == "lockstep"
+
+    def test_parallel_workers_match_in_process(self):
+        jobs = [
+            SimulationRequest(b, "gto", RunConfig(**SMALL), backend="lockstep")
+            for b in ("ATAX", "SYRK")
+        ]
+        sequential = run_jobs(jobs, workers=1, cache=None)
+        parallel = run_jobs(jobs, workers=2, cache=None)
+        for seq, par in zip(sequential.results, parallel.results):
+            assert seq == par
+
+    def test_experiment_accepts_backend(self):
+        from repro.harness import experiments
+
+        out = experiments.fig1_bestswl_vs_ccws(
+            scale=0.05, seed=1, workers=1, cache=None, backend="lockstep"
+        )
+        assert out["engine"]["backend"] == "lockstep"

@@ -1,0 +1,144 @@
+"""Tests for the generic registry helper and its three users."""
+
+import pytest
+
+from repro.registry import Registry
+
+
+class TestGenericRegistry:
+    def test_register_get_names_order(self):
+        reg = Registry("thing")
+        reg.register("b", 2)
+        reg.register("a", 1)
+        assert reg.names() == ("b", "a")
+        assert reg.get("a") == 1
+        assert len(reg) == 2
+
+    def test_case_insensitive_and_aliases(self):
+        reg = Registry("thing")
+        reg.register("Two-Level", "x", aliases=("two_level", "twolevel"))
+        assert reg.canonical("TWO-LEVEL") == "Two-Level"
+        assert reg.canonical("two_level") == "Two-Level"
+        assert "TwoLevel" in reg
+        assert "other" not in reg
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("thing")
+        reg.register("a", 1, aliases=("b",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("a", 2)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("c", 3, aliases=("b",))
+        reg.register("a", 2, replace=True)
+        assert reg.get("a") == 2
+
+    def test_unknown_name_error_lists_known(self):
+        reg = Registry("gadget")
+        reg.register("known", 1)
+        with pytest.raises(KeyError, match="unknown gadget 'nope'.*known"):
+            reg.canonical("nope")
+
+    def test_meta(self):
+        reg = Registry("thing")
+        reg.register("a", 1, meta={"flag": True})
+        assert reg.meta("A") == {"flag": True}
+
+
+class TestSchedulerRegistryHook:
+    def test_register_out_of_tree_scheduler(self):
+        from repro.sched.gto import GTOScheduler
+        from repro.sched.registry import (
+            canonical_scheduler_name,
+            create_scheduler,
+            register_scheduler,
+            scheduler_names,
+            unregister_scheduler,
+        )
+
+        class MyScheduler(GTOScheduler):
+            pass
+
+        register_scheduler("my-test-policy", MyScheduler, aliases=("my_test_policy",))
+        try:
+            assert "my-test-policy" in scheduler_names()
+            assert canonical_scheduler_name("MY_TEST_POLICY") == "my-test-policy"
+            assert isinstance(create_scheduler("my-test-policy"), MyScheduler)
+        finally:
+            unregister_scheduler("my-test-policy")
+        assert "my-test-policy" not in scheduler_names()
+
+    def test_registered_scheduler_runs_end_to_end(self):
+        from repro.harness.runner import run_benchmark
+        from repro.sched.gto import GTOScheduler
+        from repro.sched.registry import register_scheduler, unregister_scheduler
+
+        class EndToEndScheduler(GTOScheduler):
+            pass
+
+        register_scheduler("e2e-test-policy", EndToEndScheduler)
+        try:
+            result = run_benchmark("ATAX", "e2e-test-policy", scale=0.05, seed=1)
+            assert result.scheduler_name == "e2e-test-policy"
+            assert result.ipc > 0
+        finally:
+            unregister_scheduler("e2e-test-policy")
+
+
+class TestBenchmarkRegistryHook:
+    def test_register_out_of_tree_benchmark(self):
+        import dataclasses
+
+        from repro.workloads.registry import (
+            benchmark_names,
+            get_benchmark,
+            register_benchmark,
+            unregister_benchmark,
+        )
+
+        spec = dataclasses.replace(get_benchmark("ATAX"), name="ATAX-TESTVARIANT")
+        register_benchmark(spec)
+        try:
+            assert get_benchmark("atax-testvariant") == spec
+            assert "ATAX-TESTVARIANT" in benchmark_names()
+        finally:
+            unregister_benchmark("ATAX-TESTVARIANT")
+        assert "ATAX-TESTVARIANT" not in benchmark_names()
+
+    def test_registered_benchmark_runs_end_to_end(self):
+        import dataclasses
+
+        from repro.harness.runner import run_benchmark
+        from repro.workloads.registry import (
+            get_benchmark,
+            register_benchmark,
+            unregister_benchmark,
+        )
+
+        spec = dataclasses.replace(get_benchmark("SYRK"), name="SYRK-E2EVARIANT")
+        register_benchmark(spec)
+        try:
+            result = run_benchmark("SYRK-E2EVARIANT", "gto", scale=0.05, seed=1)
+            assert result.kernel_name == "SYRK-E2EVARIANT"
+            assert result.ipc > 0
+        finally:
+            unregister_benchmark("SYRK-E2EVARIANT")
+
+    def test_duplicate_benchmark_rejected(self):
+        from repro.workloads.registry import get_benchmark, register_benchmark
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_benchmark(get_benchmark("ATAX"))
+
+
+class TestErrorMessagesPreserved:
+    def test_scheduler_error_format(self):
+        from repro.sched.registry import canonical_scheduler_name
+
+        with pytest.raises(KeyError, match="unknown scheduler 'bogus'"):
+            canonical_scheduler_name("bogus")
+
+    def test_benchmark_error_format(self):
+        from repro.workloads.registry import get_benchmark
+
+        with pytest.raises(KeyError, match="unknown benchmark 'BOGUS'"):
+            get_benchmark("BOGUS")

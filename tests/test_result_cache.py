@@ -25,9 +25,9 @@ class TestCacheHits:
         calls = []
         real = parallel_mod.run_benchmark
 
-        def counting(benchmark, scheduler, run_config):
+        def counting(benchmark, scheduler, run_config, backend=None):
             calls.append((str(benchmark), scheduler))
-            return real(benchmark, scheduler, run_config)
+            return real(benchmark, scheduler, run_config, backend=backend)
 
         monkeypatch.setattr(parallel_mod, "run_benchmark", counting)
         cold = run_jobs(jobs, workers=1, cache=cache)
