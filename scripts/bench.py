@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Standalone launcher for the perf harness (``repro bench``).
+
+Usable without installing the package — this is the CI entry point::
+
+    python scripts/bench.py --quick --out bench-out \
+        --baseline benchmarks/bench_baseline.json
+
+All arguments are forwarded to ``repro bench`` (see ``repro bench --help``
+and docs/PERFORMANCE.md).  Exit codes: 0 ok, 1 throughput regression
+against the baseline, 2 usage / argument errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Regenerate the golden-stats fixtures under ``tests/goldens/``.
+
+The golden file pins the *exact* simulation output — every counter, stall,
+time series and interference matrix of ``SimulationResult.to_dict()`` — for
+a small benchmark matrix across every registered scheduler and both in-tree
+backends.  ``tests/test_goldens.py`` recomputes each entry and compares it
+bit-for-bit, so any perf work on the cycle engine that changes semantics
+(however subtly) fails loudly instead of silently drifting the paper's
+figures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+
+Only regenerate (and commit the diff) when a change is *supposed* to alter
+simulation semantics; pure performance work must leave this file untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import RESULT_SCHEMA, RunConfig, SimulationRequest, execute  # noqa: E402
+from repro.sched.registry import scheduler_names  # noqa: E402
+
+#: Fixture sizing: small enough that the whole matrix replays in seconds,
+#: large enough that every scheduler mechanism (throttling, redirection,
+#: bypassing, barriers) actually fires.
+SCALE = 0.05
+SEED = 1
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "goldens" / "golden_stats.json"
+
+#: Every scheduler runs on the primary benchmark; two more benchmarks (a
+#: sub-working-set and a compute/irregular workload) cover the main paper
+#: mechanisms under the baseline and the full CIAO scheme.
+PRIMARY_BENCHMARK = "ATAX"
+EXTRA_BENCHMARKS = ("SYRK", "WC")
+EXTRA_SCHEDULERS = ("gto", "ciao-c")
+BACKENDS = ("reference", "lockstep")
+
+
+def golden_matrix() -> list[tuple[str, str, str]]:
+    """The pinned (benchmark, scheduler, backend) grid."""
+    cases = [
+        (PRIMARY_BENCHMARK, sched, backend)
+        for sched in scheduler_names()
+        for backend in BACKENDS
+    ]
+    cases += [
+        (bench, sched, backend)
+        for bench in EXTRA_BENCHMARKS
+        for sched in EXTRA_SCHEDULERS
+        for backend in BACKENDS
+    ]
+    return cases
+
+
+def compute_entry(benchmark: str, scheduler: str, backend: str) -> dict:
+    """Simulate one golden case and return its JSON-normalised result."""
+    request = SimulationRequest(
+        benchmark, scheduler, RunConfig(scale=SCALE, seed=SEED), backend=backend
+    )
+    result = execute(request)
+    # Round-trip through the JSON text form so the stored fixture and a
+    # freshly computed result compare with plain ``==``.
+    return json.loads(json.dumps(result.to_dict(), sort_keys=True))
+
+
+def main() -> int:
+    os.environ.setdefault("REPRO_RESULT_CACHE", "0")
+    os.environ.setdefault("REPRO_LEDGER", "0")
+    entries = {}
+    for benchmark, scheduler, backend in golden_matrix():
+        key = f"{benchmark}/{scheduler}/{backend}"
+        print(f"golden: {key}", file=sys.stderr)
+        entries[key] = compute_entry(benchmark, scheduler, backend)
+    payload = {
+        "_meta": {
+            "scale": SCALE,
+            "seed": SEED,
+            "result_schema": RESULT_SCHEMA,
+            "regen": "PYTHONPATH=src python scripts/regen_goldens.py",
+        },
+        "entries": entries,
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(entries)} entries)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

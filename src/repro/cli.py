@@ -17,9 +17,15 @@ Subcommands
 ``repro reproduce FIGURE ...``
     Regenerate the data behind a figure / table of the paper (``fig8``,
     ``fig11a``, ``table2``, ... or ``all``) as JSON.
+``repro bench [--quick] [--baseline PATH]``
+    Measure simulator throughput (simulated cycles per second) on the
+    pinned workload matrix, write ``BENCH_<rev>.json``, append to the bench
+    ledger, and optionally gate against a baseline report (exit code 1 on
+    regression).  See docs/PERFORMANCE.md.
 ``repro cache [show|stats|clear]``
     Show the content-addressed result cache, print the bench-ledger
-    statistics (warm vs cold sweep trajectory), or clear the cache.
+    statistics (warm vs cold sweep trajectory and the ``repro bench``
+    throughput trajectory), or clear the cache.
 ``repro list``
     List the available benchmarks, schedulers and backends
     (``--backends`` for backends only).
@@ -40,7 +46,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.api import SimulationRequest
-from repro.backends import backend_names
+from repro.backends import backend_names, resolve_backend_name
 from repro.harness.cache import ResultCache, cache_enabled_by_env, default_cache_dir
 from repro.harness.ledger import ledger_path, read_ledger, summarize_ledger
 from repro.harness.parallel import SweepError, derive_seed, run_jobs
@@ -256,6 +262,87 @@ def cmd_reproduce(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro bench
+# ---------------------------------------------------------------------------
+def cmd_bench(args) -> int:
+    from repro.harness import bench as bench_mod
+
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+    benchmarks = resolve_benchmark_names(args.benchmarks) if args.benchmarks else None
+    schedulers = (
+        [canonical_scheduler_name(s) for s in args.schedulers] if args.schedulers else None
+    )
+    cases = bench_mod.bench_matrix(
+        quick=args.quick,
+        backend=resolve_backend_name(args.backend),
+        benchmarks=benchmarks,
+        schedulers=schedulers,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    progress = None if args.json else (lambda message: print(message, file=sys.stderr))
+    report = bench_mod.run_bench(
+        cases, repeats=args.repeat, quick=args.quick, progress=progress
+    )
+    report_path = None
+    if not args.no_write:
+        report_path = bench_mod.write_report(report, args.out)
+    ledger = bench_mod.record_bench(report)
+
+    problems: list[str] = []
+    if args.baseline:
+        try:
+            baseline = bench_mod.load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = bench_mod.compare_reports(report, baseline, tolerance=args.tolerance)
+
+    if args.json:
+        json.dump(
+            {
+                **report,
+                "report_path": str(report_path) if report_path else None,
+                "baseline": args.baseline,
+                "regressions": problems,
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        rows = [
+            {
+                "benchmark": c["benchmark"],
+                "scheduler": c["scheduler"],
+                "backend": c["backend"],
+                "wall_s": c["wall_seconds"],
+                "cycles_per_s": c["cycles_per_second"],
+            }
+            for c in report["cases"]
+        ]
+        print(format_table(rows))
+        aggregate = report["aggregate"]
+        print(
+            f"\naggregate: {aggregate['cycles']} cycles in "
+            f"{aggregate['wall_seconds']:.2f}s = "
+            f"{aggregate['cycles_per_second']:.0f} cycles/sec (rev {report['rev']})"
+        )
+        if report_path is not None:
+            print(f"wrote {report_path}")
+        if ledger is not None:
+            print(f"ledger: {ledger}")
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+    return 1 if problems else 0
+
+
+# ---------------------------------------------------------------------------
 # repro cache / repro list
 # ---------------------------------------------------------------------------
 def cmd_cache(args) -> int:
@@ -285,7 +372,12 @@ def cmd_cache(args) -> int:
                 f"{name}: {count}" for name, count in sorted(summary["sweeps_by_backend"].items())
             )
             print(f"by backend      : {per_backend}")
-        recent = entries[-5:]
+        if summary["bench_runs"]:
+            print(f"bench runs      : {summary['bench_runs']} "
+                  f"(latest {summary['bench_latest_cycles_per_second']:.0f} cyc/s"
+                  f" @ {summary['bench_latest_rev'] or '?'}, "
+                  f"best {summary['bench_best_cycles_per_second']:.0f} cyc/s)")
+        recent = [e for e in entries if e.get("kind") != "bench"][-5:]
         print("\nmost recent sweeps:")
         print(format_table([
             {
@@ -369,6 +461,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_options(p_rep)
     p_rep.add_argument("--out", help="write JSON here instead of stdout")
     p_rep.set_defaults(func=cmd_reproduce)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator throughput (cycles/sec) on the pinned workload matrix",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="run the small smoke matrix (CI-sized, a few seconds)")
+    p_bench.add_argument("-b", "--benchmarks", nargs="+", metavar="BENCH",
+                         help="override the pinned benchmark list (names or selectors)")
+    p_bench.add_argument("-s", "--schedulers", nargs="+", metavar="SCHED",
+                         help="override the pinned scheduler list")
+    p_bench.add_argument("--scale", type=float, default=None,
+                         help="override the pinned workload scale")
+    p_bench.add_argument("--seed", type=int, default=1,
+                         help="workload RNG seed (default 1)")
+    p_bench.add_argument("--backend", default=None, metavar="NAME",
+                         help="execution engine to measure, one of: "
+                              f"{', '.join(backend_names())} "
+                              "(default: REPRO_BACKEND or 'reference')")
+    p_bench.add_argument("--repeat", type=int, default=1, metavar="N",
+                         help="time each case N times and keep the best (default 1)")
+    p_bench.add_argument("--out", default=".", metavar="DIR",
+                         help="directory for the BENCH_<rev>.json report (default: .)")
+    p_bench.add_argument("--no-write", action="store_true",
+                         help="skip writing the BENCH_<rev>.json report")
+    p_bench.add_argument("--baseline", metavar="PATH",
+                         help="compare against a baseline BENCH_*.json; exit 1 when "
+                              "cycles/sec regressed beyond --tolerance")
+    p_bench.add_argument("--tolerance", type=float, default=0.30, metavar="FRAC",
+                         help="allowed fractional cycles/sec regression vs the "
+                              "baseline (default 0.30)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit the report (plus any regressions) as JSON")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect the result cache and bench ledger")
     p_cache.add_argument("action", nargs="?", choices=("show", "stats", "clear"),

@@ -47,13 +47,20 @@ class KernelLaunch:
             raise ValueError("shared memory per CTA cannot be negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class CTA:
-    """One resident CTA and its barrier state."""
+    """One resident CTA and its barrier state.
+
+    ``num_at_barrier`` counts the warps currently parked at the barrier so
+    the SM's throttling check (`may a throttled warp ignore its throttle?`)
+    is O(1) instead of a scan; warps cannot retire while parked, so a
+    finished warp never contributes to the count.
+    """
 
     cta_id: int
     warps: list[Warp] = field(default_factory=list)
     barriers_completed: int = 0
+    num_at_barrier: int = 0
 
     def add_warp(self, warp: Warp) -> None:
         """Attach a warp to this CTA."""
@@ -70,12 +77,12 @@ class CTA:
         Returns the list of warps released (all of them once the last
         unfinished warp arrives, otherwise an empty list).
         """
-        warp.at_barrier = True
+        if not warp.at_barrier:
+            warp.at_barrier = True
+            self.num_at_barrier += 1
         waiting = self.unfinished_warps()
         if all(w.at_barrier for w in waiting):
-            for w in waiting:
-                w.at_barrier = False
-            self.barriers_completed += 1
+            self._release(waiting)
             return waiting
         return []
 
@@ -88,11 +95,16 @@ class CTA:
         """
         waiting = self.unfinished_warps()
         if waiting and all(w.at_barrier for w in waiting):
-            for w in waiting:
-                w.at_barrier = False
-            self.barriers_completed += 1
+            self._release(waiting)
             return waiting
         return []
+
+    def _release(self, waiting: list[Warp]) -> None:
+        for w in waiting:
+            if w.at_barrier:
+                w.at_barrier = False
+                self.num_at_barrier -= 1
+        self.barriers_completed += 1
 
     def is_finished(self) -> bool:
         """True when every warp of the CTA retired."""

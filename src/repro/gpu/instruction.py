@@ -42,9 +42,13 @@ GLOBAL_MEMORY_KINDS = frozenset({InstructionKind.LOAD, InstructionKind.STORE})
 SHARED_MEMORY_KINDS = frozenset({InstructionKind.SHARED_LOAD, InstructionKind.SHARED_STORE})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One warp instruction.
+
+    Instances are allocated once per simulated warp instruction (millions per
+    run), so the class is slotted to keep construction and attribute access
+    cheap.
 
     Attributes
     ----------
@@ -73,10 +77,18 @@ class Instruction:
             raise ValueError("latency cannot be negative")
 
     # -- convenience constructors -------------------------------------------
+    # Address-free instructions are immutable and carry no per-issue state,
+    # so the constructors below hand out interned instances: a workload
+    # stream emits millions of ALU instructions and one object serves them
+    # all.
     @staticmethod
     def alu(latency: int = 1) -> "Instruction":
         """An arithmetic instruction."""
-        return Instruction(InstructionKind.ALU, latency=latency)
+        instruction = _ALU_CACHE.get(latency)
+        if instruction is None:
+            instruction = Instruction(InstructionKind.ALU, latency=latency)
+            _ALU_CACHE[latency] = instruction
+        return instruction
 
     @staticmethod
     def load(addresses: Sequence[int]) -> "Instruction":
@@ -101,12 +113,12 @@ class Instruction:
     @staticmethod
     def barrier() -> "Instruction":
         """A CTA-wide barrier."""
-        return Instruction(InstructionKind.BARRIER)
+        return _BARRIER_SINGLETON
 
     @staticmethod
     def exit() -> "Instruction":
         """Warp termination."""
-        return Instruction(InstructionKind.EXIT)
+        return _EXIT_SINGLETON
 
     # -- classification -------------------------------------------------------
     @property
@@ -133,3 +145,9 @@ class Instruction:
     def is_store(self) -> bool:
         """True for global or shared stores."""
         return self.kind in (InstructionKind.STORE, InstructionKind.SHARED_STORE)
+
+
+#: Interned address-free instructions (see the constructor notes above).
+_ALU_CACHE: dict[int, Instruction] = {}
+_BARRIER_SINGLETON = Instruction(InstructionKind.BARRIER)
+_EXIT_SINGLETON = Instruction(InstructionKind.EXIT)

@@ -21,6 +21,13 @@ between the two backends, which the test suite pins down
 The global fast-forward keeps pure-Python simulation practical: when no SM
 can issue, the clock jumps straight to the earliest in-flight memory event
 across all SMs.
+
+Driver-side cost is kept proportional to *change*, not to SM count times
+cycle count: ``has_work()`` and ``can_issue()`` are O(1)/indexed on the SM
+side (the SM's incremental ready index), and the driver keeps a cross-SM
+*event index* — each SM's ``next_event_time()`` is cached against its
+``events_version`` stamp, so SMs that are provably waiting (no fill-event
+churn) are not re-queried on every fast-forward decision.
 """
 
 from __future__ import annotations
@@ -52,6 +59,19 @@ def run_lockstep(
     finalized: set[int] = set()
     per_sm_stats: dict[int, SMStats] = {}
 
+    # Cross-SM event index: next_event_time() per SM, cached against the
+    # SM's events_version stamp so waiting SMs are not re-scanned.
+    event_cache: dict[int, tuple[int, Optional[int]]] = {}
+
+    def next_event(sm) -> Optional[int]:
+        version = sm.events_version
+        cached = event_cache.get(sm.sm_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        value = sm.next_event_time()
+        event_cache[sm.sm_id] = (version, value)
+        return value
+
     while live and cycle < budget:
         stepped: list[tuple] = []
         issued_any = False
@@ -80,7 +100,7 @@ def run_lockstep(
 
         # Nobody issued anywhere: fast-forward the global clock to the
         # earliest in-flight memory event across all SMs.
-        event_times = [t for sm in live if (t := sm.next_event_time()) is not None]
+        event_times = [t for sm in live if (t := next_event(sm)) is not None]
         if event_times:
             target = min(event_times)
             if target > cycle:

@@ -19,12 +19,44 @@ cycle-approximate execution loop:
 The scheduler object is duck-typed (see :class:`repro.sched.base.WarpScheduler`
 for the reference interface): the SM calls ``attach``, ``select``,
 ``on_cycle``, ``notify_issue``, ``notify_global_access``, ``should_bypass_l1``,
-``on_warp_retired`` and ``on_no_progress``.
+``on_warp_retired`` and ``on_no_progress``.  The optional hooks are resolved
+to bound-method slots exactly once (:func:`repro.sched.base.resolve_hooks`),
+so the per-cycle loop never pays for ``hasattr`` probes.
+
+Hot-path invariants (see docs/PERFORMANCE.md)
+---------------------------------------------
+
+Per-cycle work is proportional to *what changed*, not to *what exists*: the
+SM maintains an incremental ready index instead of scanning every resident
+warp on every issue slot.
+
+* ``_warps_by_wid`` maps warp id -> resident warp (warp ids are unique among
+  resident warps: a slot is only reused after the CTA that owned it retired
+  and its warps left ``self.warps``).
+* ``_ready_list`` / ``_ready_orders`` are parallel arrays, sorted by
+  admission ``order``, holding the warps whose next-ready time has arrived
+  or lies within ``_LAZY_READY_WINDOW`` cycles (those are filtered with one
+  integer compare at query time).  Sorting by admission order preserves the
+  historical ``self.warps`` scan order exactly.
+* ``_waiting`` is a heap of ``(ready_at, order, token, warp)`` for warps
+  whose timers lie beyond the lazy window; stale entries self-invalidate
+  against the warp's ``wait_token`` stamp, which every reindex bumps.
+* Warps blocked on barriers or a full pending-load window live in neither
+  structure; they re-enter through :meth:`_reindex_warp` when the blocking
+  condition clears.
+
+Every mutation of the fields the index depends on (``finished``,
+``at_barrier``, ``pending_loads``, ``ready_at``) happens inside SM code
+paths, each of which calls :meth:`_reindex_warp`.  Scheduler-owned flags
+(``active``, ``isolated``) are deliberately *not* indexed -- schedulers and
+tests flip them at will -- and are re-checked at query time, which keeps the
+index correct under arbitrary throttling policies.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 from typing import Optional
@@ -42,9 +74,28 @@ from repro.mem.shared_cache import SharedMemoryCache
 from repro.mem.shared_memory import SharedMemory
 from repro.mem.subsystem import MemorySubsystem
 from repro.mem.victim_tag_array import VictimTagArray, VTAHit
+from repro.sched.base import SchedulerHooks, resolve_hooks
+
+# Hoisted enum members: the issue loop compares instruction kinds by
+# identity, which avoids per-instruction attribute chains and enum hashing.
+_K_ALU = InstructionKind.ALU
+_K_LOAD = InstructionKind.LOAD
+_K_STORE = InstructionKind.STORE
+_K_SHARED_LOAD = InstructionKind.SHARED_LOAD
+_K_SHARED_STORE = InstructionKind.SHARED_STORE
+_K_BARRIER = InstructionKind.BARRIER
+_K_EXIT = InstructionKind.EXIT
+
+#: Warps whose ``ready_at`` lies within this many cycles of "now" stay in the
+#: ready set and are filtered by a single integer compare at query time;
+#: only timers beyond the window go through the waiting heap.  This keeps
+#: short ALU / hit / bank-conflict latencies (all <= 32 cycles in the Table I
+#: machine) from churning the heap on every issued instruction.  The value
+#: is a pure performance knob — results are identical for any window.
+_LAZY_READY_WINDOW = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class _FillEvent:
     """One pending memory fill (kept in a heap ordered by completion time)."""
 
@@ -98,15 +149,38 @@ class StreamingMultiprocessor:
         self.cycle = 0
         self._events: list[_FillEvent] = []
         self._event_seq = 0
+        #: Bumped on every fill-event push/pop; lets the lock-step driver
+        #: cache ``next_event_time()`` across cycles (cross-SM event index).
+        self.events_version = 0
         self._pending_ctas: deque[int] = deque()
         self._kernel: Optional[KernelLaunch] = None
         self._next_cta_index = 0
+        #: Free warp slots kept as a min-heap (lowest slot assigned first,
+        #: exactly like the historical sorted-list-pop(0) behaviour).
         self._free_warp_slots: list[int] = []
         self._next_sample_at = config.timeseries_sample_instructions
         self._last_sample_cycle = 0
         self._last_sample_instructions = 0
         self._last_sample_vta_hits = 0
         self._request_seq = 0
+
+        # -- incremental ready index (see module docstring) -----------------
+        self._warps_by_wid: dict[int, Warp] = {}
+        #: Parallel arrays sorted by admission order: the warps currently in
+        #: the ready set and their orders (for bisect positioning).  Kept
+        #: incrementally so the issuable list never re-sorts per issue slot.
+        self._ready_orders: list[int] = []
+        self._ready_list: list[Warp] = []
+        self._waiting: list[tuple[int, int, int, Warp]] = []
+        self._order_seq = 0
+        self._unfinished_warps = 0
+        self._live_ctas = 0
+        self._issue_width = config.issue_width
+
+        # -- scheduler capability slots (resolved once, not per cycle) ------
+        self._hooks: SchedulerHooks = resolve_hooks(scheduler)
+        self._select = scheduler.select
+        self._record_issue = self.stats.record_issue
 
     # ------------------------------------------------------------------
     # Kernel launch and CTA management
@@ -117,32 +191,42 @@ class StreamingMultiprocessor:
         self._kernel = kernel
         self._pending_ctas = deque(range(kernel.num_ctas))
         self._next_cta_index = 0
-        self._free_warp_slots = list(range(self.config.max_warps_per_sm))
+        self._free_warp_slots = list(range(self.config.max_warps_per_sm))  # sorted == valid heap
+        self._warps_by_wid.clear()
+        self._ready_orders.clear()
+        self._ready_list.clear()
+        self._waiting.clear()
+        self._unfinished_warps = 0
+        self._live_ctas = 0
         self._fill_resident_ctas()
         if self.enable_shared_cache:
             self.shared_cache = SharedMemoryCache(self.shared_memory)
         if hasattr(self.scheduler, "attach"):
             self.scheduler.attach(self)
+        # Re-resolve after attach in case attach() installed instance hooks.
+        self._hooks = resolve_hooks(self.scheduler)
+        self._select = self.scheduler.select
+        self._record_issue = self.stats.record_issue
 
     def _resident_warp_count(self) -> int:
-        return sum(1 for w in self.warps if not w.finished)
+        return self._unfinished_warps
 
     def _resident_cta_count(self) -> int:
-        return sum(1 for cta in self.ctas.values() if not cta.is_finished())
+        return self._live_ctas
 
     def _can_admit_cta(self) -> bool:
         assert self._kernel is not None
         kernel = self._kernel
-        if self._resident_cta_count() >= self.config.max_ctas_per_sm:
+        if self._live_ctas >= self.config.max_ctas_per_sm:
             return False
         if len(self._free_warp_slots) < kernel.warps_per_cta:
             return False
-        if self._resident_warp_count() + kernel.warps_per_cta > self.config.max_warps_per_sm:
+        if self._unfinished_warps + kernel.warps_per_cta > self.config.max_warps_per_sm:
             return False
         if kernel.shared_mem_per_cta > self.shared_memory.smmt.unused_bytes():
             return False
         if kernel.max_resident_warps is not None:
-            if self._resident_warp_count() + kernel.warps_per_cta > kernel.max_resident_warps:
+            if self._unfinished_warps + kernel.warps_per_cta > kernel.max_resident_warps:
                 return False
         return True
 
@@ -155,18 +239,24 @@ class StreamingMultiprocessor:
             if kernel.shared_mem_per_cta > 0:
                 self.shared_memory.smmt.allocate(f"cta:{cta_index}", kernel.shared_mem_per_cta)
             for warp_index in range(kernel.warps_per_cta):
-                slot = self._free_warp_slots.pop(0)
+                slot = heapq.heappop(self._free_warp_slots)
                 stream = kernel.stream_factory(cta_index, warp_index, slot)
+                self._order_seq += 1
                 warp = Warp(
                     wid=slot,
                     cta_id=cta_index,
                     instructions=stream,
                     assigned_at=self.cycle,
                     max_pending_loads=self.config.max_outstanding_loads_per_warp,
+                    order=self._order_seq,
                 )
                 cta.add_warp(warp)
                 self.warps.append(warp)
+                self._warps_by_wid[slot] = warp
+                self._unfinished_warps += 1
+                self._reindex_warp(warp)
             self.ctas[cta_index] = cta
+            self._live_ctas += 1
 
     def _retire_cta_if_done(self, cta_id: int) -> None:
         cta = self.ctas.get(cta_id)
@@ -174,11 +264,106 @@ class StreamingMultiprocessor:
             return
         self.shared_memory.smmt.free(f"cta:{cta_id}")
         for warp in cta.warps:
-            self._free_warp_slots.append(warp.wid)
-        self._free_warp_slots.sort()
+            heapq.heappush(self._free_warp_slots, warp.wid)
+            self._warps_by_wid.pop(warp.wid, None)
+            self._ready_discard(warp)
+            warp.wait_token += 1  # invalidate any stale timer-heap entry
         self.warps = [w for w in self.warps if w.cta_id != cta_id or not w.finished]
         del self.ctas[cta_id]
+        self._live_ctas -= 1
         self._fill_resident_ctas()
+
+    # ------------------------------------------------------------------
+    # Incremental ready index
+    # ------------------------------------------------------------------
+    def _ready_add(self, warp: Warp) -> None:
+        if warp.in_ready:
+            return
+        index = bisect_left(self._ready_orders, warp.order)
+        self._ready_orders.insert(index, warp.order)
+        self._ready_list.insert(index, warp)
+        warp.in_ready = True
+
+    def _ready_discard(self, warp: Warp) -> None:
+        if not warp.in_ready:
+            return
+        index = bisect_left(self._ready_orders, warp.order)
+        del self._ready_orders[index]
+        del self._ready_list[index]
+        warp.in_ready = False
+
+    def _reindex_warp(self, warp: Warp) -> None:
+        """Re-file ``warp`` after any change to its SM-owned blocking state.
+
+        Must be called whenever ``finished`` / ``at_barrier`` /
+        ``pending_loads`` / ``ready_at`` may have changed.  ``active`` and
+        ``isolated`` are scheduler-owned and checked at query time instead.
+        """
+        warp.wait_token += 1  # invalidate any outstanding timer-heap entry
+        limit = warp.max_pending_loads
+        if limit < 1:
+            limit = 1
+        if warp.finished or warp.at_barrier or warp.pending_loads >= limit:
+            self._ready_discard(warp)
+        elif warp.ready_at <= self.cycle + _LAZY_READY_WINDOW:
+            # Near-future timers stay in the ready set; the query filters
+            # them with one integer compare instead of heap churn.
+            self._ready_add(warp)
+        else:
+            self._ready_discard(warp)
+            heapq.heappush(self._waiting, (warp.ready_at, warp.order, warp.wait_token, warp))
+
+    def _refresh_ready(self, now: int) -> None:
+        """Promote warps whose ``ready_at`` timer has expired by ``now``."""
+        waiting = self._waiting
+        pop = heapq.heappop
+        while waiting and waiting[0][0] <= now:
+            _, _, token, warp = pop(waiting)
+            if warp.wait_token == token:  # else: superseded by a reindex
+                self._ready_add(warp)
+
+    def _inactive_may_issue(self, warp: Warp) -> bool:
+        """Memory-only throttling semantics for a ready-but-throttled warp.
+
+        A throttled warp (V bit cleared by a scheduler) may not issue global
+        memory instructions, but keeps executing ALU / scratchpad / barrier
+        instructions.  As an additional safeguard, if its CTA is already
+        blocked at a barrier the throttle is ignored entirely, so throttling
+        can never deadlock a CTA.
+        """
+        instruction = warp._peeked
+        if instruction is None:
+            instruction = warp.peek()
+        kind = instruction.kind
+        if kind is not _K_LOAD and kind is not _K_STORE:
+            return True
+        cta = self.ctas.get(warp.cta_id)
+        if cta is None:
+            return True
+        return cta.num_at_barrier > 0
+
+    def _issuable_warps(self, now: int) -> list[Warp]:
+        waiting = self._waiting
+        if waiting and waiting[0][0] <= now:
+            self._refresh_ready(now)
+        ready = self._ready_list
+        if not ready:
+            return []
+        inactive_may_issue = self._inactive_may_issue
+        return [
+            warp
+            for warp in ready
+            if warp.ready_at <= now and (warp.active or inactive_may_issue(warp))
+        ]
+
+    def _any_issuable(self, now: int) -> bool:
+        waiting = self._waiting
+        if waiting and waiting[0][0] <= now:
+            self._refresh_ready(now)
+        for warp in self._ready_list:
+            if warp.ready_at <= now and (warp.active or self._inactive_may_issue(warp)):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Main loop
@@ -221,7 +406,7 @@ class StreamingMultiprocessor:
     # -- stepping primitives (shared with the lock-step driver) --------
     def has_work(self) -> bool:
         """Whether any resident or pending CTA still has instructions left."""
-        return self._has_resident_work()
+        return self._unfinished_warps > 0 or bool(self._pending_ctas)
 
     def step_cycle(self, now: int) -> bool:
         """Run one cycle at global time ``now``; returns True if a warp issued.
@@ -232,9 +417,12 @@ class StreamingMultiprocessor:
         if self._kernel is None:
             raise RuntimeError("launch() must be called before step_cycle()")
         self.cycle = now
-        self._drain_events(now)
+        events = self._events
+        if events and events[0].time <= now:
+            self._drain_events(now)
         issued = self._issue_cycle(now)
-        self._maybe_sample()
+        if self.stats.instructions_issued >= self._next_sample_at:
+            self._maybe_sample()
         return issued
 
     def next_event_time(self) -> Optional[int]:
@@ -260,41 +448,11 @@ class StreamingMultiprocessor:
         self._finalize_stats()
         return self.stats
 
-    def _has_resident_work(self) -> bool:
-        return any(not w.finished for w in self.warps) or bool(self._pending_ctas)
-
-    def _may_issue(self, warp: Warp, now: int) -> bool:
-        """Issue eligibility including the memory-only throttling semantics.
-
-        A throttled warp (V bit cleared by a scheduler) may not issue global
-        memory instructions, but keeps executing ALU / scratchpad / barrier
-        instructions.  As an additional safeguard, if its CTA is already
-        blocked at a barrier the throttle is ignored entirely, so throttling
-        can never deadlock a CTA.
-        """
-        if not warp.is_ready(now):
-            return False
-        if warp.active:
-            return True
-        instruction = warp.peek()
-        if not instruction.is_global_memory:
-            return True
-        cta = self.ctas.get(warp.cta_id)
-        if cta is None:
-            return True
-        return any(w.at_barrier for w in cta.warps if not w.finished)
-
-    def _issuable_warps(self, now: int) -> list[Warp]:
-        return [w for w in self.warps if self._may_issue(w, now)]
-
-    def _any_issuable(self, now: int) -> bool:
-        return any(self._may_issue(w, now) for w in self.warps)
-
     def _resolve_no_progress(self) -> None:
         """Break scheduler-induced livelock (everything throttled, no events)."""
-        if hasattr(self.scheduler, "on_no_progress"):
-            if self.scheduler.on_no_progress(self.cycle):
-                return
+        on_no_progress = self._hooks.on_no_progress
+        if on_no_progress is not None and on_no_progress(self.cycle):
+            return
         for warp in self.warps:
             if not warp.finished and not warp.active and warp.pending_loads == 0 and not warp.at_barrier:
                 warp.active = True
@@ -305,54 +463,69 @@ class StreamingMultiprocessor:
     # Issue stage
     # ------------------------------------------------------------------
     def _issue_cycle(self, now: int) -> bool:
-        if hasattr(self.scheduler, "on_cycle"):
-            self.scheduler.on_cycle(now)
+        hooks = self._hooks
+        if hooks.on_cycle is not None:
+            hooks.on_cycle(now)
         issued_any = False
-        for _ in range(self.config.issue_width):
+        select = self._select
+        notify_issue = hooks.notify_issue
+        record_issue = self._record_issue
+        for _ in range(self._issue_width):
             issuable = self._issuable_warps(now)
             if not issuable:
                 break
-            warp = self.scheduler.select(issuable, now)
+            warp = select(issuable, now)
             if warp is None:
                 break
-            instruction = warp.peek()
+            instruction = warp._peeked
+            if instruction is None:
+                instruction = warp.peek()
             if not self._execute(warp, instruction, now):
                 # Structural hazard: replay the same instruction later.
                 break
-            warp.advance()
+            warp._peeked = None  # consume (inlined Warp.advance)
             warp.note_issue(instruction, now)
-            self.stats.record_issue(warp.wid)
-            if hasattr(self.scheduler, "notify_issue"):
-                self.scheduler.notify_issue(warp, instruction, now)
+            record_issue(warp.wid)
+            self._reindex_warp(warp)
+            if notify_issue is not None:
+                notify_issue(warp, instruction, now)
             issued_any = True
         return issued_any
 
     def _execute(self, warp: Warp, instruction: Instruction, now: int) -> bool:
         kind = instruction.kind
-        if kind is InstructionKind.ALU:
-            warp.ready_at = now + max(1, instruction.latency)
+        if kind is _K_ALU:
+            latency = instruction.latency
+            warp.ready_at = now + (latency if latency > 1 else 1)
             return True
-        if kind is InstructionKind.EXIT:
+        if kind is _K_LOAD or kind is _K_STORE:
+            return self._execute_global(warp, instruction, now)
+        if kind is _K_EXIT:
             self._retire_warp(warp, now)
             return True
-        if kind is InstructionKind.BARRIER:
+        if kind is _K_BARRIER:
             cta = self.ctas[warp.cta_id]
-            cta.arrive_at_barrier(warp)
+            released = cta.arrive_at_barrier(warp)
             self.stats.barriers_executed += 1
+            for released_warp in released:
+                if released_warp is not warp:  # issuer reindexed by _issue_cycle
+                    self._reindex_warp(released_warp)
             return True
-        if kind in (InstructionKind.SHARED_LOAD, InstructionKind.SHARED_STORE):
-            return self._execute_scratchpad(warp, instruction, now)
-        # Global LOAD / STORE.
-        return self._execute_global(warp, instruction, now)
+        # SHARED_LOAD / SHARED_STORE.
+        return self._execute_scratchpad(warp, instruction, now)
 
     def _retire_warp(self, warp: Warp, now: int) -> None:
         warp.retire()
+        self._unfinished_warps -= 1
+        self._reindex_warp(warp)
         self.stats.warps_retired += 1
         cta = self.ctas.get(warp.cta_id)
         if cta is not None:
-            cta.release_if_unblocked()
-        if hasattr(self.scheduler, "on_warp_retired"):
-            self.scheduler.on_warp_retired(warp, now)
+            for released_warp in cta.release_if_unblocked():
+                self._reindex_warp(released_warp)
+        on_warp_retired = self._hooks.on_warp_retired
+        if on_warp_retired is not None:
+            on_warp_retired(warp, now)
         self._retire_cta_if_done(warp.cta_id)
 
     def _execute_scratchpad(self, warp: Warp, instruction: Instruction, now: int) -> bool:
@@ -375,8 +548,9 @@ class StreamingMultiprocessor:
             warp.isolated and self.shared_cache is not None and self.shared_cache.num_lines > 0
         )
         bypass = False
-        if not use_shared and hasattr(self.scheduler, "should_bypass_l1"):
-            bypass = bool(self.scheduler.should_bypass_l1(warp, now))
+        should_bypass_l1 = self._hooks.should_bypass_l1
+        if not use_shared and should_bypass_l1 is not None:
+            bypass = bool(should_bypass_l1(warp, now))
         if not is_write and not self._memory_resources_available(blocks, use_shared, bypass):
             self.stats.stalls.mshr_full += 1
             return False
@@ -387,8 +561,8 @@ class StreamingMultiprocessor:
                 self._issue_store(warp, block, now, use_shared)
             else:
                 ready = self._issue_load(warp, block, now, use_shared, bypass)
-                if ready is not None:
-                    latency_floor = max(latency_floor, ready)
+                if ready is not None and ready > latency_floor:
+                    latency_floor = ready
         if not is_write:
             # Hits resolve after the hit latency; misses block via pending_loads.
             warp.ready_at = latency_floor
@@ -399,25 +573,28 @@ class StreamingMultiprocessor:
     def _memory_resources_available(self, blocks: list[int], use_shared: bool, bypass: bool) -> bool:
         """Conservatively check MSHR / tag-array capacity before issuing."""
         free_needed = 0
+        mshr = self.mshr
+        l1d = self.l1d
+        line_size = l1d.config.line_size
         for block in blocks:
-            entry = self.mshr.lookup(block)
+            entry = mshr.lookup(block)
             if entry is not None:
-                if entry.num_targets >= self.mshr.max_merged:
+                if entry.num_targets >= mshr.max_merged:
                     return False
                 continue
-            byte_address = block * self.l1d.config.line_size
+            byte_address = block * line_size
             if not use_shared and not bypass:
-                tag, set_index, _ = self.l1d.mapping.decompose(byte_address)
-                line = self.l1d.tags.probe(set_index, tag)
+                tag, set_index, _ = l1d.mapping.decompose(byte_address)
+                line = l1d.tags.probe(set_index, tag)
                 if line is not None:
                     continue  # hit or hit-reserved without a new MSHR entry
-                if self.l1d.tags.find_victim(set_index) is None:
+                if l1d.tags.find_victim(set_index) is None:
                     self.stats.stalls.reservation_fail += 1
                     return False
             elif use_shared and self.shared_cache is not None and self.shared_cache.contains(byte_address):
                 continue
             free_needed += 1
-        return self.mshr.occupancy + free_needed <= self.mshr.num_entries
+        return mshr.occupancy + free_needed <= mshr.num_entries
 
     # -- loads ----------------------------------------------------------------
     def _issue_load(
@@ -538,14 +715,17 @@ class StreamingMultiprocessor:
 
     def _schedule_fill(self, block: int, time: int, *, destination: str) -> None:
         self._event_seq += 1
+        self.events_version += 1
         heapq.heappush(
             self._events,
             _FillEvent(time=int(time), seq=self._event_seq, block=block, destination=destination),
         )
 
     def _drain_events(self, now: int) -> None:
-        while self._events and self._events[0].time <= now:
-            event = heapq.heappop(self._events)
+        events = self._events
+        while events and events[0].time <= now:
+            self.events_version += 1
+            event = heapq.heappop(events)
             self._complete_fill(event, now)
 
     def _complete_fill(self, event: _FillEvent, now: int) -> None:
@@ -556,25 +736,28 @@ class StreamingMultiprocessor:
         entry = self.mshr.fill(event.block)
         if entry is None:
             return
+        by_wid = self._warps_by_wid
         for target in entry.targets:
-            warp = self._warp_by_id(target.wid)
+            warp = by_wid.get(target.wid)
             if warp is not None and warp.pending_loads > 0:
                 warp.pending_loads -= 1
-                if warp.pending_loads == 0:
-                    warp.ready_at = max(warp.ready_at, now + 1)
+                if warp.pending_loads == 0 and warp.ready_at < now + 1:
+                    warp.ready_at = now + 1
+                self._reindex_warp(warp)
 
     def _warp_by_id(self, wid: int) -> Optional[Warp]:
-        for warp in self.warps:
-            if warp.wid == wid and not warp.finished:
-                return warp
-        for warp in self.warps:
-            if warp.wid == wid:
-                return warp
-        return None
+        """Resident warp with id ``wid`` (single dict lookup).
+
+        Warp ids are unique among resident warps (a freed slot is only
+        reassigned after the retiring CTA's warps left ``self.warps``), so a
+        fill targeting a retired-and-reused slot resolves to the live warp.
+        """
+        return self._warps_by_wid.get(wid)
 
     def _notify_access(self, warp: Warp, *, hit: bool, vta_hit: Optional[VTAHit], destination: str, now: int) -> None:
-        if hasattr(self.scheduler, "notify_global_access"):
-            self.scheduler.notify_global_access(warp, hit, vta_hit, destination, now)
+        notify = self._hooks.notify_global_access
+        if notify is not None:
+            notify(warp, hit, vta_hit, destination, now)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -618,3 +801,7 @@ class StreamingMultiprocessor:
         self.stats.shared_memory_utilization = self.shared_memory.utilization()
         self.stats.l2_hit_rate = self.memory.l2_hit_rate
         self.stats.dram_requests = self.memory.l2.dram.stats.requests
+    # NOTE: the historical per-issue-slot full scans (`_issuable_warps` over
+    # every resident warp, `_warp_by_id` linear search, O(n) slot pops) were
+    # replaced by the incremental structures above; tests/goldens pins the
+    # refactor to bit-identical simulation output.

@@ -23,6 +23,11 @@ from typing import Iterator, Optional
 
 from repro.gpu.instruction import Instruction, InstructionKind
 
+# Hoisted enum members (identity comparison beats frozenset hashing in the
+# per-issue bookkeeping path).
+_K_LOAD = InstructionKind.LOAD
+_K_STORE = InstructionKind.STORE
+
 
 class WarpState(enum.Enum):
     """Coarse warp lifecycle state (derived, for reporting)."""
@@ -34,9 +39,15 @@ class WarpState(enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(slots=True)
 class Warp:
-    """One resident warp on an SM."""
+    """One resident warp on an SM.
+
+    The class uses ``__slots__`` (via ``dataclass(slots=True)``): warps are
+    the hottest objects of the simulation and every issue slot reads several
+    of their fields, so the dict-free layout measurably reduces both memory
+    traffic and attribute-access cost in the SM's inner loop.
+    """
 
     wid: int
     cta_id: int
@@ -58,6 +69,15 @@ class Warp:
     global_accesses: int = 0
     last_issue_cycle: int = -1
     assigned_at: int = 0
+    #: SM admission sequence number.  Assigned by the SM when the warp
+    #: becomes resident; the SM's incremental ready index sorts by it so the
+    #: issuable-warp list preserves the historical ``sm.warps`` scan order.
+    order: int = 0
+    #: Version stamp for the SM's ready-timer heap: bumped on every reindex
+    #: so stale heap entries self-invalidate (see sm.py's ready index).
+    wait_token: int = 0
+    #: Whether the warp currently sits in the SM's ready list (SM-owned).
+    in_ready: bool = False
 
     _peeked: Optional[Instruction] = field(default=None, repr=False)
     _exhausted: bool = field(default=False, repr=False)
@@ -97,10 +117,13 @@ class Warp:
         limited warps are de-prioritised, not frozen mid-CTA) and prevents
         barrier deadlocks in barrier-heavy kernels.
         """
+        limit = self.max_pending_loads
+        if limit < 1:
+            limit = 1
         return (
             not self.finished
             and not self.at_barrier
-            and self.pending_loads < max(1, self.max_pending_loads)
+            and self.pending_loads < limit
             and self.ready_at <= now
         )
 
@@ -130,7 +153,8 @@ class Warp:
         """Book-keeping when an instruction issues."""
         self.instructions_issued += 1
         self.last_issue_cycle = now
-        if instruction.kind in (InstructionKind.LOAD, InstructionKind.STORE):
+        kind = instruction.kind
+        if kind is _K_LOAD or kind is _K_STORE:
             self.global_accesses += 1
 
     def retire(self) -> None:

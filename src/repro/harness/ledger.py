@@ -48,6 +48,29 @@ def ledger_path() -> Path:
     return DEFAULT_LEDGER_PATH
 
 
+def append_entry(entry: dict, *, path: Optional[Path] = None) -> Optional[Path]:
+    """Append one raw JSON entry to the ledger (best-effort).
+
+    Returns the path written, or ``None`` when recording is disabled or the
+    write failed.  An explicit ``path`` bypasses the enable/disable
+    environment check.  Used by :func:`record_sweep` and by the bench
+    harness (:mod:`repro.harness.bench`), which stamps its entries with
+    ``"kind": "bench"``.
+    """
+    if path is None:
+        if not ledger_enabled():
+            return None
+        path = ledger_path()
+    try:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError:
+        return None
+    return path
+
+
 def record_sweep(stats, *, path: Optional[Path] = None) -> Optional[Path]:
     """Append one ledger entry for ``stats`` (a ``SweepStats``).
 
@@ -55,10 +78,6 @@ def record_sweep(stats, *, path: Optional[Path] = None) -> Optional[Path]:
     write failed (best-effort by design).  An explicit ``path`` bypasses the
     enable/disable environment check.
     """
-    if path is None:
-        if not ledger_enabled():
-            return None
-        path = ledger_path()
     entry = {
         "ts": round(time.time(), 3),
         "jobs": stats.jobs,
@@ -69,14 +88,7 @@ def record_sweep(stats, *, path: Optional[Path] = None) -> Optional[Path]:
         "cache_hit_rate": round(stats.cache_hit_rate, 6),
         "backend": getattr(stats, "backend", ""),
     }
-    try:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
-    except OSError:
-        return None
-    return path
+    return append_entry(entry, path=path)
 
 
 def read_ledger(path: Optional[Path] = None) -> list[dict]:
@@ -104,8 +116,12 @@ def summarize_ledger(entries: list[dict]) -> dict:
     """Aggregate ledger entries into the warm-vs-cold trajectory summary.
 
     A sweep counts as *cold* when it simulated every job (no cache hits) and
-    *warm* when at least half its jobs were served from the cache.
+    *warm* when at least half its jobs were served from the cache.  Bench
+    entries (``"kind": "bench"``, written by ``repro bench``) are summarised
+    separately as the simulator-throughput trajectory.
     """
+    bench = [e for e in entries if e.get("kind") == "bench"]
+    entries = [e for e in entries if e.get("kind") != "bench"]
     total_jobs = sum(e.get("jobs", 0) for e in entries)
     total_hits = sum(e.get("cache_hits", 0) for e in entries)
     cold = [e for e in entries if e.get("jobs") and not e.get("cache_hits")]
@@ -124,6 +140,7 @@ def summarize_ledger(entries: list[dict]) -> dict:
             name = name.strip()
             if name:
                 by_backend[name] = by_backend.get(name, 0) + 1
+    bench_cps = [e.get("cycles_per_second", 0.0) for e in bench]
     return {
         "sweeps": len(entries),
         "jobs": total_jobs,
@@ -135,4 +152,9 @@ def summarize_ledger(entries: list[dict]) -> dict:
         "mean_cold_wall_seconds": _mean_wall(cold),
         "mean_warm_wall_seconds": _mean_wall(warm),
         "sweeps_by_backend": by_backend,
+        # -- simulator-throughput trajectory (repro bench) -----------------
+        "bench_runs": len(bench),
+        "bench_latest_cycles_per_second": bench_cps[-1] if bench_cps else 0.0,
+        "bench_best_cycles_per_second": max(bench_cps) if bench_cps else 0.0,
+        "bench_latest_rev": str(bench[-1].get("rev", "")) if bench else "",
     }

@@ -71,9 +71,12 @@ class AddressMapping:
     set_hash: Callable[[int, int], int] | None = None
     _offset_bits: int = field(init=False, repr=False, default=0)
     _set_bits: int = field(init=False, repr=False, default=0)
+    _offset_mask: int = field(init=False, repr=False, default=0)
+    _index_fn: Callable[[int], int] = field(init=False, repr=False, default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "_offset_bits", ilog2(self.line_size))
+        object.__setattr__(self, "_offset_mask", self.line_size - 1)
         # The number of sets does not have to be a power of two: the GTX 480
         # L2 (768 KB, 8-way, 128 B lines) has 768 sets.  Non-power-of-two
         # geometries fall back to modulo indexing.
@@ -81,6 +84,23 @@ class AddressMapping:
             object.__setattr__(self, "_set_bits", ilog2(self.num_sets))
         else:
             object.__setattr__(self, "_set_bits", self.num_sets.bit_length())
+        # One-argument block -> set closure with the per-call constants
+        # hoisted (this runs on every cache probe).
+        if self.set_hash is not None:
+            from repro.mem.hashing import specialize_set_hash
+
+            index_fn = specialize_set_hash(self.set_hash, self.num_sets)
+        elif is_power_of_two(self.num_sets):
+            mask = self.num_sets - 1
+
+            def index_fn(blk: int, _mask: int = mask) -> int:
+                return blk & _mask
+        else:
+            sets = self.num_sets
+
+            def index_fn(blk: int, _sets: int = sets) -> int:
+                return blk % _sets
+        object.__setattr__(self, "_index_fn", index_fn)
 
     # -- decomposition -----------------------------------------------------
     def byte_offset(self, byte_address: int) -> int:
@@ -93,12 +113,7 @@ class AddressMapping:
 
     def set_index(self, byte_address: int) -> int:
         """Set index for ``byte_address`` (after hashing, when enabled)."""
-        blk = self.block(byte_address)
-        if self.set_hash is not None:
-            return self.set_hash(blk, self.num_sets)
-        if is_power_of_two(self.num_sets):
-            return blk & (self.num_sets - 1)
-        return blk % self.num_sets
+        return self._index_fn(byte_address >> self._offset_bits)
 
     def tag(self, byte_address: int) -> int:
         """Tag for ``byte_address``.
@@ -112,11 +127,8 @@ class AddressMapping:
 
     def decompose(self, byte_address: int) -> tuple[int, int, int]:
         """Return ``(tag, set_index, byte_offset)`` for ``byte_address``."""
-        return (
-            self.tag(byte_address),
-            self.set_index(byte_address),
-            self.byte_offset(byte_address),
-        )
+        blk = byte_address >> self._offset_bits
+        return (blk, self._index_fn(blk), byte_address & self._offset_mask)
 
     # -- reconstruction ----------------------------------------------------
     def block_to_byte(self, blk: int) -> int:

@@ -40,9 +40,9 @@ class AccessOutcome(enum.Enum):
     RESERVATION_FAIL = "reservation_fail"  # no replaceable line (set all reserved)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of one :meth:`Cache.access` call."""
+    """Outcome of one :meth:`Cache.access` call (slotted: one per access)."""
 
     outcome: AccessOutcome
     block: int
@@ -212,7 +212,10 @@ class Cache:
                     outcome=AccessOutcome.RESERVATION_FAIL, block=tag, set_index=set_index
                 )
             else:
-                line, eviction = self.tags.insert(
+                # Reuse the victim we already found (insert() would re-run
+                # the victim search on this hot path).
+                eviction = self.tags.fill_line(
+                    victim,
                     set_index,
                     tag,
                     owner_wid=wid,
@@ -231,7 +234,7 @@ class Cache:
                     block=tag,
                     set_index=set_index,
                     eviction=eviction,
-                    line=line,
+                    line=victim,
                     writeback_block=writeback,
                 )
         self.stats.record(wid, result)

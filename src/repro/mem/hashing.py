@@ -97,3 +97,44 @@ def get_set_hash(name: str) -> SetHash:
         raise KeyError(
             f"unknown set hash {name!r}; expected one of {sorted(_HASHES)}"
         ) from exc
+
+
+def specialize_set_hash(set_hash: SetHash, num_sets: int) -> Callable[[int], int]:
+    """Bind ``set_hash`` to ``num_sets`` with per-call constants hoisted.
+
+    The set index is computed for every cache probe on the simulator's hot
+    path; the generic two-argument hashes re-derive their bit widths and
+    masks on every call.  This returns a one-argument closure with those
+    constants folded in — bit-identical to calling ``set_hash(block,
+    num_sets)`` directly (the generic fallback does exactly that).
+    """
+    if set_hash is xor_set_index:
+        if is_power_of_two(num_sets):
+            bits = ilog2(num_sets)
+            mask = num_sets - 1
+
+            def xor_pow2(block_addr: int) -> int:
+                index = 0
+                while block_addr:
+                    index ^= block_addr & mask
+                    block_addr >>= bits
+                return index
+
+            return xor_pow2
+        bits = num_sets.bit_length()
+        mask = (1 << bits) - 1
+
+        def xor_mod(block_addr: int) -> int:
+            index = 0
+            while block_addr:
+                index ^= block_addr & mask
+                block_addr >>= bits
+            return index % num_sets
+
+        return xor_mod
+    if set_hash is linear_set_index:
+        if is_power_of_two(num_sets):
+            mask = num_sets - 1
+            return lambda block_addr: block_addr & mask
+        return lambda block_addr: block_addr % num_sets
+    return lambda block_addr: set_hash(block_addr, num_sets)

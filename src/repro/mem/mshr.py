@@ -18,18 +18,22 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHRTarget:
-    """One merged requester waiting on an outstanding fill."""
+    """One merged requester waiting on an outstanding fill.
+
+    Slotted: one target is allocated per global-memory transaction, which
+    makes this one of the hottest allocations of the whole simulator.
+    """
 
     wid: int
     request_id: int
     is_write: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
-    """One outstanding miss to a 128-byte block."""
+    """One outstanding miss to a 128-byte block (slotted, hot-path object)."""
 
     block: int
     issued_at: int

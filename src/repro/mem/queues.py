@@ -20,9 +20,9 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueEntry:
-    """One queued memory packet."""
+    """One queued memory packet (slotted: allocated per store / fill)."""
 
     block: int
     wid: int

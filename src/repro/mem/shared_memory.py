@@ -146,13 +146,19 @@ class SharedMemory:
         offsets = list(byte_offsets)
         if not offsets:
             return 0
+        if min(offsets) < 0 or max(offsets) >= self.capacity_bytes:
+            for offset in offsets:
+                if offset < 0 or offset >= self.capacity_bytes:
+                    raise ValueError(f"shared memory offset {offset} out of range")
+        bank_width = self.BANK_WIDTH_BYTES
+        num_banks = self.NUM_BANKS
+        row_bytes = bank_width * num_banks
         per_bank: dict[int, int] = {}
+        per_bank_get = per_bank.get
         for offset in offsets:
-            if offset < 0 or offset >= self.capacity_bytes:
-                raise ValueError(f"shared memory offset {offset} out of range")
-            bank = self.bank_of(offset)
-            per_bank[bank] = per_bank.get(bank, 0) + 1
-            self.stats.rows_touched.add(self.row_of(offset))
+            bank = (offset // bank_width) % num_banks
+            per_bank[bank] = per_bank_get(bank, 0) + 1
+        self.stats.rows_touched.update([offset // row_bytes for offset in offsets])
         cycles = max(per_bank.values())
         self.stats.accesses += 1
         self.stats.bank_conflict_cycles += cycles - 1

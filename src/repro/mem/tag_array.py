@@ -26,7 +26,7 @@ class ReplacementPolicy(enum.Enum):
     FIFO = "fifo"
 
 
-@dataclass
+@dataclass(slots=True)
 class TagLine:
     """One line of a tag array.
 
@@ -60,7 +60,7 @@ class TagLine:
         return self.tag is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """Description of an evicted line, consumed by the VTA and statistics."""
 
@@ -98,8 +98,10 @@ class TagArray:
     # -- lookup ------------------------------------------------------------
     def probe(self, set_index: int, tag: int) -> Optional[TagLine]:
         """Return the line holding ``tag`` in ``set_index`` without touching LRU."""
+        # ``tag`` is an int and invalid lines hold None, so the equality
+        # check alone implies validity (hot path: one compare per way).
         for line in self._sets[set_index]:
-            if line.valid and line.tag == tag:
+            if line.tag == tag:
                 return line
         return None
 
@@ -119,15 +121,22 @@ class TagArray:
         caller must stall the access (this models the structural hazard of a
         set full of outstanding misses).
         """
-        candidates = [ln for ln in self._sets[set_index] if not ln.reserved]
-        if not candidates:
-            return None
-        for line in candidates:
-            if not line.valid:
+        # Single pass, no candidate-list allocation: the first invalid
+        # non-reserved line wins outright; otherwise the first line with the
+        # minimal timestamp (strict < keeps min()'s first-minimum tie-break).
+        use_lru = self.policy is ReplacementPolicy.LRU
+        best: Optional[TagLine] = None
+        best_key = 0
+        for line in self._sets[set_index]:
+            if line.reserved:
+                continue
+            if line.tag is None:
                 return line
-        if self.policy is ReplacementPolicy.LRU:
-            return min(candidates, key=lambda ln: ln.last_used_at)
-        return min(candidates, key=lambda ln: ln.inserted_at)
+            key = line.last_used_at if use_lru else line.inserted_at
+            if best is None or key < best_key:
+                best = line
+                best_key = key
+        return best
 
     def insert(
         self,
@@ -147,29 +156,61 @@ class TagArray:
         ``owner_wid`` -- the warp whose access caused the insertion is the
         warp responsible for the eviction.
         """
-        if evictor_wid is None:
-            evictor_wid = owner_wid
         victim = self.find_victim(set_index)
         if victim is None:
             raise RuntimeError(
                 f"set {set_index} has no replaceable line (all reserved)"
             )
+        eviction = self.fill_line(
+            victim,
+            set_index,
+            tag,
+            owner_wid,
+            now,
+            dirty=dirty,
+            evictor_wid=evictor_wid,
+            reserve=reserve,
+        )
+        return victim, eviction
+
+    def fill_line(
+        self,
+        line: TagLine,
+        set_index: int,
+        tag: int,
+        owner_wid: int,
+        now: int,
+        *,
+        dirty: bool = False,
+        evictor_wid: Optional[int] = None,
+        reserve: bool = False,
+    ) -> Optional[Eviction]:
+        """Install ``tag`` into an already-chosen victim ``line``.
+
+        The single place line-replacement state is written: :meth:`insert`
+        delegates here, and hot paths that already ran :meth:`find_victim`
+        (e.g. the L1D demand-miss path) call it directly instead of paying
+        a second victim search.  Returns the :class:`Eviction` record when
+        a valid line was displaced.
+        """
+        if evictor_wid is None:
+            evictor_wid = owner_wid
         eviction: Optional[Eviction] = None
-        if victim.valid:
+        if line.tag is not None:
             eviction = Eviction(
-                tag=victim.tag,  # type: ignore[arg-type]
+                tag=line.tag,
                 set_index=set_index,
-                owner_wid=victim.owner_wid,
-                dirty=victim.dirty,
+                owner_wid=line.owner_wid,
+                dirty=line.dirty,
                 evictor_wid=evictor_wid,
             )
-        victim.tag = tag
-        victim.owner_wid = owner_wid
-        victim.dirty = dirty
-        victim.inserted_at = now
-        victim.last_used_at = now
-        victim.reserved = reserve
-        return victim, eviction
+        line.tag = tag
+        line.owner_wid = owner_wid
+        line.dirty = dirty
+        line.inserted_at = now
+        line.last_used_at = now
+        line.reserved = reserve
+        return eviction
 
     def invalidate(self, set_index: int, tag: int) -> bool:
         """Invalidate ``tag`` in ``set_index``; returns True when found."""

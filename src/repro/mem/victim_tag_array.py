@@ -41,9 +41,9 @@ class VTAConfig:
             raise ValueError("VTA needs at least one warp set")
 
 
-@dataclass
+@dataclass(slots=True)
 class VTAHit:
-    """Result of a VTA probe that found the missed block."""
+    """Result of a VTA probe that found the missed block (slotted)."""
 
     wid: int              # warp that suffered the lost locality
     block: int            # block address that was re-referenced

@@ -31,11 +31,65 @@ Hook call points
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.gpu.instruction import Instruction
 from repro.gpu.warp import Warp
 from repro.mem.victim_tag_array import VTAHit
+
+#: Names of the optional scheduler hooks the SM may invoke.  ``select`` is
+#: mandatory and therefore not listed.
+SCHEDULER_HOOK_NAMES = (
+    "on_cycle",
+    "notify_issue",
+    "notify_global_access",
+    "should_bypass_l1",
+    "on_warp_retired",
+    "on_no_progress",
+)
+
+
+@dataclass(slots=True)
+class SchedulerHooks:
+    """The resolved capability surface of one scheduler instance.
+
+    The SM used to probe ``hasattr(self.scheduler, ...)`` on every cycle /
+    issue / retire; this dataclass makes the capability interface explicit
+    and lets the SM resolve each hook to a bound method exactly once (at
+    ``attach`` time).  A hook is ``None`` when the scheduler does not
+    implement it — or only inherits the no-op default from
+    :class:`WarpScheduler`, which is behaviourally identical to not
+    implementing it and lets the SM skip the call entirely.
+    """
+
+    on_cycle: Optional[Callable[[int], None]] = None
+    notify_issue: Optional[Callable[[Warp, Instruction, int], None]] = None
+    notify_global_access: Optional[
+        Callable[[Warp, bool, Optional[VTAHit], str, int], None]
+    ] = None
+    should_bypass_l1: Optional[Callable[[Warp, int], bool]] = None
+    on_warp_retired: Optional[Callable[[Warp, int], None]] = None
+    on_no_progress: Optional[Callable[[int], bool]] = None
+
+
+def resolve_hooks(scheduler) -> SchedulerHooks:
+    """Resolve ``scheduler``'s optional hooks into bound-method slots.
+
+    Works for :class:`WarpScheduler` subclasses and for duck-typed scheduler
+    objects alike.  Base-class no-op defaults resolve to ``None`` so the hot
+    loop never pays for a call that cannot do anything; any override —
+    including one set as an instance attribute — is kept.
+    """
+    resolved = {}
+    for name in SCHEDULER_HOOK_NAMES:
+        hook = getattr(scheduler, name, None)
+        if hook is not None:
+            default = getattr(WarpScheduler, name, None)
+            if default is not None and getattr(hook, "__func__", None) is default:
+                hook = None
+        resolved[name] = hook
+    return SchedulerHooks(**resolved)
 
 
 class WarpScheduler:
@@ -98,7 +152,18 @@ class WarpScheduler:
             for warp in issuable:
                 if warp.wid == last_wid:
                     return warp
-        return min(issuable, key=lambda w: (w.assigned_at, w.wid))
+        # Manual first-minimum scan of (assigned_at, wid) — equivalent to
+        # min() with a key tuple, without the per-warp lambda/tuple cost.
+        best = issuable[0]
+        best_age = best.assigned_at
+        best_wid = best.wid
+        for warp in issuable:
+            age = warp.assigned_at
+            if age < best_age or (age == best_age and warp.wid < best_wid):
+                best = warp
+                best_age = age
+                best_wid = warp.wid
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

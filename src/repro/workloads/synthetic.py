@@ -23,6 +23,7 @@ Address-space layout (byte addresses):
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterator, Optional
 
 from repro.gpu.cta import KernelLaunch
@@ -191,7 +192,13 @@ class SyntheticKernelModel:
         """Yield the instruction stream of one warp (deterministic per warp)."""
         model = self.spec.model
         logical_index = self._logical_index(cta_index, warp_index)
-        rng = random.Random((self.seed * 1_000_003) ^ (logical_index * 7919) ^ hash(self.spec.name) % (1 << 30))
+        # zlib.crc32 (not hash()) keys the per-warp RNG: str hashes are
+        # randomized per process (PYTHONHASHSEED), which silently made every
+        # simulation irreproducible across interpreter invocations — the
+        # golden-stats fixtures and the on-disk result cache both require
+        # process-independent streams.
+        name_key = zlib.crc32(self.spec.name.encode("utf-8")) % (1 << 30)
+        rng = random.Random((self.seed * 1_000_003) ^ (logical_index * 7919) ^ name_key)
         reuse_iter = self._reuse_iterator(rng, logical_index)
         stream_iter = self._stream_iterator(logical_index)
         hot_iter = self._hot_iterator(rng, logical_index)

@@ -1,0 +1,112 @@
+"""CLI tests for the ``repro bench`` subcommand (exit codes, JSON, files)."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.harness.bench import BENCH_SCHEMA
+
+#: A tiny ad-hoc matrix so each invocation runs in well under a second.
+TINY = ["bench", "-b", "ATAX", "-s", "gto", "--scale", "0.02"]
+
+
+class TestParser:
+    def test_bench_subcommand_exists(self):
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert callable(args.func)
+        assert args.quick
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.tolerance == 0.30
+        assert args.repeat == 1
+        assert args.out == "."
+        assert not args.quick and not args.json and not args.no_write
+
+    def test_help_mentions_the_contract(self, capsys):
+        """Help text audit: the knobs the docs promise are all advertised."""
+        parser = build_parser()
+        bench_parser = None
+        for action in parser._subparsers._group_actions:
+            bench_parser = action.choices.get("bench")
+        assert bench_parser is not None
+        text = bench_parser.format_help()
+        for needle in ("--quick", "--baseline", "--tolerance", "--backend",
+                       "--repeat", "--out", "--json", "cycles/sec"):
+            assert needle in text, needle
+
+
+class TestExitCodes:
+    def test_success_writes_report_and_returns_zero(self, tmp_path, capsys):
+        rc = main([*TINY, "--out", str(tmp_path), "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["regressions"] == []
+        reports = list(tmp_path.glob("BENCH_*.json"))
+        assert len(reports) == 1
+        assert json.loads(reports[0].read_text())["kind"] == "BenchReport"
+
+    def test_no_write_skips_the_report_file(self, tmp_path, capsys):
+        rc = main([*TINY, "--out", str(tmp_path), "--no-write"])
+        assert rc == 0
+        assert list(tmp_path.glob("BENCH_*.json")) == []
+
+    def test_regression_against_baseline_exits_one(self, tmp_path, capsys):
+        # First run establishes a baseline; a doctored copy demanding 100x
+        # the measured throughput must then trip the gate.
+        assert main([*TINY, "--out", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        baseline_path = tmp_path / "baseline.json"
+        for case in report["cases"]:
+            case["cycles_per_second"] *= 100.0
+        report["aggregate"]["cycles_per_second"] *= 100.0
+        report.pop("report_path", None); report.pop("baseline", None)
+        report.pop("regressions", None)
+        baseline_path.write_text(json.dumps(report))
+        rc = main([*TINY, "--out", str(tmp_path), "--baseline", str(baseline_path),
+                   "--json"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["regressions"]
+
+    def test_matching_baseline_passes(self, tmp_path, capsys):
+        assert main([*TINY, "--out", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        report.pop("report_path", None); report.pop("baseline", None)
+        report.pop("regressions", None)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(report))
+        rc = main([*TINY, "--no-write", "--baseline", str(baseline_path),
+                   "--tolerance", "0.9"])
+        assert rc == 0
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        rc = main([*TINY, "--no-write", "--baseline", str(bad)])
+        assert rc == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_unknown_backend_exits_two(self, tmp_path, capsys):
+        rc = main([*TINY, "--no-write", "--backend", "warp-drive"])
+        assert rc == 2
+
+    def test_unknown_benchmark_exits_two(self, capsys):
+        rc = main(["bench", "-b", "NOPE", "-s", "gto", "--scale", "0.02",
+                   "--no-write"])
+        assert rc == 2
+
+    def test_table_output_shows_aggregate(self, tmp_path, capsys):
+        rc = main([*TINY, "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles/sec" in out and "aggregate:" in out
+
+    def test_bad_repeat_exits_two(self, capsys):
+        rc = main([*TINY, "--no-write", "--repeat", "0"])
+        assert rc == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_bad_tolerance_exits_two(self, capsys):
+        rc = main([*TINY, "--no-write", "--tolerance", "1.5"])
+        assert rc == 2
+        assert "--tolerance" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""Golden-stats regression fixtures: the cycle engine is pinned bit-for-bit.
+
+``tests/goldens/golden_stats.json`` stores the full ``SimulationResult``
+(every counter, stall breakdown, time series and interference matrix) for a
+small benchmark matrix across every registered scheduler and both in-tree
+backends.  These tests recompute each entry and compare exactly, so any
+perf work on the hot path that changes semantics — however subtly — fails
+loudly instead of silently drifting the paper's figures.
+
+Regenerate (only for deliberate semantic changes) with::
+
+    PYTHONPATH=src python scripts/regen_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import RESULT_SCHEMA, RunConfig, SimulationRequest, execute
+from repro.sched.registry import scheduler_names
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "golden_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_metadata():
+    meta = GOLDEN["_meta"]
+    assert meta["result_schema"] == RESULT_SCHEMA
+    assert meta["scale"] > 0 and isinstance(meta["seed"], int)
+    assert "regen_goldens.py" in meta["regen"]
+
+
+def test_golden_matrix_covers_every_scheduler_and_backend():
+    """The fixture pins every registered scheduler on both backends."""
+    covered = {tuple(key.split("/")[1:]) for key in GOLDEN["entries"]}
+    for scheduler in scheduler_names():
+        for backend in ("reference", "lockstep"):
+            assert (scheduler, backend) in covered, (scheduler, backend)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["entries"]))
+def test_simulation_matches_golden(key):
+    benchmark, scheduler, backend = key.split("/")
+    meta = GOLDEN["_meta"]
+    result = execute(
+        SimulationRequest(
+            benchmark,
+            scheduler,
+            RunConfig(scale=meta["scale"], seed=meta["seed"]),
+            backend=backend,
+        )
+    )
+    recomputed = json.loads(json.dumps(result.to_dict(), sort_keys=True))
+    assert recomputed == GOLDEN["entries"][key], (
+        f"{key}: simulation output drifted from the golden fixture; if this "
+        "is a deliberate semantic change, regenerate with "
+        "scripts/regen_goldens.py and explain the drift in the PR"
+    )

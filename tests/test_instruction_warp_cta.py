@@ -134,3 +134,41 @@ class TestKernelLaunch:
             KernelLaunch("k", 0, 4, lambda c, w, g: iter([])).validate()
         with pytest.raises(ValueError):
             KernelLaunch("k", 1, 1, lambda c, w, g: iter([]), shared_mem_per_cta=-1).validate()
+
+
+class TestBarrierWaiterCounter:
+    """CTA.num_at_barrier mirrors the at_barrier flags (O(1) SM check)."""
+
+    def _cta_with_warps(self, n=3):
+        cta = CTA(cta_id=0)
+        warps = [make_warp([Instruction.alu()], wid=i) for i in range(n)]
+        for warp in warps:
+            cta.add_warp(warp)
+        return cta, warps
+
+    def test_counter_tracks_arrivals_and_release(self):
+        cta, warps = self._cta_with_warps(3)
+        cta.arrive_at_barrier(warps[0])
+        cta.arrive_at_barrier(warps[1])
+        assert cta.num_at_barrier == 2
+        cta.arrive_at_barrier(warps[2])  # releases everyone
+        assert cta.num_at_barrier == 0
+        assert all(not w.at_barrier for w in warps)
+
+    def test_counter_after_release_if_unblocked(self):
+        cta, warps = self._cta_with_warps(2)
+        cta.arrive_at_barrier(warps[0])
+        assert cta.num_at_barrier == 1
+        warps[1].retire()
+        cta.release_if_unblocked()
+        assert cta.num_at_barrier == 0
+
+    def test_interned_address_free_instructions(self):
+        # Frozen, address-free instructions are shared instances.
+        assert Instruction.alu() is Instruction.alu()
+        assert Instruction.barrier() is Instruction.barrier()
+        assert Instruction.exit() is Instruction.exit()
+        assert Instruction.alu(4) is Instruction.alu(4)
+        assert Instruction.alu(4) is not Instruction.alu()
+        # Address-carrying instructions stay distinct objects.
+        assert Instruction.load([0]) is not Instruction.load([0])

@@ -116,3 +116,20 @@ def test_geometric_mean_bounds(values):
     """The geometric mean lies between the minimum and maximum value."""
     mean = geometric_mean(values)
     assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+@settings(max_examples=100)
+@given(addresses, st.sampled_from([16, 32, 64, 128, 768]))
+def test_specialized_set_hashes_match_generic(address, num_sets):
+    """specialize_set_hash closures are bit-identical to the generic hashes."""
+    from repro.mem.hashing import (
+        ipoly_set_index,
+        linear_set_index,
+        specialize_set_hash,
+        xor_set_index,
+    )
+
+    block = address // BLOCK_SIZE
+    for generic in (xor_set_index, linear_set_index, ipoly_set_index):
+        specialized = specialize_set_hash(generic, num_sets)
+        assert specialized(block) == generic(block, num_sets), (generic.__name__, num_sets)

@@ -211,3 +211,122 @@ class TestVTAIntegration:
         stats = sm.run(500_000)
         assert stats.vta_hits > 0
         assert stats.interference_matrix
+
+
+class TestReadyIndexAndSlotReuse:
+    """Regression tests for the incremental ready index (PR 3)."""
+
+    def test_fill_for_retired_slot_resolves_to_live_warp(self):
+        # A warp retires with a load still in flight; its CTA retires and the
+        # slot is immediately reused by the next CTA.  The late fill must
+        # resolve wid -> the *live* warp (and leave it untouched, since its
+        # pending_loads is zero), never the retired one.
+        config = GPUConfig.gtx480().with_overrides(max_ctas_per_sm=1)
+        sm = build_sm(config=config)
+        addr = [lane * 4 for lane in range(32)]
+        streams = {
+            0: [Instruction.load(addr), Instruction.exit()],
+            1: [Instruction.alu() for _ in range(40)] + [Instruction.exit()],
+        }
+
+        def factory(cta, widx, wid):
+            return iter(list(streams[cta]))
+
+        sm.launch(KernelLaunch("t", 2, 1, factory))
+        first = sm.warps[0]
+        sm.step_cycle(0)  # load issues and misses (fill in flight)
+        sm.step_cycle(1)  # exit retires the warp; CTA 1 reuses slot 0
+        assert first.finished and first.pending_loads == 1
+        live = sm._warp_by_id(0)
+        assert live is not None and live is not first and not live.finished
+        assert live.pending_loads == 0
+        stats = sm.run()  # drains the in-flight fill along the way
+        assert stats.warps_retired == 2
+        # The stale fill neither corrupted the live warp nor resurrected the
+        # retired one.
+        assert first.pending_loads == 1
+        assert live.finished and live.pending_loads == 0
+
+    def test_freed_slots_are_reused_lowest_first(self):
+        # One CTA resident at a time: each admission must pick the lowest
+        # freed slot, exactly like the historical sorted-list behaviour.
+        config = GPUConfig.gtx480().with_overrides(max_ctas_per_sm=1)
+        sm = build_sm(config=config)
+        observed = []
+
+        def factory(cta, widx, wid):
+            observed.append((cta, wid))
+            return iter([Instruction.alu(), Instruction.exit()])
+
+        sm.launch(KernelLaunch("t", 3, 2, factory))
+        sm.run()
+        assert observed == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_issuable_order_matches_warps_scan_order(self):
+        # The ready index must present issuable warps in self.warps order.
+        sm = build_sm(LooseRoundRobinScheduler())
+        streams = [[Instruction.alu() for _ in range(4)] + [Instruction.exit()]
+                   for _ in range(3)]
+
+        def factory(cta, widx, wid):
+            return iter(list(streams[widx]))
+
+        sm.launch(KernelLaunch("t", 1, 3, factory))
+        issuable = sm._issuable_warps(0)
+        assert issuable == [w for w in sm.warps if w.is_issuable(0)]
+
+    def test_ready_index_survives_throttle_flips_between_runs(self):
+        # active/isolated are scheduler-owned and not indexed: flipping them
+        # between run() calls (as schedulers and tests do) must be honoured.
+        sm = build_sm(LooseRoundRobinScheduler())
+        streams = [[Instruction.alu() for _ in range(30)] + [Instruction.exit()],
+                   [Instruction.alu() for _ in range(30)] + [Instruction.exit()]]
+
+        def factory(cta, widx, wid):
+            return iter(list(streams[widx]))
+
+        sm.launch(KernelLaunch("t", 1, 2, factory))
+        sm.run(5)
+        throttled = sm.warps[0]
+        throttled.active = False
+        before = throttled.instructions_issued
+        sm.run(10)  # ALU instructions may still issue despite the throttle
+        assert throttled.instructions_issued >= before
+        stats = sm.run()
+        assert stats.warps_retired == 2
+
+
+class TestSchedulerHookResolution:
+    def test_base_noop_hooks_resolve_to_none(self):
+        from repro.sched.base import resolve_hooks
+
+        hooks = resolve_hooks(GTOScheduler())
+        assert hooks.on_cycle is None            # inherited no-op
+        assert hooks.should_bypass_l1 is None    # inherited constant-False
+        assert hooks.notify_issue is not None    # overridden by GTO
+        assert hooks.on_warp_retired is not None
+
+    def test_duck_typed_scheduler_without_hooks(self):
+        from repro.sched.base import resolve_hooks
+
+        class Bare:
+            def select(self, issuable, now):
+                return issuable[0] if issuable else None
+
+        hooks = resolve_hooks(Bare())
+        assert hooks.on_cycle is None and hooks.notify_issue is None
+        sm = build_sm(Bare())
+        stats = launch_and_run(sm, [[Instruction.alu(), Instruction.exit()]])
+        assert stats.warps_retired == 1
+
+    def test_instance_attribute_hook_is_kept(self):
+        from repro.sched.base import resolve_hooks
+
+        scheduler = GTOScheduler()
+        calls = []
+        scheduler.on_cycle = lambda now: calls.append(now)
+        hooks = resolve_hooks(scheduler)
+        assert hooks.on_cycle is not None
+        sm = build_sm(scheduler)
+        launch_and_run(sm, [[Instruction.alu(), Instruction.exit()]])
+        assert calls

@@ -178,3 +178,38 @@ class TestPatterns:
             next(patterns.tiled_reuse_accesses(0, 0))
         with pytest.raises(ValueError):
             next(patterns.streaming_accesses(0, 0))
+
+
+class TestStreamProcessDeterminism:
+    def test_streams_stable_across_hash_randomization(self):
+        """Workload streams must not depend on PYTHONHASHSEED.
+
+        The per-warp RNG used to be keyed with ``hash(spec.name)``, which is
+        randomized per process and silently made every simulation
+        irreproducible across interpreter invocations (breaking golden
+        fixtures and cross-process cache reuse).  Two subprocesses with
+        different hash seeds must now produce identical streams.
+        """
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        code = (
+            "from repro.workloads.registry import get_benchmark\n"
+            "from repro.workloads.synthetic import SyntheticKernelModel\n"
+            "m = SyntheticKernelModel(get_benchmark('ATAX'), scale=0.02, seed=3)\n"
+            "stream = m._warp_stream(0, 0, 0)\n"
+            "sig = [(i.kind.value, i.addresses[:2]) for _, i in zip(range(40), stream)]\n"
+            "print(sig)\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            env = {**os.environ, "PYTHONHASHSEED": hash_seed, "PYTHONPATH": src}
+            proc = subprocess.run(
+                [sys.executable, "-c", code], env=env, capture_output=True, text=True
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
