@@ -26,7 +26,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.api import RESULT_SCHEMA, RunConfig, SimulationRequest, execute  # noqa: E402
+from repro.api import (  # noqa: E402
+    RESULT_SCHEMA,
+    MultiTenantRequest,
+    RunConfig,
+    SimulationRequest,
+    TenantSpec,
+    execute,
+)
 from repro.sched.registry import scheduler_names  # noqa: E402
 
 #: Fixture sizing: small enough that the whole matrix replays in seconds,
@@ -36,6 +43,9 @@ SCALE = 0.05
 SEED = 1
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "goldens" / "golden_stats.json"
+TENANT_GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "tests" / "goldens" / "golden_tenants.json"
+)
 
 #: Every scheduler runs on the primary benchmark; two more benchmarks (a
 #: sub-working-set and a compute/irregular workload) cover the main paper
@@ -60,6 +70,51 @@ def golden_matrix() -> list[tuple[str, str, str]]:
         for backend in BACKENDS
     ]
     return cases
+
+
+def tenant_matrix() -> dict[str, MultiTenantRequest]:
+    """The pinned multi-tenant grid: mixed schedulers, asymmetric partitions.
+
+    Each entry pins the full co-located ``SimulationResult`` (per-SM stats,
+    per-tenant breakdown, conflict attribution), so engine work that touches
+    the partitioned driver stays bit-exact on this path too.  Distinct
+    ``address_space`` colours model separate processes; the
+    ``shared-address`` entry pins the colour-0 path the single-kernel parity
+    contract relies on.
+    """
+    config = RunConfig(scale=SCALE, seed=SEED)
+
+    def request(*tenants: TenantSpec) -> MultiTenantRequest:
+        return MultiTenantRequest(tenants=tuple(tenants), run_config=config)
+
+    return {
+        "sym-atax": request(
+            TenantSpec("a", "ATAX", "gto", (0,), address_space=1),
+            TenantSpec("b", "ATAX", "gto", (1,), address_space=2),
+        ),
+        "shared-address": request(
+            TenantSpec("a", "ATAX", "gto", (0,)),
+            TenantSpec("b", "ATAX", "gto", (1,)),
+        ),
+        "mixed-sched": request(
+            TenantSpec("gto", "ATAX", "gto", (0,), address_space=1),
+            TenantSpec("ciao", "ATAX", "ciao-c", (1,), address_space=2),
+        ),
+        "thrash-compute": request(
+            TenantSpec("thrash", "SM", "gto", (0,), address_space=1),
+            TenantSpec("compute", "2DCONV", "gto", (1,), address_space=2),
+        ),
+        "asym-split": request(
+            TenantSpec("wide", "GESUMMV", "ccws", (0, 1), address_space=1),
+            TenantSpec("narrow", "2DCONV", "gto", (2,), address_space=2),
+        ),
+        "quad": request(
+            TenantSpec("lws", "ATAX", "gto", (0,), address_space=1),
+            TenantSpec("sws", "SYRK", "best-swl", (1,), address_space=2),
+            TenantSpec("mapreduce", "SM", "gto", (2,), address_space=3),
+            TenantSpec("compute", "2DCONV", "two-level", (3,), address_space=4),
+        ),
+    }
 
 
 def compute_entry(benchmark: str, scheduler: str, backend: str) -> dict:
@@ -93,6 +148,32 @@ def main() -> int:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH} ({len(entries)} entries)", file=sys.stderr)
+
+    tenant_entries = {}
+    for key, request in tenant_matrix().items():
+        print(f"tenant golden: {key}", file=sys.stderr)
+        result = execute(request)
+        tenant_entries[key] = json.loads(
+            json.dumps(
+                {"request": request.to_dict(), "result": result.to_dict()},
+                sort_keys=True,
+            )
+        )
+    tenant_payload = {
+        "_meta": {
+            "scale": SCALE,
+            "seed": SEED,
+            "result_schema": RESULT_SCHEMA,
+            "regen": "PYTHONPATH=src python scripts/regen_goldens.py",
+        },
+        "entries": tenant_entries,
+    }
+    TENANT_GOLDEN_PATH.write_text(
+        json.dumps(tenant_payload, indent=1, sort_keys=True) + "\n"
+    )
+    print(
+        f"wrote {TENANT_GOLDEN_PATH} ({len(tenant_entries)} entries)", file=sys.stderr
+    )
     return 0
 
 

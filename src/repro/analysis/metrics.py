@@ -71,6 +71,49 @@ def interference_summary(result: SimulationResult, top_n: int = 10) -> dict[str,
     }
 
 
+def tenant_slowdowns(
+    colocated: SimulationResult,
+    isolated: Mapping[str, SimulationResult],
+) -> dict[str, dict[str, float]]:
+    """Per-tenant interference metrics of a co-located run vs isolated runs.
+
+    ``colocated`` is a multi-tenant lock-step result (``per_tenant`` filled);
+    ``isolated`` maps each tenant name to that tenant's isolated baseline —
+    the same kernel on the same SM partition of the *same-sized* machine,
+    with every other SM idle (see
+    :meth:`repro.api.MultiTenantRequest.isolated_request`).  Hardware (L2
+    capacity, DRAM bandwidth) is identical in both runs, so ``slowdown`` is
+    pure inter-tenant contention: cycles co-located / cycles isolated, > 1.0
+    when neighbours genuinely hurt.
+
+    ``conflict_share`` attributes the run's ``inter_sm_dram_conflicts`` to
+    the tenant whose requests queued (shares sum to 1.0 when any occurred).
+    """
+    total_conflicts = sum(
+        t.inter_sm_dram_conflicts for t in colocated.per_tenant.values()
+    )
+    report: dict[str, dict[str, float]] = {}
+    for name, tenant in colocated.per_tenant.items():
+        baseline = isolated[name]
+        isolated_cycles = max((s.cycles for s in baseline.per_sm), default=0)
+        report[name] = {
+            "colocated_cycles": float(tenant.finish_cycle),
+            "isolated_cycles": float(isolated_cycles),
+            "slowdown": (
+                tenant.finish_cycle / isolated_cycles if isolated_cycles else 0.0
+            ),
+            "colocated_ipc": tenant.ipc,
+            "isolated_ipc": baseline.ipc,
+            "inter_sm_dram_conflicts": float(tenant.inter_sm_dram_conflicts),
+            "conflict_share": (
+                tenant.inter_sm_dram_conflicts / total_conflicts
+                if total_conflicts
+                else 0.0
+            ),
+        }
+    return report
+
+
 def shared_memory_utilization_by_class(results: ResultGrid) -> dict[str, float]:
     """Average shared-memory utilisation per class (Fig. 8b) for CIAO runs."""
     sums: dict[str, list[float]] = {}

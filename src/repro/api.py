@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import re
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional, Union
 
@@ -47,6 +48,9 @@ REQUEST_SCHEMA = 1
 #: Version of the :meth:`~repro.gpu.gpu.SimulationResult.to_dict` wire
 #: format (shared by the result cache and the CLI's JSON output).
 RESULT_SCHEMA = 1
+
+#: Version of the :meth:`MultiTenantRequest.to_dict` wire format.
+MULTI_TENANT_SCHEMA = 1
 
 
 # ---------------------------------------------------------------------------
@@ -230,6 +234,12 @@ class SimulationRequest:
         """Constructor kwargs the scheduler receives for this request."""
         return scheduler_kwargs_for(self.scheduler, self.spec(), self.run_config)
 
+    def resolved_backend(self) -> str:
+        """The concrete engine name (environment default applied)."""
+        from repro.backends import resolve_backend_name
+
+        return resolve_backend_name(self.backend)
+
     def canonicalize(self) -> "SimulationRequest":
         """Resolve every alias so equal jobs compare equal.
 
@@ -288,15 +298,268 @@ class SimulationRequest:
         return value
 
 
-def execute(request: SimulationRequest):
+# ---------------------------------------------------------------------------
+# Multi-tenant (co-located) job descriptors
+# ---------------------------------------------------------------------------
+#: Tenant labels appear in CLI specs (``name=BENCH/SCHED:SMS``), cache keys
+#: and result dictionaries, so keep them to a safe identifier alphabet.
+_TENANT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.+-]*$")
+
+
+@register_serializable
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a co-located launch: kernel x scheduler x SM partition.
+
+    ``sm_ids`` are the machine SM slots this tenant owns; across a
+    :class:`MultiTenantRequest` the partitions must be disjoint and cover
+    the machine exactly.
+
+    ``address_space`` is the tenant's address-space colour: tenants with the
+    same colour share virtual addresses (colour 0 is the kernel's natural
+    address layout — required for bit-exact parity with single-kernel
+    launches); distinct colours shift the tenant's global addresses into
+    private, never-aliasing ranges, modelling separate processes whose
+    working sets only interact through cache capacity and bandwidth (see
+    :func:`repro.workloads.synthetic.isolate_address_space`).
+    """
+
+    name: str
+    benchmark: Union[str, BenchmarkSpec]
+    scheduler: str = "gto"
+    sm_ids: tuple[int, ...] = ()
+    address_space: int = 0
+
+    @property
+    def benchmark_name(self) -> str:
+        return (
+            self.benchmark.name
+            if isinstance(self.benchmark, BenchmarkSpec)
+            else str(self.benchmark)
+        )
+
+    def spec(self) -> BenchmarkSpec:
+        """The resolved benchmark specification."""
+        if isinstance(self.benchmark, BenchmarkSpec):
+            return self.benchmark
+        return get_benchmark(self.benchmark)
+
+    def scheduler_kwargs(self, run_config: RunConfig) -> dict:
+        """Constructor kwargs this tenant's scheduler receives."""
+        return scheduler_kwargs_for(self.scheduler, self.spec(), run_config)
+
+    def validate(self) -> None:
+        """Check the tenant in isolation (partition checks happen above)."""
+        if not _TENANT_NAME_RE.match(self.name or ""):
+            raise ValueError(
+                f"invalid tenant name {self.name!r} (use letters, digits, "
+                "and ._+- after a leading alphanumeric)"
+            )
+        if not self.sm_ids:
+            raise ValueError(f"tenant {self.name!r} owns no SMs")
+        if any(not isinstance(i, int) or i < 0 for i in self.sm_ids):
+            raise ValueError(f"tenant {self.name!r} has invalid SM ids {self.sm_ids}")
+        if len(set(self.sm_ids)) != len(self.sm_ids):
+            raise ValueError(f"tenant {self.name!r} lists an SM id twice")
+        if not isinstance(self.address_space, int) or self.address_space < 0:
+            raise ValueError(
+                f"tenant {self.name!r} has invalid address space "
+                f"{self.address_space!r} (need a small non-negative int)"
+            )
+
+
+@register_serializable
+@dataclass(frozen=True)
+class MultiTenantRequest:
+    """One co-located simulation: several tenants partitioning one machine.
+
+    The tenants' ``sm_ids`` must be disjoint and, when ``total_sms`` is
+    unset, partition ``range(machine_sms())`` exactly (no gaps — a typo'd
+    partition fails loudly).  Setting ``total_sms`` explicitly sizes the
+    machine and *allows* unowned SMs, which simply sit idle; this is how a
+    tenant runs "alone on the machine" for interference baselines
+    (:meth:`isolated_request`).  ``run_config`` is shared by every tenant —
+    its ``gpu_config.num_sms`` is *derived from the partition* at
+    materialization time, everything else (scale, seed, cache geometry,
+    DRAM scaling, cycle budget) applies machine-wide.
+
+    Unlike :class:`SimulationRequest`, an unset ``backend`` defaults to
+    ``"lockstep"`` rather than the ``REPRO_BACKEND`` environment value:
+    co-location is structurally a lock-step concept — the serialized
+    reference engine cannot interleave kernels in time — so the environment
+    default (usually ``"reference"``) does not apply.
+    """
+
+    tenants: tuple[TenantSpec, ...] = ()
+    run_config: RunConfig = field(default_factory=RunConfig)
+    #: Free-form label callers use to route results (e.g. a scenario name).
+    tag: Optional[str] = None
+    #: Execution engine; ``None`` means ``"lockstep"`` (see class docstring).
+    backend: Optional[str] = None
+    #: Explicit machine size.  ``None`` derives it from the partition (which
+    #: must then be gap-free); an explicit value allows idle SMs and is part
+    #: of the cache key — the machine's L2/DRAM share scales with it.
+    total_sms: Optional[int] = None
+
+    # -- identity ------------------------------------------------------
+    def machine_sms(self) -> int:
+        """SM count of the shared machine (explicit or derived)."""
+        if self.total_sms is not None:
+            return self.total_sms
+        return max((max(t.sm_ids) for t in self.tenants if t.sm_ids), default=0) + 1
+
+    @property
+    def benchmark_name(self) -> str:
+        """Display name: the tenants' benchmarks joined (sweep-table key)."""
+        return "+".join(t.benchmark_name for t in self.tenants)
+
+    @property
+    def scheduler(self) -> str:
+        """Display name: the tenants' schedulers joined (sweep-table key)."""
+        return "+".join(t.scheduler for t in self.tenants)
+
+    def tenant(self, name: str) -> TenantSpec:
+        """The tenant named ``name`` (raises ``KeyError`` when absent)."""
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(f"unknown tenant {name!r}")
+
+    def validate(self) -> None:
+        """Check tenant names and the SM partition; raises ``ValueError``."""
+        if not self.tenants:
+            raise ValueError("a multi-tenant request needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        claimed: dict[int, str] = {}
+        for t in self.tenants:
+            t.validate()
+            for sm_id in t.sm_ids:
+                if sm_id in claimed:
+                    raise ValueError(
+                        f"SM {sm_id} assigned to both {claimed[sm_id]!r} and {t.name!r}"
+                    )
+                claimed[sm_id] = t.name
+        machine = self.machine_sms()
+        if self.total_sms is not None and self.total_sms <= 0:
+            raise ValueError("total_sms must be positive")
+        out_of_range = sorted(i for i in claimed if i >= machine)
+        if out_of_range:
+            raise ValueError(
+                f"SM ids {out_of_range} lie outside the {machine}-SM machine"
+            )
+        if self.total_sms is None and set(claimed) != set(range(machine)):
+            missing = sorted(set(range(machine)) - set(claimed))
+            raise ValueError(
+                f"tenant partitions must cover SMs 0..{machine - 1} "
+                f"contiguously (missing {missing}); set total_sms explicitly "
+                "to leave SMs idle"
+            )
+
+    def resolved_backend(self) -> str:
+        """The concrete engine name (``"lockstep"`` when unset)."""
+        from repro.backends import resolve_backend_name
+
+        if self.backend is None:
+            return "lockstep"
+        return resolve_backend_name(self.backend)
+
+    def canonicalize(self) -> "MultiTenantRequest":
+        """Resolve aliases in every tenant and validate the partition."""
+        tenants = tuple(
+            replace(
+                t,
+                benchmark=(
+                    t.benchmark if isinstance(t.benchmark, BenchmarkSpec) else t.spec().name
+                ),
+                scheduler=canonical_scheduler_name(t.scheduler),
+                sm_ids=tuple(sorted(t.sm_ids)),
+            )
+            for t in self.tenants
+        )
+        canonical = replace(
+            self, tenants=tenants, backend=self.resolved_backend()
+        )
+        canonical.validate()
+        return canonical
+
+    def cache_key(self, *, code_version: Optional[str] = None) -> str:
+        """Content hash identifying this job (partition-sensitive)."""
+        from repro.harness.cache import multi_tenant_job_key
+
+        canonical = self.canonicalize()
+        tenant_payloads = [
+            {
+                "name": t.name,
+                "benchmark": t.spec(),
+                "scheduler": t.scheduler,
+                "scheduler_kwargs": t.scheduler_kwargs(canonical.run_config),
+                "sm_ids": list(t.sm_ids),
+                "address_space": t.address_space,
+            }
+            for t in canonical.tenants
+        ]
+        tenant_payloads.append({"machine_sms": canonical.machine_sms()})
+        return multi_tenant_job_key(
+            tenant_payloads,
+            canonical.run_config,
+            backend=canonical.backend,
+            code_version=code_version,
+        )
+
+    def isolated_request(self, name: str) -> "MultiTenantRequest":
+        """The tenant's isolated baseline: alone on the *same* machine.
+
+        A single-tenant request on a machine of the same ``machine_sms()``
+        size — the tenant keeps its SM partition, every other SM sits idle.
+        Hardware (L2 share, DRAM bandwidth) is identical to the co-located
+        run, so co-located cycles / isolated cycles is pure inter-tenant
+        contention (see :func:`repro.analysis.metrics.tenant_slowdowns`).
+        """
+        tenant = self.tenant(name)
+        return MultiTenantRequest(
+            tenants=(tenant,),
+            run_config=self.run_config,
+            tag=f"isolated:{name}",
+            backend=self.resolved_backend(),
+            total_sms=self.machine_sms(),
+        )
+
+    # -- wire format ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe form; ``from_dict`` restores an equal request."""
+        return {
+            "schema": MULTI_TENANT_SCHEMA,
+            "kind": "MultiTenantRequest",
+            "data": encode_value(self),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MultiTenantRequest":
+        """Inverse of :meth:`to_dict` (raises ``ValueError`` on schema drift)."""
+        check_schema(payload, "MultiTenantRequest", MULTI_TENANT_SCHEMA)
+        value = decode_value(payload["data"])
+        if not isinstance(value, cls):
+            raise ValueError(f"payload decoded to {type(value).__name__}, not {cls.__name__}")
+        return value
+
+
+#: Either job descriptor the execution engines and the sweep engine accept.
+AnyRequest = Union[SimulationRequest, MultiTenantRequest]
+
+
+def execute(request: AnyRequest):
     """Execute ``request`` on its backend and return the ``SimulationResult``.
 
-    The backend is ``request.backend``, or — when that is ``None`` — the
-    ``REPRO_BACKEND`` environment variable, falling back to ``"reference"``.
+    For a :class:`SimulationRequest` the backend is ``request.backend``, or —
+    when that is ``None`` — the ``REPRO_BACKEND`` environment variable,
+    falling back to ``"reference"``.  A :class:`MultiTenantRequest` defaults
+    to ``"lockstep"`` instead (see its docstring).
     """
     from repro.backends import get_backend
 
-    return get_backend(request.backend).execute(request)
+    return get_backend(request.resolved_backend()).execute(request)
 
 
 # ---------------------------------------------------------------------------
@@ -304,7 +567,7 @@ def execute(request: SimulationRequest):
 # ---------------------------------------------------------------------------
 def _register_known_types() -> None:
     from repro.gpu.gpu import SimulationResult
-    from repro.gpu.stats import SMStats, StallBreakdown, TimeSeries
+    from repro.gpu.stats import SMStats, StallBreakdown, TenantStats, TimeSeries
     from repro.mem.cache import CacheConfig, WritePolicy
     from repro.mem.dram import DRAMConfig
     from repro.mem.interconnect import InterconnectConfig
@@ -327,6 +590,7 @@ def _register_known_types() -> None:
         WorkloadClass,
         SMStats,
         StallBreakdown,
+        TenantStats,
         TimeSeries,
         SimulationResult,
     ):

@@ -34,18 +34,20 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
-from repro.gpu.gpu import GPU, SimulationResult
-from repro.gpu.lockstep import run_lockstep
+from dataclasses import replace
+
+from repro.gpu.gpu import GPU, SimulationResult, TenantPlan
+from repro.gpu.lockstep import run_lockstep, run_multi_tenant
 from repro.registry import Registry
 from repro.sched.registry import (
     canonical_scheduler_name,
     scheduler_factory,
     uses_shared_cache,
 )
-from repro.workloads.synthetic import SyntheticKernelModel
+from repro.workloads.synthetic import SyntheticKernelModel, isolate_address_space
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api import SimulationRequest
+    from repro.api import MultiTenantRequest, SimulationRequest
 
 #: Environment variable naming the default backend for requests that do not
 #: pin one explicitly.
@@ -97,12 +99,72 @@ def materialize(request: "SimulationRequest"):
     return scheduler, kernel, gpu, config
 
 
+def materialize_tenants(request: "MultiTenantRequest"):
+    """Build the concrete (tenant plans, GPU, run config) of a co-located job.
+
+    Canonicalises (and therefore validates) the request, materialises each
+    tenant's kernel and scheduler factory, and constructs the shared machine
+    with ``num_sms`` *derived from the partition* — everything else in
+    ``run_config.gpu_config`` applies machine-wide.
+    """
+    request = request.canonicalize()
+    config = request.run_config
+    plans: list[TenantPlan] = []
+    for tenant in request.tenants:
+        spec = tenant.spec()
+        model = SyntheticKernelModel(
+            spec,
+            scale=config.scale,
+            seed=config.seed,
+            num_ctas=config.num_ctas,
+            warps_per_cta=config.warps_per_cta,
+        )
+        kernel = model.kernel_launch()
+        kernel = replace(
+            kernel,
+            tenant=tenant.name,
+            stream_factory=isolate_address_space(
+                kernel.stream_factory, tenant.address_space
+            ),
+        )
+        plans.append(
+            TenantPlan(
+                name=tenant.name,
+                kernel=kernel,
+                scheduler_factory=scheduler_factory(
+                    tenant.scheduler, **tenant.scheduler_kwargs(config)
+                ),
+                sm_ids=tuple(tenant.sm_ids),
+                scheduler_name=tenant.scheduler,
+                enable_shared_cache=uses_shared_cache(tenant.scheduler),
+            )
+        )
+    gpu = GPU(
+        config.gpu_config.with_overrides(num_sms=request.machine_sms()),
+        scheduler_factory=plans[0].scheduler_factory,
+        dram_bandwidth_scale=config.dram_bandwidth_scale,
+    )
+    return plans, gpu, config
+
+
+def _is_multi_tenant(request) -> bool:
+    from repro.api import MultiTenantRequest
+
+    return isinstance(request, MultiTenantRequest)
+
+
 class ReferenceBackend:
     """The serialized per-SM execution loop (the original engine)."""
 
     name = "reference"
 
     def execute(self, request: "SimulationRequest") -> SimulationResult:
+        if _is_multi_tenant(request):
+            raise ValueError(
+                "the 'reference' backend simulates SMs one after another and "
+                "cannot co-locate tenants; run multi-tenant requests on the "
+                "'lockstep' backend"
+            )
         scheduler, kernel, gpu, config = materialize(request)
         return gpu.run(kernel, max_cycles=config.max_cycles, scheduler_name=scheduler)
 
@@ -113,6 +175,9 @@ class LockstepBackend:
     name = "lockstep"
 
     def execute(self, request: "SimulationRequest") -> SimulationResult:
+        if _is_multi_tenant(request):
+            plans, gpu, config = materialize_tenants(request)
+            return run_multi_tenant(gpu, plans, max_cycles=config.max_cycles)
         scheduler, kernel, gpu, config = materialize(request)
         return run_lockstep(
             gpu, kernel, max_cycles=config.max_cycles, scheduler_name=scheduler

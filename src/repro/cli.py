@@ -11,6 +11,15 @@ Subcommands
 ``repro run BENCH [SCHED ...]``
     Simulate one benchmark under one or more schedulers and print the
     headline metrics.
+``repro run --tenants SPEC`` / ``repro run --scenario NAME``
+    Co-located multi-tenant simulation on the lock-step engine: each tenant
+    runs its own kernel on its own SM partition while all SMs contend for
+    the shared L2/DRAM.  ``SPEC`` is a comma-separated list of
+    ``[NAME=]BENCH[/SCHED]:SMS`` entries (``SMS`` an SM id or ``lo-hi``
+    range), e.g. ``--tenants SM:0-1,2DCONV/ciao-c:2``; ``--scenario`` picks
+    a named scenario from the built-in co-location library.  ``--isolated``
+    additionally runs every tenant alone on the same machine and reports
+    per-tenant slowdown (scenarios always do).
 ``repro sweep -b BENCH ... -s SCHED ...``
     Run a benchmark x scheduler grid through the parallel sweep engine and
     print the normalised-IPC table, geomean speedups and engine statistics.
@@ -45,7 +54,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.api import SimulationRequest
+from repro.api import MultiTenantRequest, SimulationRequest, TenantSpec
 from repro.backends import backend_names, resolve_backend_name
 from repro.harness.cache import ResultCache, cache_enabled_by_env, default_cache_dir
 from repro.harness.ledger import ledger_path, read_ledger, summarize_ledger
@@ -84,11 +93,19 @@ def _cache_from_args(args) -> Optional[ResultCache]:
     return ResultCache()
 
 
-def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", type=float, default=0.3,
-                        help="workload size multiplier (default 0.3)")
-    parser.add_argument("--seed", type=int, default=1,
-                        help="base workload RNG seed (default 1)")
+def _add_sweep_options(
+    parser: argparse.ArgumentParser, *, scale_default=0.3, seed_default=1
+) -> None:
+    parser.add_argument("--scale", type=float, default=scale_default,
+                        help="workload size multiplier (default 0.3; a "
+                             "--scenario run defaults to the scenario's "
+                             "pinned scale)" if scale_default is None else
+                             "workload size multiplier (default 0.3)")
+    parser.add_argument("--seed", type=int, default=seed_default,
+                        help="base workload RNG seed (default 1; a --scenario "
+                             "run defaults to the scenario's pinned seed)"
+                        if seed_default is None else
+                        "base workload RNG seed (default 1)")
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool size (default: REPRO_WORKERS or CPU count)")
     parser.add_argument("--no-cache", action="store_true",
@@ -102,10 +119,168 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
 # ---------------------------------------------------------------------------
 # repro run
 # ---------------------------------------------------------------------------
+def parse_tenant_specs(text: str, *, default_scheduler: str = "gto") -> tuple[TenantSpec, ...]:
+    """Parse a ``--tenants`` value into :class:`TenantSpec` tuples.
+
+    Grammar: comma-separated ``[NAME=]BENCH[/SCHED]:SMS`` entries, where
+    ``SMS`` is one SM id (``3``) or an inclusive range (``0-7``).  Tenant
+    names default to the benchmark name (``-2``, ``-3`` suffixes keep
+    duplicates unique), and every tenant receives its own address space.
+    """
+    tenants: list[TenantSpec] = []
+    seen_names: dict[str, int] = {}
+    for index, raw in enumerate(text.split(",")):
+        entry = raw.strip()
+        head, sep, sms_text = entry.rpartition(":")
+        if not sep or not head or not sms_text:
+            raise ValueError(
+                f"bad tenant spec {entry!r} (expected [NAME=]BENCH[/SCHED]:SMS, "
+                "e.g. SM:0-1 or compute=2DCONV/ciao-c:2)"
+            )
+        name = None
+        if "=" in head:
+            name, _, head = head.partition("=")
+            name = name.strip()
+        benchmark, _, scheduler = head.partition("/")
+        benchmark = get_benchmark(benchmark.strip()).name
+        scheduler = canonical_scheduler_name(scheduler.strip() or default_scheduler)
+        lo, dash, hi = sms_text.partition("-")
+        try:
+            first = int(lo)
+            last = int(hi) if dash else first  # 'ATAX:0-' fails: int('')
+        except ValueError:
+            raise ValueError(f"bad SM range {sms_text!r} in tenant {entry!r}") from None
+        if last < first:
+            raise ValueError(f"empty SM range {sms_text!r} in tenant {entry!r}")
+        if not name:
+            name = benchmark
+        count = seen_names.get(name, 0) + 1
+        seen_names[name] = count
+        if count > 1:
+            name = f"{name}-{count}"
+        tenants.append(
+            TenantSpec(
+                name=name,
+                benchmark=benchmark,
+                scheduler=scheduler,
+                sm_ids=tuple(range(first, last + 1)),
+                address_space=index + 1,
+            )
+        )
+    return tuple(tenants)
+
+
+def _cmd_run_tenants(args) -> int:
+    """The multi-tenant arm of ``repro run`` (--tenants / --scenario)."""
+    from repro.harness import experiments
+
+    if args.benchmark or args.schedulers:
+        print("error: --tenants/--scenario replaces the positional "
+              "BENCH [SCHED ...] arguments", file=sys.stderr)
+        return 2
+    try:
+        if args.scenario:
+            request = experiments.colocation_scenario(
+                args.scenario, scale=args.scale, seed=args.seed, backend=args.backend
+            )
+            with_isolated = True  # scenarios always report slowdown vs isolated
+        else:
+            tenants = parse_tenant_specs(args.tenants)
+            request = MultiTenantRequest(
+                tenants=tenants,
+                run_config=RunConfig(
+                    scale=args.scale if args.scale is not None else 0.3,
+                    seed=args.seed if args.seed is not None else 1,
+                ),
+                backend=args.backend,
+            )
+            with_isolated = args.isolated
+        request.canonicalize()  # fail fast on bad partitions / unknown names
+    except ValueError as exc:
+        # Bad --tenants specs / SM partitions are usage errors; engine
+        # ValueErrors raised mid-simulation still traceback normally.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    jobs = [request]
+    if with_isolated:
+        jobs += [request.isolated_request(t.name) for t in request.tenants]
+    cache = _cache_from_args(args)
+    outcome = run_jobs(jobs, workers=args.workers, cache=cache)
+    colocated = outcome.results[0]
+    isolated = {
+        tenant.name: result
+        for tenant, result in zip(request.tenants, outcome.results[1:])
+    }
+
+    from repro.analysis.metrics import tenant_slowdowns
+
+    slowdowns = tenant_slowdowns(colocated, isolated) if with_isolated else {}
+    rows = []
+    for tenant in request.tenants:
+        stats = colocated.per_tenant[tenant.name]
+        row = {
+            "tenant": tenant.name,
+            "benchmark": tenant.benchmark_name,
+            "scheduler": stats.scheduler,
+            "sms": "+".join(str(i) for i in stats.sm_ids),
+            "cycles": stats.finish_cycle,
+            "ipc": stats.ipc,
+            "dram_conflicts": stats.inter_sm_dram_conflicts,
+        }
+        if with_isolated:
+            row["isolated_cycles"] = int(slowdowns[tenant.name]["isolated_cycles"])
+            row["slowdown"] = slowdowns[tenant.name]["slowdown"]
+        rows.append(row)
+
+    if args.json:
+        from repro.api import RESULT_SCHEMA
+
+        json.dump(
+            {
+                "scenario": args.scenario,
+                "tenants": rows,
+                "per_tenant": slowdowns or None,
+                "inter_sm_dram_conflicts": colocated.inter_sm_dram_conflicts,
+                "backend": colocated.backend,
+                "scale": request.run_config.scale,
+                "seed": request.run_config.seed,
+                "result_schema": RESULT_SCHEMA,
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        title = f"scenario {args.scenario}" if args.scenario else "co-located tenants"
+        print(f"{title} @ scale {request.run_config.scale}, "
+              f"seed {request.run_config.seed} ({colocated.backend} backend)")
+        print(format_table(rows))
+        print(f"\ninter-SM DRAM conflicts: {colocated.inter_sm_dram_conflicts} "
+              "(attributed per tenant above)")
+        print(format_sweep_stats(outcome.stats))
+    return 0
+
+
 def cmd_run(args) -> int:
+    if args.tenants and args.scenario:
+        print("error: use either --tenants or --scenario, not both", file=sys.stderr)
+        return 2
+    if args.tenants or args.scenario:
+        return _cmd_run_tenants(args)
+    if not args.benchmark:
+        print("error: benchmark argument required (or use --tenants/--scenario)",
+              file=sys.stderr)
+        return 2
+    if args.isolated:
+        print("error: --isolated only applies to --tenants/--scenario runs",
+              file=sys.stderr)
+        return 2
     get_benchmark(args.benchmark)  # validate up front for a clean error
     schedulers = [canonical_scheduler_name(s) for s in (args.schedulers or ["gto"])]
-    config = RunConfig(scale=args.scale, seed=args.seed)
+    scale = args.scale if args.scale is not None else 0.3
+    seed = args.seed if args.seed is not None else 1
+    config = RunConfig(scale=scale, seed=seed)
     jobs = [
         SimulationRequest(args.benchmark, sched, config, backend=args.backend)
         for sched in schedulers
@@ -140,7 +315,7 @@ def cmd_run(args) -> int:
         )
         print()
     else:
-        print(f"{args.benchmark} @ scale {args.scale}, seed {args.seed}")
+        print(f"{args.benchmark} @ scale {scale}, seed {seed}")
         print(format_table(rows))
         print(format_sweep_stats(outcome.stats))
     return 0
@@ -404,6 +579,16 @@ def cmd_list(args) -> int:
         for name in backend_names():
             print(name)
         return 0
+    if args.scenarios:
+        from repro.harness.experiments import COLOCATION_SCENARIOS
+
+        for scenario in COLOCATION_SCENARIOS.values():
+            tenants = ", ".join(
+                f"{bench}/{sched}:{'+'.join(str(i) for i in sms)}"
+                for _, bench, sched, sms in scenario.tenants
+            )
+            print(f"{scenario.name:20s} {scenario.description} [{tenants}]")
+        return 0
     print("Benchmarks (Table II order):")
     rows = [
         {
@@ -416,10 +601,14 @@ def cmd_list(args) -> int:
         for spec in all_benchmarks()
     ]
     print(format_table(rows))
+    from repro.harness.experiments import colocation_scenario_names
+
     print("\nSchedulers:", ", ".join(scheduler_names()))
     print("Backends:", ", ".join(backend_names()),
           "(select with --backend or REPRO_BACKEND)")
     print("Reproduce targets:", ", ".join(REPRODUCE_TARGETS), "(or 'all')")
+    print("Co-location scenarios:", ", ".join(colocation_scenario_names()),
+          "(run with repro run --scenario NAME; details: repro list --scenarios)")
     return 0
 
 
@@ -433,11 +622,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="run one benchmark under one or more schedulers")
-    p_run.add_argument("benchmark", help="Table II benchmark name (e.g. ATAX)")
+    p_run = sub.add_parser(
+        "run",
+        help="run one benchmark under one or more schedulers, or a "
+             "co-located multi-tenant launch (--tenants / --scenario)",
+    )
+    p_run.add_argument("benchmark", nargs="?", default=None,
+                       help="Table II benchmark name (e.g. ATAX); omit when "
+                            "using --tenants or --scenario")
     p_run.add_argument("schedulers", nargs="*",
                        help="scheduler names (default: gto)")
-    _add_sweep_options(p_run)
+    _add_sweep_options(p_run, scale_default=None, seed_default=None)
+    p_run.add_argument("--tenants", metavar="SPEC", default=None,
+                       help="co-located tenants as [NAME=]BENCH[/SCHED]:SMS "
+                            "entries, comma-separated (SMS: one id or lo-hi), "
+                            "e.g. 'SM:0-1,compute=2DCONV/ciao-c:2'; runs on "
+                            "the lock-step engine")
+    p_run.add_argument("--scenario", metavar="NAME", default=None,
+                       help="run a named co-location scenario from the "
+                            "built-in library (see repro list --scenarios); "
+                            "always reports slowdown vs isolated runs")
+    p_run.add_argument("--isolated", action="store_true",
+                       help="with --tenants: also run every tenant alone on "
+                            "the same machine and report per-tenant slowdown")
     p_run.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p_run.set_defaults(func=cmd_run)
 
@@ -505,9 +712,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="deprecated alias of the 'clear' action")
     p_cache.set_defaults(func=cmd_cache)
 
-    p_list = sub.add_parser("list", help="list benchmarks, schedulers, backends and reproduce targets")
+    p_list = sub.add_parser("list", help="list benchmarks, schedulers, backends, "
+                                         "reproduce targets and co-location scenarios")
     p_list.add_argument("--backends", action="store_true",
                         help="list only the registered execution backends")
+    p_list.add_argument("--scenarios", action="store_true",
+                        help="list only the built-in co-location scenarios")
     p_list.set_defaults(func=cmd_list)
     return parser
 

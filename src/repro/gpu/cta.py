@@ -34,6 +34,9 @@ class KernelLaunch:
     #: Optional hard cap on resident warps (used by tests; normally the SM
     #: enforces its own occupancy limits).
     max_resident_warps: Optional[int] = None
+    #: Tenant label when the launch belongs to a co-located (multi-tenant)
+    #: simulation; ``None`` for whole-GPU launches.
+    tenant: Optional[str] = None
 
     def total_warps(self) -> int:
         """Total warps launched across all CTAs."""

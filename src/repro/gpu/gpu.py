@@ -22,12 +22,31 @@ from typing import Any, Callable, Mapping, Optional
 from repro.gpu.config import GPUConfig
 from repro.gpu.cta import KernelLaunch
 from repro.gpu.sm import StreamingMultiprocessor
-from repro.gpu.stats import SMStats, merge_stats
+from repro.gpu.stats import SMStats, TenantStats, merge_stats
 from repro.mem.cache import CacheConfig
 from repro.mem.subsystem import MemorySubsystem, MemorySubsystemConfig
 
 #: A scheduler factory builds a fresh scheduler instance for each SM.
 SchedulerFactory = Callable[[], object]
+
+
+@dataclass
+class TenantPlan:
+    """One tenant's materialized share of a partitioned (co-located) launch.
+
+    Built by :func:`repro.backends.materialize_tenants` from a
+    :class:`repro.api.TenantSpec`: the kernel to run, the scheduler factory
+    producing a fresh per-SM scheduler instance, and the SM partition the
+    tenant owns.  Consumed by :meth:`GPU.build_partitioned_sms` and the
+    multi-tenant lock-step driver.
+    """
+
+    name: str
+    kernel: KernelLaunch
+    scheduler_factory: SchedulerFactory
+    sm_ids: tuple[int, ...]
+    scheduler_name: str = ""
+    enable_shared_cache: bool = False
 
 
 @dataclass
@@ -47,6 +66,10 @@ class SimulationResult:
     #: interleaving and always reports zero); it is also zero for
     #: single-SM lock-step runs.
     inter_sm_dram_conflicts: int = 0
+    #: Per-tenant statistic breakdown, keyed by tenant name.  Empty for
+    #: single-kernel runs; filled by the multi-tenant lock-step driver
+    #: (:func:`repro.gpu.lockstep.run_multi_tenant`).
+    per_tenant: dict[str, TenantStats] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -76,11 +99,18 @@ class SimulationResult:
         """Versioned JSON-safe form; :meth:`from_dict` restores an equal result."""
         from repro.api import RESULT_SCHEMA, encode_value
 
-        return {
+        payload = {
             "schema": RESULT_SCHEMA,
             "kind": "SimulationResult",
             "data": encode_value(self),
         }
+        if not self.per_tenant:
+            # Single-kernel payloads predate the tenant layer; omitting the
+            # empty field keeps the schema-1 wire form (golden fixtures,
+            # existing cache entries) byte-identical, and ``from_dict``
+            # restores the default on decode.
+            payload["data"]["fields"].pop("per_tenant", None)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationResult":
@@ -176,6 +206,50 @@ class GPU:
                 enable_shared_cache=self.enable_shared_cache,
             )
             sm.launch(kernel)
+            self.sms.append(sm)
+        return self.sms
+
+    def build_partitioned_sms(
+        self, plans: "list[TenantPlan]"
+    ) -> list[StreamingMultiprocessor]:
+        """Construct one SM per *owned* slot, running its tenant's kernel.
+
+        ``plans`` claim disjoint ``sm_ids`` within ``range(num_sms)``.  SM
+        slots no plan owns are left idle — they contribute no work but the
+        machine keeps its full L2/DRAM share, which is how a tenant runs
+        "alone on the machine" for interference baselines.  SMs are
+        constructed and launched in ``sm_id`` order — the same order
+        :meth:`build_sms` uses — so a partition in which every tenant runs
+        the same kernel and scheduler builds a machine bit-identical to the
+        single-kernel path.
+        """
+        owner: dict[int, TenantPlan] = {}
+        for plan in plans:
+            plan.kernel.validate()
+            for sm_id in plan.sm_ids:
+                if sm_id in owner:
+                    raise ValueError(
+                        f"SM {sm_id} assigned to both tenant "
+                        f"{owner[sm_id].name!r} and {plan.name!r}"
+                    )
+                owner[sm_id] = plan
+        out_of_range = sorted(i for i in owner if i < 0 or i >= self.config.num_sms)
+        if out_of_range:
+            raise ValueError(
+                f"SM ids {out_of_range} lie outside the "
+                f"{self.config.num_sms}-SM machine"
+            )
+        self.sms = []
+        for sm_id in sorted(owner):
+            plan = owner[sm_id]
+            sm = StreamingMultiprocessor(
+                sm_id,
+                self.config,
+                self.memory,
+                plan.scheduler_factory(),
+                enable_shared_cache=plan.enable_shared_cache,
+            )
+            sm.launch(plan.kernel)
             self.sms.append(sm)
         return self.sms
 

@@ -18,6 +18,18 @@ when one SM is simulated: single-SM results are bit-for-bit identical
 between the two backends, which the test suite pins down
 (``tests/test_lockstep.py``).
 
+:func:`run_multi_tenant` drives the same loop over a *partitioned* machine
+(:meth:`repro.gpu.gpu.GPU.build_partitioned_sms`): each tenant's kernel runs
+on its own SM subset while every SM contends for the shared L2/DRAM.
+Tenants finalize independently — a finished tenant's SMs go idle (and are
+sealed at the global cycle they were observed drained) while the remaining
+tenants keep contending — and the result carries a per-tenant statistics
+breakdown (``SimulationResult.per_tenant``), including each tenant's share
+of the inter-SM DRAM conflicts.  Because both drivers share
+:func:`_advance_sms` and SM construction order, a partition in which every
+tenant runs the same kernel and scheduler is bit-identical to the
+single-kernel lock-step path.
+
 The global fast-forward keeps pure-Python simulation practical: when no SM
 can issue, the clock jumps straight to the earliest in-flight memory event
 across all SMs.
@@ -32,28 +44,23 @@ churn) are not re-queried on every fast-forward decision.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.gpu.cta import KernelLaunch
-from repro.gpu.gpu import GPU, SimulationResult
-from repro.gpu.stats import SMStats
+from repro.gpu.gpu import GPU, SimulationResult, TenantPlan
+from repro.gpu.stats import SMStats, TenantStats, merge_stats
 
 
-def run_lockstep(
-    gpu: GPU,
-    kernel: KernelLaunch,
-    *,
-    max_cycles: Optional[int] = None,
-    scheduler_name: str = "",
-) -> SimulationResult:
-    """Run ``kernel`` on every SM of ``gpu`` in lock step; aggregate stats.
+def _advance_sms(
+    sms: Sequence, budget: int
+) -> dict[int, SMStats]:
+    """Advance ``sms`` in lock step until all drain or ``budget`` is reached.
 
-    ``max_cycles`` bounds the *global* clock (for a single SM this is the
-    same budget the serialized mode applies per SM).
+    Returns the per-SM statistics keyed by ``sm_id``.  Each SM is finalized
+    at the global cycle it was observed drained (or at the final cycle for
+    SMs still live when the budget ran out), so heterogeneous kernels —
+    tenants of different lengths — seal their stats independently.
     """
-    sms = gpu.build_sms(kernel)
-    budget = max_cycles if max_cycles is not None else gpu.config.max_cycles
-
     cycle = 0
     live = list(sms)
     finalized: set[int] = set()
@@ -128,7 +135,77 @@ def run_lockstep(
         if sm.sm_id not in finalized:
             per_sm_stats[sm.sm_id] = sm.finalize(cycle)
 
+    return per_sm_stats
+
+
+def run_lockstep(
+    gpu: GPU,
+    kernel: KernelLaunch,
+    *,
+    max_cycles: Optional[int] = None,
+    scheduler_name: str = "",
+) -> SimulationResult:
+    """Run ``kernel`` on every SM of ``gpu`` in lock step; aggregate stats.
+
+    ``max_cycles`` bounds the *global* clock (for a single SM this is the
+    same budget the serialized mode applies per SM).
+    """
+    sms = gpu.build_sms(kernel)
+    budget = max_cycles if max_cycles is not None else gpu.config.max_cycles
+    per_sm_stats = _advance_sms(sms, budget)
     stats_in_order = [per_sm_stats[sm.sm_id] for sm in sms]
     return gpu.collect_result(
         kernel, stats_in_order, scheduler_name=scheduler_name, backend="lockstep"
+    )
+
+
+def run_multi_tenant(
+    gpu: GPU,
+    plans: Sequence[TenantPlan],
+    *,
+    max_cycles: Optional[int] = None,
+) -> SimulationResult:
+    """Run one kernel per tenant on a partitioned ``gpu`` in lock step.
+
+    ``plans`` assign each tenant a kernel, a scheduler factory and an SM
+    partition (see :meth:`repro.gpu.gpu.GPU.build_partitioned_sms` for the
+    partition contract).  All SMs share the global clock and the L2/DRAM;
+    per-tenant statistics (including the tenant's share of the inter-SM
+    DRAM conflicts) are attached as ``SimulationResult.per_tenant``.
+    """
+    sms = gpu.build_partitioned_sms(list(plans))
+    budget = max_cycles if max_cycles is not None else gpu.config.max_cycles
+    per_sm_stats = _advance_sms(sms, budget)
+    stats_in_order = [per_sm_stats[sm.sm_id] for sm in sms]
+
+    conflicts_by_sm = gpu.memory.inter_sm_dram_conflicts_by_sm
+    per_tenant: dict[str, TenantStats] = {}
+    for plan in plans:
+        tenant_stats = merge_stats([per_sm_stats[sm_id] for sm_id in plan.sm_ids])
+        per_tenant[plan.name] = TenantStats(
+            name=plan.name,
+            benchmark=plan.kernel.name,
+            scheduler=plan.scheduler_name,
+            sm_ids=tuple(plan.sm_ids),
+            stats=tenant_stats,
+            finish_cycle=tenant_stats.cycles,
+            inter_sm_dram_conflicts=sum(
+                conflicts_by_sm.get(sm_id, 0) for sm_id in plan.sm_ids
+            ),
+        )
+
+    def joined(values: list[str]) -> str:
+        unique = list(dict.fromkeys(values))
+        return "+".join(unique)
+
+    return SimulationResult(
+        kernel_name=joined([plan.kernel.name for plan in plans]),
+        scheduler_name=joined(
+            [plan.scheduler_name or type(plan.scheduler_factory()).__name__ for plan in plans]
+        ),
+        per_sm=stats_in_order,
+        machine=merge_stats(stats_in_order),
+        backend="lockstep",
+        inter_sm_dram_conflicts=gpu.memory.inter_sm_dram_conflicts,
+        per_tenant=per_tenant,
     )

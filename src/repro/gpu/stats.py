@@ -182,6 +182,46 @@ class SMStats:
         }
 
 
+@dataclass
+class TenantStats:
+    """Per-tenant statistics of one multi-tenant (co-located) simulation.
+
+    A *tenant* is one kernel occupying a subset of the machine's SMs (see
+    :class:`repro.api.TenantSpec`).  ``stats`` merges the tenant's per-SM
+    statistics exactly like the machine-level merge, so ``stats.ipc`` is the
+    tenant's thread IPC over its own partition.
+    """
+
+    name: str
+    benchmark: str = ""
+    scheduler: str = ""
+    sm_ids: tuple[int, ...] = ()
+    stats: SMStats = field(default_factory=SMStats)
+    #: Global cycle at which the tenant's last SM drained (== ``stats.cycles``
+    #: unless the run hit the cycle budget).
+    finish_cycle: int = 0
+    #: DRAM requests from this tenant's SMs that queued behind a burst of a
+    #: *different SM*.  Attribution is per suffering requester SM, so for a
+    #: tenant owning several SMs this includes conflicts against its own
+    #: sibling SMs (intra-tenant contention), not only against neighbours.
+    inter_sm_dram_conflicts: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Thread-level IPC of the tenant over its own SM partition."""
+        return self.stats.ipc
+
+    def summary(self) -> dict[str, float]:
+        """Headline per-tenant metrics (CLI / experiment reporting)."""
+        return {
+            "cycles": float(self.finish_cycle),
+            "instructions": float(self.stats.instructions_issued),
+            "ipc": self.ipc,
+            "l1d_hit_rate": self.stats.l1d_hit_rate,
+            "inter_sm_dram_conflicts": float(self.inter_sm_dram_conflicts),
+        }
+
+
 def merge_stats(stats_list: list[SMStats]) -> SMStats:
     """Merge per-SM stats into a machine-level view (sums and weighted rates)."""
     if not stats_list:

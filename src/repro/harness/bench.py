@@ -51,19 +51,36 @@ QUICK_BENCHMARKS: tuple[str, ...] = ("ATAX", "SYRK")
 QUICK_SCHEDULERS: tuple[str, ...] = ("gto", "ciao-c")
 QUICK_SCALE = 0.05
 
+#: Co-location scenario measured by the quick matrix, so the multi-tenant
+#: lock-step driver is perf-gated alongside the single-kernel engines.
+QUICK_SCENARIO = "thrash-vs-compute"
+
 
 @dataclass(frozen=True)
 class BenchCase:
-    """One pinned measurement: benchmark x scheduler x backend x sizing."""
+    """One pinned measurement: benchmark x scheduler x backend x sizing.
+
+    When ``scenario`` is set the case measures a co-location scenario from
+    :data:`repro.harness.experiments.COLOCATION_SCENARIOS` instead (always
+    on the lock-step engine); ``benchmark`` / ``scheduler`` then only label
+    the report row.
+    """
 
     benchmark: str
     scheduler: str
     backend: str = "reference"
     scale: float = STANDARD_SCALE
     seed: int = 1
+    scenario: Optional[str] = None
 
-    def request(self) -> SimulationRequest:
+    def request(self):
         """The simulation request this case measures."""
+        if self.scenario is not None:
+            from repro.harness.experiments import colocation_scenario
+
+            return colocation_scenario(
+                self.scenario, scale=self.scale, seed=self.seed
+            )
         return SimulationRequest(
             self.benchmark,
             self.scheduler,
@@ -87,17 +104,32 @@ def bench_matrix(
     matrix (used by tests and ad-hoc measurements); the defaults are the
     standard figure workloads, or the quick smoke subset when ``quick``.
     """
+    pinned = benchmarks is None and schedulers is None
     if benchmarks is None:
         benchmarks = QUICK_BENCHMARKS if quick else STANDARD_BENCHMARKS
     if schedulers is None:
         schedulers = QUICK_SCHEDULERS if quick else STANDARD_SCHEDULERS
     if scale is None:
         scale = QUICK_SCALE if quick else STANDARD_SCALE
-    return [
+    cases = [
         BenchCase(benchmark=b, scheduler=s, backend=backend, scale=scale, seed=seed)
         for b in benchmarks
         for s in schedulers
     ]
+    if quick and pinned:
+        # Perf-gate the multi-tenant lock-step driver from day one: one
+        # co-location scenario rides along in the pinned quick matrix.
+        cases.append(
+            BenchCase(
+                benchmark=f"scenario:{QUICK_SCENARIO}",
+                scheduler="co-located",
+                backend="lockstep",
+                scale=scale,
+                seed=seed,
+                scenario=QUICK_SCENARIO,
+            )
+        )
+    return cases
 
 
 def git_revision() -> str:

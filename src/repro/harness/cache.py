@@ -147,6 +147,33 @@ def job_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def multi_tenant_job_key(
+    tenant_payloads: list,
+    run_config: Any,
+    *,
+    backend: str,
+    code_version: Optional[str] = None,
+) -> str:
+    """Stable content hash identifying one multi-tenant (co-located) job.
+
+    ``tenant_payloads`` carries, per tenant, the canonicalized benchmark
+    spec, scheduler name + kwargs, the tenant label **and the SM-partition
+    assignment** — two co-location jobs that differ only in which SMs a
+    tenant occupies contend differently and must never share an entry
+    (pinned by ``tests/test_result_cache.py``).
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "kind": "multi-tenant",
+        "code": code_version if code_version is not None else code_fingerprint(),
+        "tenants": canonicalize(tenant_payloads),
+        "run_config": canonicalize(run_config),
+        "backend": backend,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters of one :class:`ResultCache` instance."""

@@ -38,7 +38,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional, Sequence, Union
 
-from repro.api import SimulationRequest
+from repro.api import AnyRequest, MultiTenantRequest, SimulationRequest
 from repro.gpu.gpu import SimulationResult
 from repro.harness.cache import ResultCache
 from repro.harness.ledger import record_sweep
@@ -54,7 +54,7 @@ AUTO_CACHE = "auto"
 class SweepError(RuntimeError):
     """A job of a sweep failed; carries the offending job for context."""
 
-    def __init__(self, job: SimulationRequest, cause: BaseException) -> None:
+    def __init__(self, job: AnyRequest, cause: BaseException) -> None:
         super().__init__(
             f"sweep job failed: benchmark={job.benchmark_name!r} "
             f"scheduler={job.scheduler!r} ({type(cause).__name__}: {cause})"
@@ -124,8 +124,12 @@ def resolve_workers(workers: Optional[int], n_jobs: int) -> int:
     return max(1, min(int(workers), max(1, n_jobs)))
 
 
-def _execute(job: SimulationRequest) -> SimulationResult:
+def _execute(job: AnyRequest) -> SimulationResult:
     """Worker entry point: run one job (module-level so it pickles)."""
+    if isinstance(job, MultiTenantRequest):
+        from repro.api import execute
+
+        return execute(job)
     return run_benchmark(job.benchmark, job.scheduler, job.run_config,
                          backend=job.backend)
 
@@ -142,12 +146,10 @@ def _decode_cached(payload: Any) -> Optional[SimulationResult]:
     return None
 
 
-def _resolved_backends(jobs: Sequence[SimulationRequest]) -> str:
+def _resolved_backends(jobs: Sequence[AnyRequest]) -> str:
     """Comma-joined resolved backend names of ``jobs`` ("" when unknown)."""
-    from repro.backends import resolve_backend_name
-
     try:
-        return ",".join(sorted({resolve_backend_name(job.backend) for job in jobs}))
+        return ",".join(sorted({job.resolved_backend() for job in jobs}))
     except KeyError:
         return ""
 
@@ -161,7 +163,7 @@ def _pool_context():
 
 
 def run_jobs(
-    jobs: Sequence[SimulationRequest],
+    jobs: Sequence[AnyRequest],
     *,
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, None] = AUTO_CACHE,
@@ -169,15 +171,21 @@ def run_jobs(
 ) -> SweepOutcome:
     """Execute ``jobs`` and return results in submission order.
 
+    Jobs are :class:`SimulationRequest` values, :class:`MultiTenantRequest`
+    values (co-located tenants, lock-step only), or a mix of both.
     ``cache`` is :data:`AUTO_CACHE` (environment default), ``None`` (caching
     off for this sweep), or an explicit :class:`ResultCache`.  Cache lookups
     and writes happen in the parent process; workers only ever simulate.
-    ``backend`` selects the engine for jobs that did not pin one themselves.
+    ``backend`` selects the engine for jobs that did not pin one themselves
+    (multi-tenant jobs with no pinned backend keep their ``lockstep``
+    default — the serialized engine cannot run them).
     """
     jobs = list(jobs)
     if backend is not None:
         jobs = [
-            job if job.backend is not None else replace(job, backend=backend)
+            job
+            if job.backend is not None or isinstance(job, MultiTenantRequest)
+            else replace(job, backend=backend)
             for job in jobs
         ]
     if isinstance(cache, str):

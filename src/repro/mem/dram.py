@@ -74,6 +74,10 @@ class DRAMStats:
     #: (SM).  This is the inter-SM DRAM contention signal the lock-step
     #: backend surfaces; it stays zero for single-SM simulations.
     inter_requester_conflicts: int = 0
+    #: The same conflicts broken down by the *suffering* requester (the SM
+    #: whose request queued).  Sums to ``inter_requester_conflicts``; the
+    #: multi-tenant driver attributes each tenant its partition's share.
+    conflicts_by_requester: dict[int, int] = field(default_factory=dict)
 
     @property
     def mean_queue_delay(self) -> float:
@@ -126,6 +130,9 @@ class DRAMModel:
         previous = self._channel_last_requester[channel]
         if queue_delay > 0 and requester >= 0 and previous >= 0 and previous != requester:
             self.stats.inter_requester_conflicts += 1
+            self.stats.conflicts_by_requester[requester] = (
+                self.stats.conflicts_by_requester.get(requester, 0) + 1
+            )
         self._channel_last_requester[channel] = requester
         self._channel_free_at[channel] = start + burst
         completion = start + burst + self.config.access_latency

@@ -79,3 +79,8 @@ class MemorySubsystem:
     def inter_sm_dram_conflicts(self) -> int:
         """DRAM requests that queued behind a different SM's burst."""
         return self.l2.dram.stats.inter_requester_conflicts
+
+    @property
+    def inter_sm_dram_conflicts_by_sm(self) -> dict[int, int]:
+        """The same conflicts keyed by the suffering SM (sums to the total)."""
+        return dict(self.l2.dram.stats.conflicts_by_requester)

@@ -26,8 +26,8 @@ import random
 import zlib
 from typing import Iterator, Optional
 
-from repro.gpu.cta import KernelLaunch
-from repro.gpu.instruction import Instruction
+from repro.gpu.cta import KernelLaunch, WarpStreamFactory
+from repro.gpu.instruction import Instruction, InstructionKind
 from repro.mem.address import BLOCK_SIZE
 from repro.workloads import patterns
 from repro.workloads.spec import BenchmarkSpec, PatternKind
@@ -48,6 +48,40 @@ STREAM_STRIDE = 4 << 20  # 4 MiB
 #: and under the write-through/no-allocate L1D policy stores only consume
 #: downstream bandwidth.
 STORE_FRACTION = 0.05
+#: Bytes separating tenant address spaces (see :func:`isolate_address_space`).
+#: Far above every region base + per-warp stride, so two tenants' working
+#: sets can never alias.
+TENANT_ADDRESS_STRIDE = 1 << 40
+
+
+def isolate_address_space(
+    factory: WarpStreamFactory, address_space: int
+) -> WarpStreamFactory:
+    """Shift a warp-stream factory's *global* addresses into a private space.
+
+    Co-located tenants are separate processes: their virtual address spaces
+    never alias, so one tenant's DRAM fills must not warm another tenant's
+    L2 lines.  ``address_space`` is a small colour; colour 0 returns the
+    factory unchanged (the kernel's natural addresses — what single-kernel
+    launches and same-address-space tenants use), any other colour offsets
+    every global LOAD / STORE address by ``colour * TENANT_ADDRESS_STRIDE``.
+    Scratchpad offsets, barriers and ALU instructions pass through untouched.
+    """
+    if address_space == 0:
+        return factory
+    offset = address_space * TENANT_ADDRESS_STRIDE
+
+    def wrapped(cta_index: int, warp_index: int, wid: int) -> Iterator[Instruction]:
+        for instruction in factory(cta_index, warp_index, wid):
+            kind = instruction.kind
+            if kind is InstructionKind.LOAD or kind is InstructionKind.STORE:
+                yield Instruction(
+                    kind, tuple(a + offset for a in instruction.addresses)
+                )
+            else:
+                yield instruction
+
+    return wrapped
 
 
 class SyntheticKernelModel:

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.api import RunConfig, SimulationRequest
+from repro.api import (
+    MultiTenantRequest,
+    RunConfig,
+    SimulationRequest,
+    TenantSpec,
+    execute,
+)
 from repro.gpu.config import GPUConfig
 from repro.harness.parallel import run_jobs
 from repro.harness.runner import run_benchmark
@@ -74,6 +80,95 @@ class TestMultiSM:
         a = run_benchmark("SYRK", "ccws", self.CONFIG, backend="lockstep")
         b = run_benchmark("SYRK", "ccws", self.CONFIG, backend="lockstep")
         assert a == b
+
+
+def _strip_tenant_fields(result):
+    """A multi-tenant result's payload minus the tenant-only decorations."""
+    payload = result.to_dict()
+    payload["data"]["fields"].pop("per_tenant", None)
+    return payload
+
+
+class TestMultiTenantParity:
+    """Differential contracts of the partitioned driver.
+
+    Tenants at the default address-space colour 0 share the kernel's
+    natural addresses, so a partition in which every tenant runs the same
+    kernel and scheduler must reduce *exactly* to the single-kernel paths.
+    """
+
+    @pytest.mark.parametrize("scheduler", ["gto", "ccws", "ciao-c"])
+    def test_homogeneous_tenants_match_single_kernel_lockstep(self, scheduler):
+        # Two tenants x one SM, same kernel/scheduler everywhere == one
+        # kernel launched on a 2-SM lock-step machine, bit for bit.
+        single = run_benchmark(
+            "ATAX",
+            scheduler,
+            RunConfig(scale=0.05, seed=1, gpu_config=GPUConfig.gtx480(num_sms=2)),
+            backend="lockstep",
+        )
+        multi = execute(
+            MultiTenantRequest(
+                tenants=(
+                    TenantSpec("a", "ATAX", scheduler, (0,)),
+                    TenantSpec("b", "ATAX", scheduler, (1,)),
+                ),
+                run_config=RunConfig(scale=0.05, seed=1),
+            )
+        )
+        assert multi.per_tenant  # it really took the partitioned path
+        assert _strip_tenant_fields(multi) == _strip_tenant_fields(single)
+
+    def test_one_tenant_one_sm_matches_reference_backend(self):
+        ref = run_benchmark("ATAX", "gto", backend="reference", **SMALL)
+        multi = execute(
+            MultiTenantRequest(
+                tenants=(TenantSpec("solo", "ATAX", "gto", (0,)),),
+                run_config=RunConfig(**SMALL),
+            )
+        )
+        ref_payload = _strip_tenant_fields(ref)
+        multi_payload = _strip_tenant_fields(multi)
+        ref_payload["data"]["fields"].pop("backend")
+        multi_payload["data"]["fields"].pop("backend")
+        assert multi_payload == ref_payload
+
+    def test_tenant_partition_changes_contention(self):
+        # Same tenants, different SM split: a genuine semantic knob, so the
+        # simulations must not collapse to the same outcome.
+        def run(split_a, split_b):
+            return execute(
+                MultiTenantRequest(
+                    tenants=(
+                        TenantSpec("a", "ATAX", "gto", split_a, address_space=1),
+                        TenantSpec("b", "SYRK", "gto", split_b, address_space=2),
+                    ),
+                    run_config=RunConfig(**SMALL),
+                )
+            )
+
+        narrow = run((0,), (1, 2))
+        wide = run((0, 1), (2,))
+        assert narrow.per_tenant["a"].stats.instructions_issued < (
+            wide.per_tenant["a"].stats.instructions_issued
+        )
+
+    def test_finished_tenant_goes_idle_while_others_run(self):
+        # 2DCONV (compute-bound) drains long before the SM thrasher; its
+        # finish_cycle must seal early while the machine keeps running.
+        result = execute(
+            MultiTenantRequest(
+                tenants=(
+                    TenantSpec("thrash", "SM", "gto", (0,), address_space=1),
+                    TenantSpec("compute", "2DCONV", "gto", (1,), address_space=2),
+                ),
+                run_config=RunConfig(scale=0.1, seed=1),
+            )
+        )
+        thrash = result.per_tenant["thrash"]
+        compute = result.per_tenant["compute"]
+        assert compute.finish_cycle < thrash.finish_cycle
+        assert result.machine.cycles == thrash.finish_cycle
 
 
 class TestEngineIntegration:

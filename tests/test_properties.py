@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import functools
 import random
 
 from hypothesis import given, settings
@@ -116,6 +117,115 @@ def test_geometric_mean_bounds(values):
     """The geometric mean lies between the minimum and maximum value."""
     mean = geometric_mean(values)
     assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant invariants
+# ---------------------------------------------------------------------------
+@st.composite
+def _partitions(draw):
+    """A random disjoint SM partition of a small machine into named tenants."""
+    num_sms = draw(st.integers(min_value=1, max_value=8))
+    sm_ids = draw(st.permutations(list(range(num_sms))))
+    num_tenants = draw(st.integers(min_value=1, max_value=num_sms))
+    if num_tenants == 1:
+        cuts = []
+    else:
+        cuts = sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=num_sms - 1),
+                    unique=True,
+                    min_size=num_tenants - 1,
+                    max_size=num_tenants - 1,
+                )
+            )
+        )
+    bounds = [0, *cuts, num_sms]
+    return [
+        tuple(sorted(sm_ids[lo:hi])) for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(_partitions(), st.data())
+def test_multi_tenant_request_round_trips_for_random_partitions(partition, data):
+    """to_dict/from_dict is the identity for arbitrary valid partitions."""
+    import json
+
+    from repro.api import MultiTenantRequest, RunConfig, TenantSpec
+
+    request = MultiTenantRequest(
+        tenants=tuple(
+            TenantSpec(
+                name=f"t{index}",
+                benchmark=data.draw(st.sampled_from(["ATAX", "SYRK", "WC"])),
+                scheduler=data.draw(st.sampled_from(["gto", "ccws", "lrr"])),
+                sm_ids=sm_ids,
+                address_space=index,
+            )
+            for index, sm_ids in enumerate(partition)
+        ),
+        run_config=RunConfig(scale=0.05, seed=data.draw(st.integers(1, 1000))),
+    )
+    request.validate()  # the strategy only builds valid partitions
+    assert MultiTenantRequest.from_dict(request.to_dict()) == request
+    wire = json.loads(json.dumps(request.to_dict()))
+    assert MultiTenantRequest.from_dict(wire) == request
+
+
+@functools.lru_cache(maxsize=None)
+def _colocated_result(names=("alpha", "beta", "gamma")):
+    """One small pinned co-located run, shared by the invariants below."""
+    from repro.api import MultiTenantRequest, RunConfig, TenantSpec, execute
+
+    benchmarks = ("ATAX", "SYRK", "WC")
+    request = MultiTenantRequest(
+        tenants=tuple(
+            TenantSpec(name, benchmarks[i], "gto", (i,), address_space=i + 1)
+            for i, name in enumerate(names)
+        ),
+        run_config=RunConfig(scale=0.05, seed=1),
+    )
+    return execute(request)
+
+
+def test_per_tenant_counts_sum_to_global_totals():
+    """Tenant instruction/conflict counts partition the machine totals, and
+    the machine clock is the slowest tenant's finish cycle."""
+    result = _colocated_result()
+    per_tenant = result.per_tenant.values()
+    assert sum(t.stats.instructions_issued for t in per_tenant) == (
+        result.machine.instructions_issued
+    )
+    assert sum(t.stats.global_memory_instructions for t in per_tenant) == (
+        result.machine.global_memory_instructions
+    )
+    assert sum(t.stats.warps_retired for t in per_tenant) == (
+        result.machine.warps_retired
+    )
+    assert sum(t.inter_sm_dram_conflicts for t in per_tenant) == (
+        result.inter_sm_dram_conflicts
+    )
+    assert max(t.finish_cycle for t in per_tenant) == result.machine.cycles
+    assert max(t.stats.cycles for t in per_tenant) == result.machine.cycles
+
+
+def test_tenant_results_invariant_under_label_permutation():
+    """Renaming tenants (fixed SM assignment) only relabels the breakdown."""
+    base = _colocated_result(("alpha", "beta", "gamma"))
+    renamed = _colocated_result(("zeta", "yankee", "xray"))
+    mapping = {"alpha": "zeta", "beta": "yankee", "gamma": "xray"}
+    assert [s.cycles for s in base.per_sm] == [s.cycles for s in renamed.per_sm]
+    assert base.per_sm == renamed.per_sm
+    assert base.machine == renamed.machine
+    assert base.inter_sm_dram_conflicts == renamed.inter_sm_dram_conflicts
+    for old, new in mapping.items():
+        a, b = base.per_tenant[old], renamed.per_tenant[new]
+        assert a.stats == b.stats
+        assert a.sm_ids == b.sm_ids
+        assert a.finish_cycle == b.finish_cycle
+        assert a.inter_sm_dram_conflicts == b.inter_sm_dram_conflicts
 
 
 @settings(max_examples=100)

@@ -95,6 +95,82 @@ class TestCacheKeys:
         assert code_fingerprint() == code_fingerprint()
 
 
+class TestMultiTenantKeys:
+    """Cache-key sensitivity of co-located (multi-tenant) jobs."""
+
+    def _request(self, split_a=(0,), split_b=(1, 2), **kwargs):
+        from repro.api import MultiTenantRequest, TenantSpec
+
+        fields = dict(
+            tenants=(
+                TenantSpec("a", "ATAX", "gto", tuple(split_a), address_space=1),
+                TenantSpec("b", "SYRK", "gto", tuple(split_b), address_space=2),
+            ),
+            run_config=SMALL,
+        )
+        fields.update(kwargs)
+        return MultiTenantRequest(**fields)
+
+    def test_key_is_stable_for_identical_jobs(self):
+        assert self._request().cache_key() == self._request().cache_key()
+
+    def test_sm_partition_assignment_changes_key(self):
+        # Regression guard: two jobs that differ ONLY in which SMs each
+        # tenant occupies contend differently and must never share a cache
+        # entry.
+        narrow = self._request(split_a=(0,), split_b=(1, 2))
+        wide = self._request(split_a=(0, 1), split_b=(2,))
+        assert narrow.cache_key() != wide.cache_key()
+
+    def test_machine_size_changes_key(self):
+        # Idle SMs change the machine's L2/DRAM share, so an isolated
+        # baseline must not alias the dense two-tenant layout.
+        dense = self._request()
+        padded = self._request(total_sms=4)
+        assert dense.cache_key() != padded.cache_key()
+
+    def test_tenant_labels_and_address_spaces_change_key(self):
+        from repro.api import MultiTenantRequest, TenantSpec
+
+        base = self._request()
+        relabeled = MultiTenantRequest(
+            tenants=(
+                TenantSpec("x", "ATAX", "gto", (0,), address_space=1),
+                TenantSpec("y", "SYRK", "gto", (1, 2), address_space=2),
+            ),
+            run_config=SMALL,
+        )
+        shared_space = MultiTenantRequest(
+            tenants=(
+                TenantSpec("a", "ATAX", "gto", (0,)),
+                TenantSpec("b", "SYRK", "gto", (1, 2)),
+            ),
+            run_config=SMALL,
+        )
+        assert base.cache_key() != relabeled.cache_key()
+        assert base.cache_key() != shared_space.cache_key()
+
+    def test_run_config_and_scheduler_change_key(self):
+        from repro.api import MultiTenantRequest, TenantSpec
+
+        base = self._request()
+        assert base.cache_key() != self._request(
+            run_config=RunConfig(scale=0.06, seed=1)
+        ).cache_key()
+        resched = MultiTenantRequest(
+            tenants=(
+                TenantSpec("a", "ATAX", "ccws", (0,), address_space=1),
+                TenantSpec("b", "SYRK", "gto", (1, 2), address_space=2),
+            ),
+            run_config=SMALL,
+        )
+        assert base.cache_key() != resched.cache_key()
+
+    def test_multi_tenant_key_never_collides_with_single_kernel_key(self):
+        single = SweepJob("ATAX", "gto", SMALL, backend="lockstep").cache_key()
+        assert self._request().cache_key() != single
+
+
 class TestCanonicalize:
     def test_primitives_dataclasses_enums(self):
         from repro.workloads.registry import get_benchmark
