@@ -128,9 +128,42 @@ def compute_entry(benchmark: str, scheduler: str, backend: str) -> dict:
     return json.loads(json.dumps(result.to_dict(), sort_keys=True))
 
 
+#: Engines golden fixtures may be generated from.  A deliberate literal —
+#: NOT derived from ``BACKENDS`` — so adding an engine to the regen matrix
+#: cannot silently grant it fixture-source rights.  The ``vector`` engine is
+#: excluded on purpose: its contract is to *match* these fixtures
+#: bit-for-bit, so sourcing them from it would make the parity gate
+#: circular.  Goldens always come from the reference semantics.
+ALLOWED_SOURCE_BACKENDS = frozenset({"reference", "lockstep"})
+
+
+def _refuse_vector_source() -> None:
+    """Abort when the environment or matrix would source goldens from vector."""
+    from repro.backends import resolve_backend_name
+
+    forbidden = sorted(set(BACKENDS) - ALLOWED_SOURCE_BACKENDS)
+    if forbidden:
+        raise SystemExit(
+            f"refusing to regenerate goldens from backend(s) {forbidden}; "
+            "fixtures are sourced from the reference semantics only"
+        )
+    try:
+        env_backend = resolve_backend_name(None)
+    except KeyError:
+        env_backend = ""
+    if env_backend == "vector":
+        raise SystemExit(
+            "refusing to regenerate goldens with REPRO_BACKEND=vector: the "
+            "vector engine is pinned *against* these fixtures (it must match "
+            "reference bit-for-bit), so goldens are always sourced from the "
+            "reference/lockstep semantics. Unset REPRO_BACKEND and rerun."
+        )
+
+
 def main() -> int:
     os.environ.setdefault("REPRO_RESULT_CACHE", "0")
     os.environ.setdefault("REPRO_LEDGER", "0")
+    _refuse_vector_source()
     entries = {}
     for benchmark, scheduler, backend in golden_matrix():
         key = f"{benchmark}/{scheduler}/{backend}"

@@ -1,7 +1,7 @@
 """``repro.backends`` — pluggable execution engines behind one protocol.
 
 A *backend* turns a :class:`repro.api.SimulationRequest` into a
-:class:`repro.gpu.gpu.SimulationResult`.  Two real engines ship in-tree:
+:class:`repro.gpu.gpu.SimulationResult`.  Three real engines ship in-tree:
 
 ``reference``
     The original serialized-SM loop (:meth:`repro.gpu.gpu.GPU.run`): SMs are
@@ -12,6 +12,14 @@ A *backend* turns a :class:`repro.api.SimulationRequest` into a
     all SMs advance against one global clock, so simultaneous DRAM bursts
     genuinely queue behind each other.  Bit-for-bit identical to
     ``reference`` for single-SM runs.
+``vector``
+    The numpy-batched warp engine (:mod:`repro.gpu.vector`): workload
+    streams are extracted once into trace arrays and greedy warp stretches
+    issue in batched steps.  Bit-for-bit identical to ``reference`` (pinned
+    against the golden fixtures) at several times its throughput.  Requires
+    numpy (``pip install repro-ciao[vector]``); the engine is always
+    *registered*, but selecting it without numpy raises
+    :class:`BackendUnavailableError` (see :func:`backend_availability`).
 
 Selection precedence: an explicit ``backend=`` argument (or
 ``SimulationRequest.backend``) > the ``REPRO_BACKEND`` environment variable
@@ -57,9 +65,31 @@ BACKEND_ENV = "REPRO_BACKEND"
 DEFAULT_BACKEND = "reference"
 
 
+class BackendUnavailableError(RuntimeError):
+    """A registered backend cannot run here (missing optional dependency).
+
+    Raised at *selection* time (:func:`get_backend`), not at import time:
+    ``import repro`` always works, the registry always lists the backend,
+    and the error explains what to install to use it.
+    """
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(f"backend {name!r} is unavailable: {reason}")
+        self.backend = name
+        self.reason = reason
+
+
 @runtime_checkable
 class Backend(Protocol):
-    """The execution-engine seam: one method, one canonical job descriptor."""
+    """The execution-engine seam: one method, one canonical job descriptor.
+
+    Engines may additionally implement ``execute_batch(requests) ->
+    list[SimulationResult]`` to receive a whole batch in one call —
+    :func:`repro.api.run_batch` uses it when present so per-kernel setup
+    (the ``vector`` engine's trace interning) is amortised across the batch.
+    Results must equal ``[execute(r) for r in requests]`` request for
+    request; failures should raise :class:`repro.api.BatchExecutionError`.
+    """
 
     #: Canonical registry name, recorded on every result this engine produces.
     name: str
@@ -72,11 +102,14 @@ class Backend(Protocol):
 # ---------------------------------------------------------------------------
 # Request materialisation shared by the in-tree engines
 # ---------------------------------------------------------------------------
-def materialize(request: "SimulationRequest"):
-    """Build the concrete (scheduler name, kernel, GPU, run config) of a request.
+def materialize_model(request: "SimulationRequest"):
+    """Canonicalise ``request`` and build its kernel model.
 
-    Canonicalises the request first, so aliases ("ciao_c", "LockStep") can
-    never yield a different machine than their canonical spellings.
+    Returns ``(canonical request, scheduler name, kernel model, kernel
+    launch, run config)`` — the engine-independent half of request
+    materialisation, shared by :func:`materialize` and backends that
+    construct their own machine (the ``vector`` engine needs the model to
+    key its trace intern cache).
     """
     request = request.canonicalize()
     spec = request.spec()
@@ -90,6 +123,16 @@ def materialize(request: "SimulationRequest"):
     )
     kernel = model.kernel_launch()
     scheduler = canonical_scheduler_name(request.scheduler)
+    return request, scheduler, model, kernel, config
+
+
+def materialize(request: "SimulationRequest"):
+    """Build the concrete (scheduler name, kernel, GPU, run config) of a request.
+
+    Canonicalises the request first, so aliases ("ciao_c", "LockStep") can
+    never yield a different machine than their canonical spellings.
+    """
+    request, scheduler, _model, kernel, config = materialize_model(request)
     gpu = GPU(
         config.gpu_config,
         scheduler_factory=scheduler_factory(scheduler, **request.scheduler_kwargs()),
@@ -184,6 +227,33 @@ class LockstepBackend:
         )
 
 
+def _load_vector_backend():
+    """Import hook for the numpy-gated engine (monkeypatched by tests)."""
+    from repro.gpu.vector.backend import VectorBackend
+
+    return VectorBackend
+
+
+#: Human instruction appended to the ``vector`` unavailability message.
+_VECTOR_INSTALL_HINT = "numpy is not installed (pip install 'repro-ciao[vector]')"
+
+
+def _make_vector_backend():
+    """Instantiate the ``vector`` engine, or explain why it cannot run."""
+    try:
+        backend_cls = _load_vector_backend()
+    except ImportError as exc:
+        # Distinguish "numpy absent" (the expected optional-extra case, with
+        # its install hint) from a numpy/package that exists but fails to
+        # import — pointing the latter at pip would mislead.
+        if getattr(exc, "name", None) == "numpy":
+            reason = _VECTOR_INSTALL_HINT
+        else:
+            reason = f"import failed: {exc}"
+        raise BackendUnavailableError("vector", reason) from exc
+    return backend_cls()
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -197,6 +267,7 @@ def register_backend(name, factory, *, aliases=(), replace=False):
 
 register_backend("reference", ReferenceBackend, aliases=("serial", "serialized"))
 register_backend("lockstep", LockstepBackend, aliases=("lock-step", "lock_step"))
+register_backend("vector", _make_vector_backend, aliases=("numpy", "vectorized"))
 
 
 def backend_names() -> tuple[str, ...]:
@@ -215,5 +286,30 @@ def resolve_backend_name(name: Optional[str] = None) -> str:
 
 
 def get_backend(name: Optional[str] = None) -> Backend:
-    """Instantiate the backend selected by ``name`` / ``REPRO_BACKEND``."""
+    """Instantiate the backend selected by ``name`` / ``REPRO_BACKEND``.
+
+    Raises :class:`BackendUnavailableError` when the engine is registered
+    but cannot run in this environment (e.g. ``vector`` without numpy).
+    """
     return _REGISTRY.get(resolve_backend_name(name))()
+
+
+def backend_availability() -> dict[str, Optional[str]]:
+    """``{canonical name: None | reason-string}`` for every backend.
+
+    ``None`` means the engine instantiates here; a string is the
+    human-readable reason it cannot (surfaced by ``repro list --backends``).
+    """
+    availability: dict[str, Optional[str]] = {}
+    for name in _REGISTRY.names():
+        try:
+            _REGISTRY.get(name)()
+        except BackendUnavailableError as exc:
+            availability[name] = exc.reason
+        except Exception as exc:  # a third-party factory may raise anything
+            # Listing backends must never crash `repro list`: report the
+            # engine as unavailable with the raw cause instead.
+            availability[name] = f"{type(exc).__name__}: {exc}"
+        else:
+            availability[name] = None
+    return availability

@@ -55,7 +55,11 @@ import sys
 from typing import Optional, Sequence
 
 from repro.api import MultiTenantRequest, SimulationRequest, TenantSpec
-from repro.backends import backend_names, resolve_backend_name
+from repro.backends import (
+    BackendUnavailableError,
+    backend_names,
+    resolve_backend_name,
+)
 from repro.harness.cache import ResultCache, cache_enabled_by_env, default_cache_dir
 from repro.harness.ledger import ledger_path, read_ledger, summarize_ledger
 from repro.harness.parallel import SweepError, derive_seed, run_jobs
@@ -470,6 +474,7 @@ def cmd_bench(args) -> int:
     ledger = bench_mod.record_bench(report)
 
     problems: list[str] = []
+    deltas: Optional[list[dict]] = None
     if args.baseline:
         try:
             baseline = bench_mod.load_report(args.baseline)
@@ -477,6 +482,7 @@ def cmd_bench(args) -> int:
             print(f"error: cannot load baseline: {exc}", file=sys.stderr)
             return 2
         problems = bench_mod.compare_reports(report, baseline, tolerance=args.tolerance)
+        deltas = bench_mod.case_deltas(report, baseline)
 
     if args.json:
         json.dump(
@@ -484,6 +490,9 @@ def cmd_bench(args) -> int:
                 **report,
                 "report_path": str(report_path) if report_path else None,
                 "baseline": args.baseline,
+                # Per-case cycles/sec vs the baseline (None for cases the
+                # baseline does not know, e.g. new vector rows).
+                "deltas": deltas,
                 "regressions": problems,
             },
             sys.stdout,
@@ -491,16 +500,28 @@ def cmd_bench(args) -> int:
         )
         print()
     else:
-        rows = [
-            {
+        delta_by_key = {
+            (d["benchmark"], d["scheduler"], d["backend"]): d
+            for d in (deltas or ())
+        }
+        rows = []
+        for c in report["cases"]:
+            row = {
                 "benchmark": c["benchmark"],
                 "scheduler": c["scheduler"],
                 "backend": c["backend"],
                 "wall_s": c["wall_seconds"],
                 "cycles_per_s": c["cycles_per_second"],
             }
-            for c in report["cases"]
-        ]
+            if deltas is not None:
+                delta = delta_by_key.get(
+                    (c["benchmark"], c["scheduler"], c["backend"])
+                )
+                speedup = delta.get("speedup") if delta else None
+                row["vs_baseline"] = (
+                    f"{speedup:.2f}x" if speedup is not None else "new"
+                )
+            rows.append(row)
         print(format_table(rows))
         aggregate = report["aggregate"]
         print(
@@ -576,8 +597,10 @@ def cmd_cache(args) -> int:
 
 def cmd_list(args) -> int:
     if args.backends:
-        for name in backend_names():
-            print(name)
+        from repro.backends import backend_availability
+
+        for name, reason in backend_availability().items():
+            print(name if reason is None else f"{name} (unavailable: {reason})")
         return 0
     if args.scenarios:
         from repro.harness.experiments import COLOCATION_SCENARIOS
@@ -603,8 +626,14 @@ def cmd_list(args) -> int:
     print(format_table(rows))
     from repro.harness.experiments import colocation_scenario_names
 
+    from repro.backends import backend_availability
+
+    backend_notes = [
+        name if reason is None else f"{name} (unavailable: {reason})"
+        for name, reason in backend_availability().items()
+    ]
     print("\nSchedulers:", ", ".join(scheduler_names()))
-    print("Backends:", ", ".join(backend_names()),
+    print("Backends:", ", ".join(backend_notes),
           "(select with --backend or REPRO_BACKEND)")
     print("Reproduce targets:", ", ".join(REPRODUCE_TARGETS), "(or 'all')")
     print("Co-location scenarios:", ", ".join(colocation_scenario_names()),
@@ -728,6 +757,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except BackendUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     except SweepError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -44,6 +44,13 @@ class CIAOMode(enum.Enum):
 class CIAOScheduler(WarpScheduler):
     """Cache Interference-Aware thrOughput-oriented warp scheduler."""
 
+    # GTO ordering: select re-picks the last-issued warp while it can issue.
+    # notify_issue runs the instruction-count epoch checks, so it must be
+    # called once per issued instruction (vector_notify_greedy_only stays
+    # False and the vector engine notifies per instruction inside batches).
+    vector_sticky_select = True
+    vector_select_pure_greedy = True
+
     def __init__(
         self,
         mode: CIAOMode = CIAOMode.COMBINED,
@@ -94,6 +101,12 @@ class CIAOScheduler(WarpScheduler):
     # ------------------------------------------------------------------
     # Epoch-driven decisions
     # ------------------------------------------------------------------
+    def vector_notify_due(self) -> int:
+        """Below the next epoch boundary, ``notify_issue`` only tracks the pointer."""
+        if self._next_low_check < self._next_high_check:
+            return self._next_low_check
+        return self._next_high_check
+
     def notify_issue(self, warp: Warp, instruction: Instruction, now: int) -> None:
         """Advance the greedy pointer and run epoch checks on boundaries."""
         self._last_wid = warp.wid

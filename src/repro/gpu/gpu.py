@@ -127,6 +127,11 @@ class SimulationResult:
 class GPU:
     """A multi-SM machine sharing one memory subsystem."""
 
+    #: Class of the SMs this machine builds.  Subclasses substitute their own
+    #: engine (the ``vector`` backend's :class:`repro.gpu.vector.engine.VectorSM`)
+    #: while inheriting all launch/partition bookkeeping unchanged.
+    sm_class = StreamingMultiprocessor
+
     def __init__(
         self,
         config: Optional[GPUConfig] = None,
@@ -198,16 +203,26 @@ class GPU:
             raise ValueError("need at least one SM")
         self.sms = []
         for sm_id in range(self.config.num_sms):
-            sm = StreamingMultiprocessor(
+            sm = self._new_sm(
                 sm_id,
-                self.config,
-                self.memory,
                 self.scheduler_factory(),
                 enable_shared_cache=self.enable_shared_cache,
             )
             sm.launch(kernel)
             self.sms.append(sm)
         return self.sms
+
+    def _new_sm(
+        self, sm_id: int, scheduler, *, enable_shared_cache: bool
+    ) -> StreamingMultiprocessor:
+        """Construct one SM of this machine's :attr:`sm_class`."""
+        return type(self).sm_class(
+            sm_id,
+            self.config,
+            self.memory,
+            scheduler,
+            enable_shared_cache=enable_shared_cache,
+        )
 
     def build_partitioned_sms(
         self, plans: "list[TenantPlan]"
@@ -242,10 +257,8 @@ class GPU:
         self.sms = []
         for sm_id in sorted(owner):
             plan = owner[sm_id]
-            sm = StreamingMultiprocessor(
+            sm = self._new_sm(
                 sm_id,
-                self.config,
-                self.memory,
                 plan.scheduler_factory(),
                 enable_shared_cache=plan.enable_shared_cache,
             )

@@ -1,0 +1,36 @@
+"""``repro.gpu.vector`` — the numpy-batched execution engine.
+
+This package implements the ``vector`` backend (see
+:mod:`repro.gpu.vector.backend`): a third in-tree execution engine that is
+bit-identical to ``reference`` but replaces the hottest per-warp/per-cycle
+bookkeeping with precomputed numpy array kernels:
+
+* :mod:`repro.gpu.vector.trace` — workload instruction streams are
+  *extracted once* per kernel identity into parallel arrays (instruction
+  kinds, latency-1 ALU run lengths, coalesced block lists in CSR form, and
+  per-geometry L1D set indices computed with a vectorised XOR fold), then
+  interned so every request for the same kernel replays the same arrays.
+* :mod:`repro.gpu.vector.engine` — :class:`VectorSM` drives the same warp
+  list, schedulers, caches and memory subsystem as the reference SM, but
+  issues uninterrupted single-warp instruction runs in one batched step
+  (exact under the schedulers' declared ``vector_sticky_select``
+  capability), fast-forwards stall stretches with one min-reduction over
+  the warp timers, and runs the global-memory path against the
+  pre-coalesced, pre-hashed transaction arrays.
+
+The package imports numpy at module load; callers gate on availability
+through :func:`repro.backends.get_backend` (``pip install repro-ciao[vector]``).
+"""
+
+from repro.gpu.vector.backend import VectorBackend
+from repro.gpu.vector.engine import VectorGPU, VectorSM
+from repro.gpu.vector.trace import KernelTrace, WarpTrace, kernel_trace_for_model
+
+__all__ = [
+    "VectorBackend",
+    "VectorGPU",
+    "VectorSM",
+    "KernelTrace",
+    "WarpTrace",
+    "kernel_trace_for_model",
+]

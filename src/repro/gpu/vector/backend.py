@@ -1,0 +1,69 @@
+"""The ``vector`` backend: trace-interned, batch-issuing execution engine.
+
+Requests are materialised exactly like the reference backend (same kernel
+model, same scheduler factory, same machine construction), but execution
+runs on :class:`~repro.gpu.vector.engine.VectorGPU`: the kernel's
+instruction streams are extracted once into numpy-backed traces
+(:func:`~repro.gpu.vector.trace.kernel_trace_for_model`) and replayed by
+:class:`~repro.gpu.vector.engine.VectorSM`.
+
+The trace intern cache is process-wide, so a batch of requests over the
+same kernel — a ``run_batch`` call, a sweep's scheduler column, repeated
+bench runs — pays extraction once; this is the setup amortisation the
+``run_batch`` API exposes.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.gpu import SimulationResult
+from repro.gpu.vector.engine import VectorGPU
+from repro.gpu.vector.trace import kernel_trace_for_model
+
+
+class VectorBackend:
+    """Numpy-batched warp engine behind the standard backend protocol."""
+
+    name = "vector"
+
+    def execute(self, request) -> SimulationResult:
+        from repro.api import MultiTenantRequest
+        from repro.backends import materialize_model
+        from repro.sched.registry import (
+            scheduler_factory,
+            uses_shared_cache,
+        )
+
+        if isinstance(request, MultiTenantRequest):
+            raise ValueError(
+                "the 'vector' backend replays single-kernel traces and "
+                "cannot co-locate tenants; run multi-tenant requests on the "
+                "'lockstep' backend"
+            )
+        request, scheduler, model, kernel, config = materialize_model(request)
+        trace = kernel_trace_for_model(model, kernel)
+        gpu = VectorGPU(
+            config.gpu_config,
+            scheduler_factory=scheduler_factory(
+                scheduler, **request.scheduler_kwargs()
+            ),
+            enable_shared_cache=uses_shared_cache(scheduler),
+            dram_bandwidth_scale=config.dram_bandwidth_scale,
+            kernel_trace=trace,
+        )
+        return gpu.run(kernel, max_cycles=config.max_cycles, scheduler_name=scheduler)
+
+    def execute_batch(self, requests) -> list[SimulationResult]:
+        """Execute ``requests`` in order; traces are shared via the intern cache.
+
+        Failures raise :class:`repro.api.BatchExecutionError` so the caller
+        can attribute the error to the exact request.
+        """
+        from repro.api import BatchExecutionError
+
+        results = []
+        for request in requests:
+            try:
+                results.append(self.execute(request))
+            except Exception as exc:
+                raise BatchExecutionError(request, exc) from exc
+        return results

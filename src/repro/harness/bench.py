@@ -117,6 +117,24 @@ def bench_matrix(
         for s in schedulers
     ]
     if quick and pinned:
+        # Perf-gate the vector engine whenever it can run here (numpy
+        # present): one smoke case rides along in the pinned quick matrix
+        # so CI holds the batched engine to its committed floor.
+        from repro.backends import backend_availability, resolve_backend_name
+
+        if (
+            resolve_backend_name(backend) != "vector"
+            and backend_availability().get("vector") is None
+        ):
+            cases.append(
+                BenchCase(
+                    benchmark=QUICK_BENCHMARKS[0],
+                    scheduler=QUICK_SCHEDULERS[0],
+                    backend="vector",
+                    scale=scale,
+                    seed=seed,
+                )
+            )
         # Perf-gate the multi-tenant lock-step driver from day one: one
         # co-location scenario rides along in the pinned quick matrix.
         cases.append(
@@ -286,13 +304,47 @@ def _case_key(case: dict) -> tuple:
     )
 
 
+def case_deltas(report: dict, baseline: dict) -> list[dict]:
+    """Per-case throughput comparison against ``baseline`` (informational).
+
+    One row per case of ``report`` with its ``cycles_per_second``, the
+    baseline's, and the speedup ratio / percentage delta.  Cases absent from
+    the baseline — e.g. a backend the baseline predates, like new ``vector``
+    rows — carry ``None`` for the baseline fields instead of failing, so the
+    summary can always be produced.  Surfaced by ``repro bench --json`` as
+    ``"deltas"``.
+    """
+    baseline_cases = {_case_key(c): c for c in baseline.get("cases", ())}
+    deltas: list[dict] = []
+    for case in report.get("cases", ()):
+        current = case.get("cycles_per_second", 0.0)
+        ref = baseline_cases.get(_case_key(case))
+        reference = ref.get("cycles_per_second", 0.0) if ref is not None else None
+        row = {
+            "benchmark": case.get("benchmark"),
+            "scheduler": case.get("scheduler"),
+            "backend": case.get("backend"),
+            "cycles_per_second": current,
+            "baseline_cycles_per_second": reference,
+            "speedup": None,
+            "delta_pct": None,
+        }
+        if reference:
+            row["speedup"] = round(current / reference, 3)
+            row["delta_pct"] = round((current / reference - 1.0) * 100.0, 1)
+        deltas.append(row)
+    return deltas
+
+
 def compare_reports(report: dict, baseline: dict, *, tolerance: float = 0.30) -> list[str]:
     """Regression check: current throughput vs a baseline report.
 
     Returns a human-readable message per regressed case (and one for the
     aggregate) where ``cycles_per_second`` fell below ``baseline * (1 -
     tolerance)``.  Cases present on only one side are ignored — the gate
-    compares like with like.
+    compares like with like, so report cases absent from the baseline (new
+    ``vector`` rows against an older baseline) never trip it; use
+    :func:`case_deltas` to *see* them.
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError("tolerance must be in [0, 1)")

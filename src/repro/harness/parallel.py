@@ -36,7 +36,7 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
-from typing import Any, Mapping, Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.api import AnyRequest, MultiTenantRequest, SimulationRequest
 from repro.gpu.gpu import SimulationResult
@@ -135,15 +135,14 @@ def _execute(job: AnyRequest) -> SimulationResult:
 
 
 def _decode_cached(payload: Any) -> Optional[SimulationResult]:
-    """Reconstruct a cached result; ``None`` (treated as a miss) on drift."""
-    if isinstance(payload, SimulationResult):  # legacy pre-schema entry
-        return payload
-    if isinstance(payload, Mapping):
-        try:
-            return SimulationResult.from_dict(payload)
-        except (ValueError, KeyError, TypeError):
-            return None
-    return None
+    """Reconstruct a cached result; ``None`` (treated as a miss) on drift.
+
+    Delegates to the one shared decoder so ``run_jobs`` and ``run_batch``
+    can never disagree on what counts as a cache hit.
+    """
+    from repro.api import _decode_cached_result
+
+    return _decode_cached_result(payload)
 
 
 def _resolved_backends(jobs: Sequence[AnyRequest]) -> str:
@@ -219,14 +218,22 @@ def run_jobs(
     stats.workers = resolve_workers(workers, len(pending))
 
     if stats.workers <= 1:
-        for index, job, key in pending:
+        if pending:
+            # One repro.api.run_batch call: jobs are grouped per engine so
+            # per-kernel setup (the vector engine's trace interning)
+            # amortises across the sweep instead of per job.  The cache is
+            # handed through so completed results are written as they land
+            # — a failing job never discards the work done before it.
+            from repro.api import BatchExecutionError, run_batch
+
             try:
-                result = _execute(job)
+                outcomes = run_batch([job for _, job, _ in pending], cache=cache)
+            except BatchExecutionError as exc:
+                raise SweepError(exc.request, exc.__cause__ or exc) from exc
             except Exception as exc:
-                raise SweepError(job, exc) from exc
-            results[index] = result
-            if cache is not None and key is not None:
-                cache.put(key, result.to_dict())
+                raise SweepError(pending[0][1], exc) from exc
+            for (index, _job, _key), result in zip(pending, outcomes):
+                results[index] = result
     elif pending:
         with ProcessPoolExecutor(
             max_workers=stats.workers, mp_context=_pool_context()

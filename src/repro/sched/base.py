@@ -98,6 +98,56 @@ class WarpScheduler:
     #: Human-readable policy name (overridden by subclasses).
     name = "base"
 
+    # -- vector-engine capability contract (see repro.gpu.vector) -----------
+    #: Declares that ``select`` is *greedy-sticky*: whenever the last-issued
+    #: warp is in the issuable set, ``select`` returns it again, regardless
+    #: of what else became issuable.  The vector backend uses this to issue
+    #: uninterrupted single-warp instruction runs in one batched step; the
+    #: batch is bit-identical to the cycle-by-cycle path only under this
+    #: property, so a scheduler must not set it unless it truly holds.
+    vector_sticky_select = False
+    #: Declares that ``notify_issue`` does nothing but track the greedy
+    #: pointer (``_last_wid``), so N consecutive issues of the same warp may
+    #: be folded into a single call.  Schedulers whose ``notify_issue`` has
+    #: instruction-count side effects (CIAO's epoch checks) leave this False
+    #: and are notified per instruction inside a batch.
+    vector_notify_greedy_only = False
+    #: Strictly stronger than :attr:`vector_sticky_select`: ``select`` is
+    #: side-effect free and *always* returns the last-issued warp when it is
+    #: issuable — even after intervening cycles in which selection ran
+    #: without an issue.  This lets the vector engine skip building the
+    #: issuable list entirely while the greedy warp can issue.  Two-level
+    #: scheduling must NOT set this: its ``select`` rotates the active fetch
+    #: group (a mutation) whenever the group has no issuable warp — e.g. in
+    #: a failed-issue cycle — after which the greedy warp is no longer
+    #: preferred.
+    vector_select_pure_greedy = False
+
+    def vector_notify_due(self) -> Optional[int]:
+        """First total-instruction count at which ``notify_issue`` may act.
+
+        For schedulers whose ``notify_issue`` is a pure greedy-pointer
+        update *except* at known instruction-count boundaries (CIAO's epoch
+        checks), this returns the next such boundary: below it, a batched
+        run may fold the notifications of consecutive same-warp issues into
+        none at all (the pointer already names the warp) and must call
+        ``notify_issue`` exactly at the boundary instruction.  ``None`` (the
+        default) means "no such structure: call per instruction".
+        """
+        return None
+
+    def on_cycle_due(self) -> Optional[int]:
+        """First future cycle at which :meth:`on_cycle` may act (or ``None``).
+
+        Schedulers whose ``on_cycle`` is periodic (CCWS, statPCAL: an early
+        return unless ``now`` reached the next update point) expose that
+        point here so the vector engine can skip the provably-no-op calls
+        inside a batched run.  ``None`` (the default) means "unknown: call
+        ``on_cycle`` every cycle", which disables batching across cycles for
+        schedulers that define ``on_cycle`` without this hint.
+        """
+        return None
+
     def __init__(self) -> None:
         self.sm = None  # type: ignore[assignment]
 

@@ -25,6 +25,12 @@ class BestSWLScheduler(WarpScheduler):
 
     name = "best-swl"
 
+    # GTO among the allowed warps: sticky greedy pointer, tracking-only
+    # notify_issue (the static limit is applied in attach / on_warp_retired).
+    vector_sticky_select = True
+    vector_notify_greedy_only = True
+    vector_select_pure_greedy = True
+
     def __init__(self, warp_limit: int = 48) -> None:
         super().__init__()
         if warp_limit <= 0:

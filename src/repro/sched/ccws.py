@@ -33,6 +33,14 @@ class CCWSScheduler(WarpScheduler):
 
     name = "ccws"
 
+    # GTO ordering within the allowed set: sticky on the last-issued warp,
+    # and notify_issue only tracks the greedy pointer.  Scoring happens in
+    # notify_global_access / on_cycle, which the vector engine calls at the
+    # exact cycles the reference engine would.
+    vector_sticky_select = True
+    vector_notify_greedy_only = True
+    vector_select_pure_greedy = True
+
     def __init__(
         self,
         base_score: int = 100,
@@ -48,6 +56,15 @@ class CCWSScheduler(WarpScheduler):
         self.decay_per_update = decay_per_update
         self.update_interval = update_interval
         self._scores: dict[int, float] = {}
+        #: Warps whose score currently sits above the base (the only ones
+        #: decay can touch) — keeps the periodic update proportional to the
+        #: number of *interfered* warps, not to occupancy.
+        self._elevated: set[int] = set()
+        #: Bumped on every score mutation; part of the cutoff change stamp.
+        self._score_version = 0
+        #: Inputs of the last `_apply_cutoff` run (see `on_cycle`); ``None``
+        #: forces recomputation.
+        self._last_cutoff_stamp: Optional[tuple] = None
         self._last_wid: Optional[int] = None
         self._next_update = 0
 
@@ -56,6 +73,9 @@ class CCWSScheduler(WarpScheduler):
         """Initialise every warp's score to the base score."""
         super().attach(sm)
         self._scores = {w.wid: float(self.base_score) for w in sm.warps}
+        self._elevated.clear()
+        self._score_version = 0
+        self._last_cutoff_stamp = None
         self._next_update = 0
 
     def score(self, wid: int) -> float:
@@ -76,46 +96,105 @@ class CCWSScheduler(WarpScheduler):
             return
         wid = vta_hit.wid
         self._scores[wid] = self._scores.get(wid, float(self.base_score)) + self.score_bump
+        self._elevated.add(wid)
+        self._score_version += 1
+
+    def on_cycle_due(self) -> int:
+        """``on_cycle`` is a no-op before the next periodic update point."""
+        return self._next_update
 
     def on_cycle(self, now: int) -> None:
-        """Periodically decay scores and recompute the allowed warp set."""
+        """Periodically decay scores and recompute the allowed warp set.
+
+        The cutoff is a pure function of the score table, the resident warp
+        set and the current activation flags.  When none of those changed
+        since the last run — no score bumps or decay, no admissions or
+        retirements, no activation flips (the SM's livelock guard included)
+        — rerunning it would recompute the same allowed set and write
+        nothing, so it is skipped outright.  The change stamp folds all of
+        those inputs (``_score_version`` plus the SM's admission counter and
+        the throttle/reactivate/retire statistics).
+        """
         if now < self._next_update:
             return
         self._next_update = now + self.update_interval
-        self._decay()
+        if self._elevated:
+            self._decay()
+        stamp = self._cutoff_stamp()
+        if stamp is not None and stamp == self._last_cutoff_stamp:
+            return
         self._apply_cutoff()
+        self._last_cutoff_stamp = self._cutoff_stamp()
+
+    def _cutoff_stamp(self) -> Optional[tuple]:
+        """Change stamp of every `_apply_cutoff` input (``None``: unknown)."""
+        sm = self.sm
+        if sm is None:
+            return None
+        stats = getattr(sm, "stats", None)
+        order_seq = getattr(sm, "_order_seq", None)
+        if stats is None or order_seq is None:
+            return None
+        return (
+            self._score_version,
+            order_seq,
+            stats.warps_retired,
+            stats.throttle_events,
+            stats.reactivate_events,
+        )
 
     def _decay(self) -> None:
-        for wid, score in self._scores.items():
-            if score > self.base_score:
-                self._scores[wid] = max(float(self.base_score), score - self.decay_per_update)
+        base = float(self.base_score)
+        decay = self.decay_per_update
+        scores = self._scores
+        for wid in list(self._elevated):
+            score = scores.get(wid)
+            if score is None or score <= base:
+                self._elevated.discard(wid)
+                continue
+            next_score = score - decay
+            if next_score <= base:
+                next_score = base
+                self._elevated.discard(wid)
+            scores[wid] = next_score
+            self._score_version += 1
 
     def _apply_cutoff(self) -> None:
-        """Stack scores and throttle the warps pushed below the cutoff."""
-        if self.sm is None:
+        """Stack scores and throttle the warps pushed below the cutoff.
+
+        This runs on every periodic update (and on warp retirement), so the
+        sort works on precomputed key tuples with direct score-table access
+        — the ordering is exactly ``(-score, assigned_at, wid)`` as before.
+        """
+        sm = self.sm
+        if sm is None:
             return
-        resident = [w for w in self.sm.warps if not w.finished]
+        scores = self._scores
+        base = float(self.base_score)
+        resident = [w for w in sm.warps if not w.finished]
         if not resident:
             return
         cutoff = self.base_score * len(resident)
+        # wid is unique, so the sort never compares the trailing Warp.
         ordered = sorted(
-            resident, key=lambda w: (-self.score(w.wid), w.assigned_at, w.wid)
+            (-scores.get(w.wid, base), w.assigned_at, w.wid, w) for w in resident
         )
         cumulative = 0.0
         allowed_ids: set[int] = set()
-        for warp in ordered:
-            score = self.score(warp.wid)
+        for negated_score, _, wid, _warp in ordered:
+            score = -negated_score
             if cumulative + score <= cutoff or not allowed_ids:
-                allowed_ids.add(warp.wid)
+                allowed_ids.add(wid)
             cumulative += score
+        stats = sm.stats
         for warp in resident:
             allowed = warp.wid in allowed_ids
             if warp.active != allowed:
                 warp.active = allowed
                 if allowed:
-                    self.sm.stats.reactivate_events += 1
+                    stats.reactivate_events += 1
                 else:
-                    self.sm.stats.throttle_events += 1
+                    stats.throttle_events += 1
 
     # ------------------------------------------------------------------
     def select(self, issuable: Sequence[Warp], now: int) -> Optional[Warp]:
@@ -131,9 +210,12 @@ class CCWSScheduler(WarpScheduler):
     def on_warp_retired(self, warp: Warp, now: int) -> None:
         """Remove the retired warp's score from the stack."""
         self._scores.pop(warp.wid, None)
+        self._elevated.discard(warp.wid)
+        self._score_version += 1
         if self._last_wid == warp.wid:
             self._last_wid = None
         self._apply_cutoff()
+        self._last_cutoff_stamp = self._cutoff_stamp()
 
     def on_no_progress(self, now: int) -> bool:
         """Re-evaluate the cutoff (scores may have decayed back).

@@ -21,6 +21,12 @@ class GTOScheduler(WarpScheduler):
 
     name = "gto"
 
+    # Greedy-then-oldest always re-picks the last-issued warp while it can
+    # issue, and notify_issue only moves the greedy pointer.
+    vector_sticky_select = True
+    vector_notify_greedy_only = True
+    vector_select_pure_greedy = True
+
     def __init__(self) -> None:
         super().__init__()
         self._last_wid: Optional[int] = None

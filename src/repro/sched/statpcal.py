@@ -69,6 +69,14 @@ class StatPCALScheduler(WarpScheduler):
         return wid in self._token_wids
 
     # ------------------------------------------------------------------
+    # Note: select() prefers token holders over the last-issued warp, so it
+    # is *not* greedy-sticky and the vector engine runs statPCAL through the
+    # generic cycle-by-cycle path (no capability flags are set).
+
+    def on_cycle_due(self) -> int:
+        """``on_cycle`` is a no-op before the next periodic update point."""
+        return self._next_update
+
     def on_cycle(self, now: int) -> None:
         """Periodically refresh the bandwidth signal and warp activation."""
         if now < self._next_update:

@@ -25,6 +25,12 @@ class TwoLevelScheduler(WarpScheduler):
 
     name = "two-level"
 
+    # While the last-issued warp can issue, its fetch group stays active and
+    # greedy-then-oldest re-picks it, so select is sticky; notify_issue only
+    # tracks the greedy pointer.
+    vector_sticky_select = True
+    vector_notify_greedy_only = True
+
     def __init__(self, group_size: int = 8) -> None:
         super().__init__()
         if group_size <= 0:

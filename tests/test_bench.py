@@ -44,6 +44,29 @@ class TestMatrix:
             BenchCase(benchmark="SYRK", scheduler="lrr", backend="lockstep", scale=0.1)
         ]
 
+    def test_quick_matrix_gates_vector_when_available(self):
+        """The pinned quick matrix carries a vector smoke case (numpy present)."""
+        pytest.importorskip("numpy")
+        quick = bench_matrix(quick=True)
+        vector_cases = [c for c in quick if c.backend == "vector"]
+        assert len(vector_cases) == 1
+        assert vector_cases[0].scenario is None
+        # A quick matrix already *on* the vector backend does not duplicate it.
+        all_vector = bench_matrix(quick=True, backend="vector")
+        assert sum(1 for c in all_vector if c.backend == "vector") == len(
+            all_vector
+        ) - 1  # every grid case + the lockstep co-location scenario
+
+    def test_quick_matrix_omits_vector_when_unavailable(self, monkeypatch):
+        import repro.backends as backends
+
+        def missing():
+            raise ImportError("No module named 'numpy'")
+
+        monkeypatch.setattr(backends, "_load_vector_backend", missing)
+        quick = bench_matrix(quick=True)
+        assert all(c.backend != "vector" for c in quick)
+
 
 class TestRun:
     def test_run_case_measures_cycles_per_second(self):
@@ -144,6 +167,25 @@ class TestBaselineGate:
         report = self._report_with_cps(1.0)
         with pytest.raises(ValueError):
             compare_reports(report, report, tolerance=1.5)
+
+    def test_case_deltas_reports_speedups(self):
+        current, baseline = self._report_with_cps(150.0), self._report_with_cps(100.0)
+        deltas = bench_mod.case_deltas(current, baseline)
+        assert len(deltas) == 1
+        assert deltas[0]["speedup"] == pytest.approx(1.5)
+        assert deltas[0]["delta_pct"] == pytest.approx(50.0)
+        assert deltas[0]["baseline_cycles_per_second"] == 100.0
+
+    def test_case_deltas_tolerates_cases_missing_from_baseline(self):
+        """New cases (e.g. a vector row) get None fields, never an error."""
+        current = self._report_with_cps(150.0)
+        current["cases"][0]["backend"] = "vector"  # the baseline predates it
+        baseline = self._report_with_cps(100.0)
+        deltas = bench_mod.case_deltas(current, baseline)
+        assert deltas[0]["baseline_cycles_per_second"] is None
+        assert deltas[0]["speedup"] is None
+        # ...and the regression gate ignores the unmatched case entirely.
+        assert compare_reports(current, baseline) == []
 
     def test_checked_in_ci_baseline_is_loadable(self):
         from pathlib import Path

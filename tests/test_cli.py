@@ -32,6 +32,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ATAX" in out and "ciao-c" in out and "fig8" in out
 
+    def test_list_backends_shows_availability(self, capsys):
+        assert main(["list", "--backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reference", "lockstep", "vector"):
+            assert name in out
+        # The core engines are always available; vector is flagged if and
+        # only if numpy is missing (some CI legs run without it on purpose).
+        try:
+            import numpy  # noqa: F401
+
+            assert "unavailable" not in out
+        except ImportError:
+            assert "vector (unavailable:" in out
+
+    def test_list_backends_flags_unavailable_engines(self, capsys, monkeypatch):
+        import repro.backends as backends
+
+        def missing():
+            raise ImportError("No module named 'numpy'")
+
+        monkeypatch.setattr(backends, "_load_vector_backend", missing)
+        assert main(["list", "--backends"]) == 0
+        out = capsys.readouterr().out
+        assert "vector (unavailable:" in out and "numpy" in out
+        # Selecting the unavailable engine fails cleanly, not with a traceback.
+        rc = main(["run", "ATAX", "gto", "--scale", "0.02", "--backend", "vector"])
+        assert rc == 2
+        assert "numpy" in capsys.readouterr().err
+
     def test_run_json(self, capsys):
         rc = main(["run", "ATAX", "gto", "ciao_c",
                    "--scale", "0.05", "--no-cache", "--json"])

@@ -80,6 +80,44 @@ class TestExitCodes:
                    "--tolerance", "0.9"])
         assert rc == 0
 
+    def test_json_includes_per_case_deltas_vs_baseline(self, tmp_path, capsys):
+        """--json carries cycles/sec speedups per case, not just pass/fail."""
+        assert main([*TINY, "--out", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        for key in ("report_path", "baseline", "regressions", "deltas"):
+            report.pop(key, None)
+        # Halve the baseline throughput so the measured run shows ~2x.
+        for case in report["cases"]:
+            case["cycles_per_second"] /= 2.0
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(report))
+        rc = main([*TINY, "--no-write", "--baseline", str(baseline_path), "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["deltas"] and len(data["deltas"]) == len(data["cases"])
+        delta = data["deltas"][0]
+        assert delta["baseline_cycles_per_second"] is not None
+        assert delta["speedup"] is not None and delta["speedup"] > 1.0
+        assert delta["delta_pct"] is not None
+
+    def test_json_deltas_mark_cases_new_to_the_baseline(self, tmp_path, capsys):
+        """A case the baseline predates reports None fields, no gate trip."""
+        assert main([*TINY, "--out", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        for key in ("report_path", "baseline", "regressions", "deltas"):
+            report.pop(key, None)
+        # A backend name no measurement can resolve to: never matches,
+        # whatever REPRO_BACKEND the suite itself runs under.
+        report["cases"][0]["backend"] = "retired-engine"
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(report))
+        rc = main([*TINY, "--no-write", "--baseline", str(baseline_path), "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["regressions"] == []
+        assert data["deltas"][0]["baseline_cycles_per_second"] is None
+        assert data["deltas"][0]["speedup"] is None
+
     def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
         bad = tmp_path / "nope.json"
         rc = main([*TINY, "--no-write", "--baseline", str(bad)])

@@ -37,6 +37,26 @@ TENANT_GOLDEN_PATH = Path(__file__).parent / "goldens" / "golden_tenants.json"
 TENANT_GOLDEN = json.loads(TENANT_GOLDEN_PATH.read_text())
 
 
+def test_regen_script_refuses_vector_source(monkeypatch):
+    """Goldens are sourced from reference semantics, never from vector.
+
+    The vector engine's contract is to *match* these fixtures, so
+    regenerating them from it would make the parity gate circular; the
+    regen script refuses outright.
+    """
+    import importlib.util
+
+    script = Path(__file__).parent.parent / "scripts" / "regen_goldens.py"
+    spec = importlib.util.spec_from_file_location("_regen_goldens_test", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setenv("REPRO_BACKEND", "vector")
+    with pytest.raises(SystemExit, match="vector"):
+        module._refuse_vector_source()
+    monkeypatch.delenv("REPRO_BACKEND")
+    module._refuse_vector_source()  # the reference default is allowed
+
+
 def test_golden_file_metadata():
     meta = GOLDEN["_meta"]
     assert meta["result_schema"] == RESULT_SCHEMA

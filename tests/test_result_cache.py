@@ -23,13 +23,17 @@ class TestCacheHits:
     def test_hit_returns_stored_result_and_skips_simulation(self, cache, monkeypatch):
         jobs = [SweepJob("SYRK", "gto", SMALL), SweepJob("ATAX", "ciao-c", SMALL)]
         calls = []
-        real = parallel_mod.run_benchmark
+        # The in-process path executes through repro.api.run_batch (one
+        # backend call per engine); count the jobs that reach it.
+        import repro.api as api_mod
 
-        def counting(benchmark, scheduler, run_config, backend=None):
-            calls.append((str(benchmark), scheduler))
-            return real(benchmark, scheduler, run_config, backend=backend)
+        real = api_mod.run_batch
 
-        monkeypatch.setattr(parallel_mod, "run_benchmark", counting)
+        def counting(requests, **kwargs):
+            calls.extend((r.benchmark_name, r.scheduler) for r in requests)
+            return real(requests, **kwargs)
+
+        monkeypatch.setattr(api_mod, "run_batch", counting)
         cold = run_jobs(jobs, workers=1, cache=cache)
         assert len(calls) == 2
         assert cold.stats.cache_hits == 0 and cold.stats.executed == 2
