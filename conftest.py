@@ -21,3 +21,22 @@ os.environ.setdefault("REPRO_RESULT_CACHE", "0")
 # Likewise, never append to the repository's bench ledger from the suite;
 # ledger tests pass explicit tmp paths (see tests/test_ledger.py).
 os.environ.setdefault("REPRO_LEDGER", "0")
+
+# Hypothesis profiles for the property/fuzz suites.  "ci" (the default) is
+# seeded and time-box friendly: derandomize makes every run replay the same
+# example sequence, so a green CI run is reproducible locally and flakes
+# cannot hide in random example draws.  "deep" is the workflow_dispatch
+# fuzz profile — 10x the examples, still derandomized.  Select with
+# HYPOTHESIS_PROFILE=deep (see .github/workflows/ci.yml).
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis ships with the toolchain
+    pass
+else:
+    settings.register_profile(
+        "ci", derandomize=True, deadline=None, max_examples=60
+    )
+    settings.register_profile(
+        "deep", derandomize=True, deadline=None, max_examples=600
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -34,6 +34,7 @@ from repro.api import (  # noqa: E402
     TenantSpec,
     execute,
 )
+from repro.scenarios import load_promoted  # noqa: E402
 from repro.sched.registry import scheduler_names  # noqa: E402
 
 #: Fixture sizing: small enough that the whole matrix replays in seconds,
@@ -81,13 +82,18 @@ def tenant_matrix() -> dict[str, MultiTenantRequest]:
     ``address_space`` colours model separate processes; the
     ``shared-address`` entry pins the colour-0 path the single-kernel parity
     contract relies on.
+
+    Promoted search discoveries (``repro scenarios promote``) are appended
+    under ``promoted-<name>`` keys at *their own* pinned scale/seed — they
+    are the only entries exercising the staggered-launch path, so the
+    fixture gates it bit-for-bit too.
     """
     config = RunConfig(scale=SCALE, seed=SEED)
 
     def request(*tenants: TenantSpec) -> MultiTenantRequest:
         return MultiTenantRequest(tenants=tuple(tenants), run_config=config)
 
-    return {
+    entries = {
         "sym-atax": request(
             TenantSpec("a", "ATAX", "gto", (0,), address_space=1),
             TenantSpec("b", "ATAX", "gto", (1,), address_space=2),
@@ -115,6 +121,9 @@ def tenant_matrix() -> dict[str, MultiTenantRequest]:
             TenantSpec("compute", "2DCONV", "two-level", (3,), address_space=4),
         ),
     }
+    for scenario in load_promoted():
+        entries[f"promoted-{scenario.name}"] = scenario.request()
+    return entries
 
 
 def compute_entry(benchmark: str, scheduler: str, backend: str) -> dict:

@@ -88,6 +88,12 @@ def tenant_slowdowns(
 
     ``conflict_share`` attributes the run's ``inter_sm_dram_conflicts`` to
     the tenant whose requests queued (shares sum to 1.0 when any occurred).
+
+    Cycle counts are the tenant's *busy span* — finish cycle minus launch
+    cycle — so staggered launches (``TenantSpec.launch_cycle > 0``) compare
+    like for like: the isolated baseline carries the same launch offset and
+    the dormant prefix cancels out of the ratio.  For simultaneous launches
+    the span equals the finish cycle, the pre-stagger definition.
     """
     total_conflicts = sum(
         t.inter_sm_dram_conflicts for t in colocated.per_tenant.values()
@@ -95,12 +101,19 @@ def tenant_slowdowns(
     report: dict[str, dict[str, float]] = {}
     for name, tenant in colocated.per_tenant.items():
         baseline = isolated[name]
-        isolated_cycles = max((s.cycles for s in baseline.per_sm), default=0)
+        base_tenant = baseline.per_tenant.get(name)
+        if base_tenant is not None:
+            isolated_cycles = base_tenant.finish_cycle - base_tenant.launch_cycle
+        else:
+            # Single-kernel baseline (no tenant breakdown): the machine
+            # clock, which launches at cycle 0.
+            isolated_cycles = max((s.cycles for s in baseline.per_sm), default=0)
+        colocated_cycles = tenant.finish_cycle - tenant.launch_cycle
         report[name] = {
-            "colocated_cycles": float(tenant.finish_cycle),
+            "colocated_cycles": float(colocated_cycles),
             "isolated_cycles": float(isolated_cycles),
             "slowdown": (
-                tenant.finish_cycle / isolated_cycles if isolated_cycles else 0.0
+                colocated_cycles / isolated_cycles if isolated_cycles else 0.0
             ),
             "colocated_ipc": tenant.ipc,
             "isolated_ipc": baseline.ipc,

@@ -322,6 +322,12 @@ class TenantSpec:
     private, never-aliasing ranges, modelling separate processes whose
     working sets only interact through cache capacity and bandwidth (see
     :func:`repro.workloads.synthetic.isolate_address_space`).
+
+    ``launch_cycle`` staggers the tenant's kernel launch: its SMs sit idle
+    until the global clock reaches that cycle, then begin issuing — the
+    co-location analogue of a kernel arriving mid-run.  Cycle 0 (the
+    default) is the simultaneous-launch path, bit-identical to requests
+    that predate the field.
     """
 
     name: str
@@ -329,6 +335,7 @@ class TenantSpec:
     scheduler: str = "gto"
     sm_ids: tuple[int, ...] = ()
     address_space: int = 0
+    launch_cycle: int = 0
 
     @property
     def benchmark_name(self) -> str:
@@ -365,6 +372,11 @@ class TenantSpec:
             raise ValueError(
                 f"tenant {self.name!r} has invalid address space "
                 f"{self.address_space!r} (need a small non-negative int)"
+            )
+        if not isinstance(self.launch_cycle, int) or self.launch_cycle < 0:
+            raise ValueError(
+                f"tenant {self.name!r} has invalid launch cycle "
+                f"{self.launch_cycle!r} (need a non-negative int)"
             )
 
 
@@ -497,6 +509,7 @@ class MultiTenantRequest:
                 "scheduler_kwargs": t.scheduler_kwargs(canonical.run_config),
                 "sm_ids": list(t.sm_ids),
                 "address_space": t.address_space,
+                "launch_cycle": t.launch_cycle,
             }
             for t in canonical.tenants
         ]
@@ -529,11 +542,19 @@ class MultiTenantRequest:
     # -- wire format ---------------------------------------------------
     def to_dict(self) -> dict:
         """Versioned JSON-safe form; ``from_dict`` restores an equal request."""
-        return {
+        payload = {
             "schema": MULTI_TENANT_SCHEMA,
             "kind": "MultiTenantRequest",
             "data": encode_value(self),
         }
+        for tenant in payload["data"]["fields"]["tenants"]["__tuple__"]:
+            # Simultaneous launches predate the stagger field; omitting the
+            # zero default keeps the schema-1 wire form (golden fixtures,
+            # existing cache entries) byte-identical, and ``from_dict``
+            # restores the default on decode.
+            if tenant["fields"].get("launch_cycle") == 0:
+                tenant["fields"].pop("launch_cycle")
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "MultiTenantRequest":

@@ -180,6 +180,7 @@ def materialize_tenants(request: "MultiTenantRequest"):
                 sm_ids=tuple(tenant.sm_ids),
                 scheduler_name=tenant.scheduler,
                 enable_shared_cache=uses_shared_cache(tenant.scheduler),
+                launch_cycle=tenant.launch_cycle,
             )
         )
     gpu = GPU(

@@ -15,11 +15,20 @@ Subcommands
     Co-located multi-tenant simulation on the lock-step engine: each tenant
     runs its own kernel on its own SM partition while all SMs contend for
     the shared L2/DRAM.  ``SPEC`` is a comma-separated list of
-    ``[NAME=]BENCH[/SCHED]:SMS`` entries (``SMS`` an SM id or ``lo-hi``
-    range), e.g. ``--tenants SM:0-1,2DCONV/ciao-c:2``; ``--scenario`` picks
-    a named scenario from the built-in co-location library.  ``--isolated``
+    ``[NAME=]BENCH[/SCHED]:SMS[@CYCLE]`` entries (``SMS`` an SM id or
+    ``lo-hi`` range; ``@CYCLE`` staggers the tenant's kernel launch to that
+    global cycle), e.g. ``--tenants SM:0-1,2DCONV/ciao-c:2@500``;
+    ``--scenario`` picks a named scenario from the co-location library
+    (built-ins plus promoted search discoveries).  ``--isolated``
     additionally runs every tenant alone on the same machine and reports
     per-tenant slowdown (scenarios always do).
+``repro scenarios generate|search|promote``
+    The seeded scenario subsystem: ``generate`` samples reproducible
+    co-location scenarios (same seed, same specs, same cache keys),
+    ``search`` hill-climbs the scenario space for worst-case interference
+    (max per-tenant slowdown), and ``promote`` pins the worst discoveries
+    into the named scenario library (``promoted.json``).  See
+    docs/EXPERIMENTS.md.
 ``repro sweep -b BENCH ... -s SCHED ...``
     Run a benchmark x scheduler grid through the parallel sweep engine and
     print the normalised-IPC table, geomean speedups and engine statistics.
@@ -126,10 +135,12 @@ def _add_sweep_options(
 def parse_tenant_specs(text: str, *, default_scheduler: str = "gto") -> tuple[TenantSpec, ...]:
     """Parse a ``--tenants`` value into :class:`TenantSpec` tuples.
 
-    Grammar: comma-separated ``[NAME=]BENCH[/SCHED]:SMS`` entries, where
-    ``SMS`` is one SM id (``3``) or an inclusive range (``0-7``).  Tenant
-    names default to the benchmark name (``-2``, ``-3`` suffixes keep
-    duplicates unique), and every tenant receives its own address space.
+    Grammar: comma-separated ``[NAME=]BENCH[/SCHED]:SMS[@CYCLE]`` entries,
+    where ``SMS`` is one SM id (``3``) or an inclusive range (``0-7``) and
+    ``@CYCLE`` optionally staggers the tenant's kernel launch to that global
+    cycle (default 0, simultaneous launch).  Tenant names default to the
+    benchmark name (``-2``, ``-3`` suffixes keep duplicates unique), and
+    every tenant receives its own address space.
     """
     tenants: list[TenantSpec] = []
     seen_names: dict[str, int] = {}
@@ -138,8 +149,8 @@ def parse_tenant_specs(text: str, *, default_scheduler: str = "gto") -> tuple[Te
         head, sep, sms_text = entry.rpartition(":")
         if not sep or not head or not sms_text:
             raise ValueError(
-                f"bad tenant spec {entry!r} (expected [NAME=]BENCH[/SCHED]:SMS, "
-                "e.g. SM:0-1 or compute=2DCONV/ciao-c:2)"
+                f"bad tenant spec {entry!r} (expected [NAME=]BENCH[/SCHED]:SMS[@CYCLE], "
+                "e.g. SM:0-1 or compute=2DCONV/ciao-c:2@500)"
             )
         name = None
         if "=" in head:
@@ -148,6 +159,21 @@ def parse_tenant_specs(text: str, *, default_scheduler: str = "gto") -> tuple[Te
         benchmark, _, scheduler = head.partition("/")
         benchmark = get_benchmark(benchmark.strip()).name
         scheduler = canonical_scheduler_name(scheduler.strip() or default_scheduler)
+        sms_text, at, cycle_text = sms_text.partition("@")
+        launch_cycle = 0
+        if at:
+            try:
+                launch_cycle = int(cycle_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad launch cycle {cycle_text!r} in tenant {entry!r} "
+                    "(need a non-negative int after '@')"
+                ) from None
+            if launch_cycle < 0:
+                raise ValueError(
+                    f"bad launch cycle {cycle_text!r} in tenant {entry!r} "
+                    "(need a non-negative int after '@')"
+                )
         lo, dash, hi = sms_text.partition("-")
         try:
             first = int(lo)
@@ -169,6 +195,7 @@ def parse_tenant_specs(text: str, *, default_scheduler: str = "gto") -> tuple[Te
                 scheduler=scheduler,
                 sm_ids=tuple(range(first, last + 1)),
                 address_space=index + 1,
+                launch_cycle=launch_cycle,
             )
         )
     return tuple(tenants)
@@ -220,6 +247,7 @@ def _cmd_run_tenants(args) -> int:
     from repro.analysis.metrics import tenant_slowdowns
 
     slowdowns = tenant_slowdowns(colocated, isolated) if with_isolated else {}
+    staggered = any(t.launch_cycle for t in request.tenants)
     rows = []
     for tenant in request.tenants:
         stats = colocated.per_tenant[tenant.name]
@@ -228,6 +256,10 @@ def _cmd_run_tenants(args) -> int:
             "benchmark": tenant.benchmark_name,
             "scheduler": stats.scheduler,
             "sms": "+".join(str(i) for i in stats.sm_ids),
+        }
+        if staggered:
+            row["launch"] = stats.launch_cycle
+        row |= {
             "cycles": stats.finish_cycle,
             "ipc": stats.ipc,
             "dram_conflicts": stats.inter_sm_dram_conflicts,
@@ -610,7 +642,11 @@ def cmd_list(args) -> int:
                 f"{bench}/{sched}:{'+'.join(str(i) for i in sms)}"
                 for _, bench, sched, sms in scenario.tenants
             )
-            print(f"{scenario.name:20s} {scenario.description} [{tenants}]")
+            stagger = (
+                " launches @" + "/".join(str(c) for c in scenario.launch_cycles)
+                if scenario.launch_cycles else ""
+            )
+            print(f"{scenario.name:20s} {scenario.description} [{tenants}]{stagger}")
         return 0
     print("Benchmarks (Table II order):")
     rows = [
@@ -638,6 +674,169 @@ def cmd_list(args) -> int:
     print("Reproduce targets:", ", ".join(REPRODUCE_TARGETS), "(or 'all')")
     print("Co-location scenarios:", ", ".join(colocation_scenario_names()),
           "(run with repro run --scenario NAME; details: repro list --scenarios)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro scenarios
+# ---------------------------------------------------------------------------
+def _emit_json(payload, out: Optional[str]) -> None:
+    text = json.dumps(payload, indent=2)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def _scenario_payload(scenario, *, cache_key=None, extra=None) -> dict:
+    payload = scenario.to_json()
+    if cache_key is not None:
+        payload["cache_key"] = cache_key
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def cmd_scenarios_generate(args) -> int:
+    from repro.scenarios import SCENARIO_SCHEMA, generate_scenarios
+
+    if args.count < 1:
+        print("error: --count must be >= 1", file=sys.stderr)
+        return 2
+    scenarios = generate_scenarios(
+        args.seed,
+        args.count,
+        scale=args.scale,
+        max_sms=args.max_sms,
+        max_tenants=args.max_tenants,
+        stagger_span=args.stagger_span,
+    )
+    payload = {
+        "schema": SCENARIO_SCHEMA,
+        "generator": {
+            "seed": args.seed,
+            "count": args.count,
+            "scale": args.scale,
+            "max_sms": args.max_sms,
+            "max_tenants": args.max_tenants,
+            "stagger_span": args.stagger_span,
+        },
+        # Each entry carries the co-located request's content-addressed
+        # cache key: the reproducibility receipt for the spec.
+        "scenarios": [
+            _scenario_payload(s, cache_key=s.request().cache_key())
+            for s in scenarios
+        ],
+    }
+    _emit_json(payload, args.out)
+    return 0
+
+
+def _run_search(args):
+    from repro.scenarios import search
+
+    return search(
+        args.seed,
+        restarts=args.restarts,
+        steps=args.steps,
+        scale=args.scale,
+        max_sms=args.max_sms,
+        max_tenants=args.max_tenants,
+        stagger_span=args.stagger_span,
+        workers=args.workers,
+        cache=_cache_from_args(args),
+    )
+
+
+def cmd_scenarios_search(args) -> int:
+    try:
+        outcome = _run_search(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json or args.out:
+        payload = {
+            "seed": args.seed,
+            "restarts": args.restarts,
+            "steps": args.steps,
+            "scale": args.scale,
+            "best": _scenario_payload(
+                outcome.best, extra={"objective": outcome.best_objective}
+            ),
+            "evaluations": outcome.evaluations,
+            "reused": outcome.reused,
+            "ledger": [
+                {
+                    **_scenario_payload(row.scenario, cache_key=row.cache_key),
+                    "objective": row.objective,
+                    "slowdowns": row.slowdowns,
+                    "restart": row.restart,
+                    "step": row.step,
+                    "accepted": row.accepted,
+                }
+                for row in outcome.ledger
+            ],
+        }
+        _emit_json(payload, args.out)
+        return 0
+    print(format_table([
+        {
+            "restart": row.restart,
+            "step": row.step,
+            "scenario": row.scenario.name,
+            "max_slowdown": row.objective,
+            "accepted": "yes" if row.accepted else "",
+        }
+        for row in outcome.ledger
+    ]))
+    print(f"\nbest: {outcome.best.name} with max slowdown "
+          f"{outcome.best_objective:.3f} "
+          f"({outcome.evaluations} points simulated, {outcome.reused} reused)")
+    tenants = ", ".join(
+        f"{bench}/{sched}:{'+'.join(str(i) for i in sms)}"
+        for _, bench, sched, sms in outcome.best.tenants
+    )
+    launches = outcome.best.launch_cycles or "simultaneous"
+    print(f"  tenants: {tenants}")
+    print(f"  launch cycles: {launches}, scale {outcome.best.scale}, "
+          f"seed {outcome.best.seed}")
+    print("  pin it: repro scenarios promote with the same --seed/--restarts/--steps")
+    return 0
+
+
+def cmd_scenarios_promote(args) -> int:
+    from pathlib import Path
+
+    from repro.scenarios import PROMOTED_PATH, promote, promoted_from_search
+
+    if args.top_k < 1:
+        print("error: --top-k must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        outcome = _run_search(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chosen = promoted_from_search(
+        outcome, top_k=args.top_k, name_prefix=args.prefix
+    )
+    if args.dry_run:
+        _emit_json([scenario.to_json() for scenario in chosen], None)
+        return 0
+    path = Path(args.path) if args.path else None
+    try:
+        all_promoted = promote(chosen, path=path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for scenario in chosen:
+        print(f"promoted {scenario.name}: {scenario.description}")
+    print(f"fixture: {path or PROMOTED_PATH} "
+          f"({len(all_promoted)} promoted scenario(s) total)")
+    print("next: regenerate the pinned goldens — "
+          "PYTHONPATH=src python scripts/regen_goldens.py")
     return 0
 
 
@@ -731,6 +930,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", action="store_true",
                          help="emit the report (plus any regressions) as JSON")
     p_bench.set_defaults(func=cmd_bench)
+
+    from repro.scenarios.generator import DEFAULT_STAGGER_SPAN
+
+    p_scn = sub.add_parser(
+        "scenarios",
+        help="generate seeded co-location scenarios, search for worst-case "
+             "interference, promote discoveries into the library",
+    )
+    scn_sub = p_scn.add_subparsers(dest="action", required=True)
+
+    def add_space_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=1,
+                       help="generator stream seed (default 1); the whole "
+                            "command is deterministic in it")
+        p.add_argument("--scale", type=float, default=0.05,
+                       help="workload size multiplier (default 0.05)")
+        p.add_argument("--max-sms", type=int, default=5,
+                       help="largest sampled machine (default 5 SMs)")
+        p.add_argument("--max-tenants", type=int, default=4,
+                       help="most sampled tenants (default 4)")
+        p.add_argument("--stagger-span", type=int, default=DEFAULT_STAGGER_SPAN,
+                       help="exclusive upper bound on sampled launch-cycle "
+                            f"offsets (default {DEFAULT_STAGGER_SPAN}; "
+                            "0 disables staggered launches)")
+
+    p_gen = scn_sub.add_parser(
+        "generate",
+        help="sample reproducible scenario specs (JSON, with cache keys)",
+    )
+    add_space_options(p_gen)
+    p_gen.add_argument("--count", type=int, default=5,
+                       help="scenarios to sample from the stream (default 5)")
+    p_gen.add_argument("--out", metavar="PATH",
+                       help="write JSON here instead of stdout")
+    p_gen.set_defaults(func=cmd_scenarios_generate)
+
+    def add_search_options(p: argparse.ArgumentParser) -> None:
+        add_space_options(p)
+        p.add_argument("--restarts", type=int, default=3,
+                       help="independent hill climbs (default 3)")
+        p.add_argument("--steps", type=int, default=5,
+                       help="mutation proposals per climb (default 5)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: REPRO_WORKERS or CPU count)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache for this invocation")
+
+    p_search = scn_sub.add_parser(
+        "search",
+        help="hill-climb the scenario space for worst-case interference",
+    )
+    add_search_options(p_search)
+    p_search.add_argument("--json", action="store_true",
+                          help="emit the full ledger as JSON instead of a table")
+    p_search.add_argument("--out", metavar="PATH",
+                          help="write the JSON search report here")
+    p_search.set_defaults(func=cmd_scenarios_search)
+
+    p_prom = scn_sub.add_parser(
+        "promote",
+        help="run a search and pin its worst discoveries into the scenario library",
+    )
+    add_search_options(p_prom)
+    p_prom.add_argument("--top-k", type=int, default=2,
+                        help="distinct best scenarios to promote (default 2)")
+    p_prom.add_argument("--prefix", default="discovered",
+                        help="promoted scenario name prefix (default 'discovered')")
+    p_prom.add_argument("--path", metavar="PATH",
+                        help="promoted fixture to write (default: the library's "
+                             "committed promoted.json)")
+    p_prom.add_argument("--dry-run", action="store_true",
+                        help="print what would be promoted without writing")
+    p_prom.set_defaults(func=cmd_scenarios_promote)
 
     p_cache = sub.add_parser("cache", help="inspect the result cache and bench ledger")
     p_cache.add_argument("action", nargs="?", choices=("show", "stats", "clear"),

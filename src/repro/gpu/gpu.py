@@ -47,6 +47,8 @@ class TenantPlan:
     sm_ids: tuple[int, ...]
     scheduler_name: str = ""
     enable_shared_cache: bool = False
+    #: Global cycle at which this tenant's kernel launches (0 = immediately).
+    launch_cycle: int = 0
 
 
 @dataclass
@@ -110,6 +112,12 @@ class SimulationResult:
             # existing cache entries) byte-identical, and ``from_dict``
             # restores the default on decode.
             payload["data"]["fields"].pop("per_tenant", None)
+        else:
+            # Same compatibility rule for the stagger field: simultaneous
+            # launches (the only kind that predate it) omit the zero default.
+            for tenant in payload["data"]["fields"]["per_tenant"].values():
+                if tenant["fields"].get("launch_cycle") == 0:
+                    tenant["fields"].pop("launch_cycle")
         return payload
 
     @classmethod

@@ -52,7 +52,7 @@ from repro.gpu.stats import SMStats, TenantStats, merge_stats
 
 
 def _advance_sms(
-    sms: Sequence, budget: int
+    sms: Sequence, budget: int, *, launch_cycles: Optional[dict[int, int]] = None
 ) -> dict[int, SMStats]:
     """Advance ``sms`` in lock step until all drain or ``budget`` is reached.
 
@@ -60,9 +60,25 @@ def _advance_sms(
     at the global cycle it was observed drained (or at the final cycle for
     SMs still live when the budget ran out), so heterogeneous kernels —
     tenants of different lengths — seal their stats independently.
+
+    ``launch_cycles`` (``sm_id -> arrival cycle``) staggers kernel launches:
+    an SM with a positive arrival sits *dormant* — not stepped, accruing no
+    stall accounting — until the global clock reaches its launch cycle, then
+    joins the live set in ``sm_id`` order.  Arrivals participate in the
+    fast-forward decision (the clock never jumps past a pending launch), and
+    an all-zero map takes exactly the simultaneous-launch code path, so
+    offset-free staggered requests stay bit-identical to the original loop.
     """
     cycle = 0
-    live = list(sms)
+    if launch_cycles and any(launch_cycles.values()):
+        live = [sm for sm in sms if not launch_cycles.get(sm.sm_id, 0)]
+        pending = sorted(
+            (sm for sm in sms if launch_cycles.get(sm.sm_id, 0)),
+            key=lambda sm: (launch_cycles[sm.sm_id], sm.sm_id),
+        )
+    else:
+        live = list(sms)
+        pending = []
     finalized: set[int] = set()
     per_sm_stats: dict[int, SMStats] = {}
 
@@ -79,7 +95,18 @@ def _advance_sms(
         event_cache[sm.sm_id] = (version, value)
         return value
 
-    while live and cycle < budget:
+    while (live or pending) and cycle < budget:
+        if pending and launch_cycles[pending[0].sm_id] <= cycle:
+            # Admit every tenant whose launch cycle has arrived; the live
+            # set keeps its sm_id issue order.
+            while pending and launch_cycles[pending[0].sm_id] <= cycle:
+                live.append(pending.pop(0))
+            live.sort(key=lambda sm: sm.sm_id)
+        if not live:
+            # Nothing resident yet: jump straight to the next arrival —
+            # dormant tenants accrue no stall accounting.
+            cycle = min(launch_cycles[pending[0].sm_id], budget)
+            continue
         stepped: list[tuple] = []
         issued_any = False
         for sm in live:
@@ -94,7 +121,7 @@ def _advance_sms(
             stepped.append((sm, issued))
         live = [sm for sm, _ in stepped]
         if not live:
-            break
+            continue
 
         if issued_any:
             # At least one SM made progress: SMs that could not issue this
@@ -106,8 +133,11 @@ def _advance_sms(
             continue
 
         # Nobody issued anywhere: fast-forward the global clock to the
-        # earliest in-flight memory event across all SMs.
+        # earliest in-flight memory event across all SMs — or the next
+        # staggered kernel arrival, whichever comes first.
         event_times = [t for sm in live if (t := next_event(sm)) is not None]
+        if pending:
+            event_times.append(launch_cycles[pending[0].sm_id])
         if event_times:
             target = min(event_times)
             if target > cycle:
@@ -167,15 +197,21 @@ def run_multi_tenant(
 ) -> SimulationResult:
     """Run one kernel per tenant on a partitioned ``gpu`` in lock step.
 
-    ``plans`` assign each tenant a kernel, a scheduler factory and an SM
+    ``plans`` assign each tenant a kernel, a scheduler factory, an SM
     partition (see :meth:`repro.gpu.gpu.GPU.build_partitioned_sms` for the
-    partition contract).  All SMs share the global clock and the L2/DRAM;
-    per-tenant statistics (including the tenant's share of the inter-SM
-    DRAM conflicts) are attached as ``SimulationResult.per_tenant``.
+    partition contract) and a launch cycle — tenants with a positive
+    ``launch_cycle`` arrive mid-run, their SMs dormant until the global
+    clock reaches the arrival.  All SMs share the global clock and the
+    L2/DRAM; per-tenant statistics (including the tenant's share of the
+    inter-SM DRAM conflicts and its launch cycle) are attached as
+    ``SimulationResult.per_tenant``.
     """
     sms = gpu.build_partitioned_sms(list(plans))
     budget = max_cycles if max_cycles is not None else gpu.config.max_cycles
-    per_sm_stats = _advance_sms(sms, budget)
+    launch_cycles = {
+        sm_id: plan.launch_cycle for plan in plans for sm_id in plan.sm_ids
+    }
+    per_sm_stats = _advance_sms(sms, budget, launch_cycles=launch_cycles)
     stats_in_order = [per_sm_stats[sm.sm_id] for sm in sms]
 
     conflicts_by_sm = gpu.memory.inter_sm_dram_conflicts_by_sm
@@ -189,6 +225,7 @@ def run_multi_tenant(
             sm_ids=tuple(plan.sm_ids),
             stats=tenant_stats,
             finish_cycle=tenant_stats.cycles,
+            launch_cycle=plan.launch_cycle,
             inter_sm_dram_conflicts=sum(
                 conflicts_by_sm.get(sm_id, 0) for sm_id in plan.sm_ids
             ),

@@ -200,6 +200,10 @@ class TenantStats:
     #: Global cycle at which the tenant's last SM drained (== ``stats.cycles``
     #: unless the run hit the cycle budget).
     finish_cycle: int = 0
+    #: Global cycle at which the tenant's kernel launched (0 for the
+    #: simultaneous-launch path).  ``finish_cycle - launch_cycle`` is the
+    #: tenant's busy span, the quantity slowdown metrics compare.
+    launch_cycle: int = 0
     #: DRAM requests from this tenant's SMs that queued behind a burst of a
     #: *different SM*.  Attribution is per suffering requester SM, so for a
     #: tenant owning several SMs this includes conflicts against its own

@@ -36,7 +36,6 @@ Sec. V-F  ``overhead_analysis``
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis.area import AreaModel
@@ -51,7 +50,7 @@ from repro.analysis.metrics import (
 from repro.analysis.power import PowerModel
 from repro.core.config import CIAOParameters
 from repro.gpu.config import GPUConfig
-from repro.api import MultiTenantRequest, SimulationRequest, TenantSpec
+from repro.api import SimulationRequest
 from repro.harness.parallel import SweepOutcome, run_jobs
 from repro.harness.runner import RunConfig, run_many
 from repro.workloads.registry import (
@@ -469,132 +468,15 @@ def fig12_dram_bandwidth(
 # ---------------------------------------------------------------------------
 # Co-location scenario library (multi-tenant lock-step)
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
-class ColocationScenario:
-    """One named co-location experiment: tenants, partition, pinned sizing.
-
-    ``tenants`` lists ``(name, benchmark, scheduler, sm_ids)``; every tenant
-    automatically receives a distinct address space (separate processes, so
-    working sets only interact through cache capacity and bandwidth).
-    ``scale`` / ``seed`` are the scenario's *pinned* sizing — the numbers a
-    bare ``repro run --scenario NAME`` reproduces — and can be overridden.
-    """
-
-    name: str
-    description: str
-    tenants: tuple[tuple[str, str, str, tuple[int, ...]], ...]
-    scale: float = 0.1
-    seed: int = 1
-
-    def request(
-        self,
-        *,
-        scale: Optional[float] = None,
-        seed: Optional[int] = None,
-        backend: Optional[str] = None,
-    ) -> MultiTenantRequest:
-        """Build the scenario's :class:`MultiTenantRequest`."""
-        config = RunConfig(
-            scale=self.scale if scale is None else scale,
-            seed=self.seed if seed is None else seed,
-        )
-        return MultiTenantRequest(
-            tenants=tuple(
-                TenantSpec(
-                    name=name,
-                    benchmark=benchmark,
-                    scheduler=scheduler,
-                    sm_ids=tuple(sm_ids),
-                    address_space=index + 1,
-                )
-                for index, (name, benchmark, scheduler, sm_ids) in enumerate(self.tenants)
-            ),
-            run_config=config,
-            tag=f"scenario:{self.name}",
-            backend=backend,
-        )
-
-
-#: Named co-location scenarios, in presentation order.  SM (Mars, APKI 140)
-#: is the canonical cache-thrasher, 2DCONV (PolyBench CI, APKI 9) the
-#: canonical compute-bound tenant; the pinned pairing demonstrably shows
-#: per-tenant slowdown > 1.0 vs isolated runs (tests/test_multi_tenant.py).
-COLOCATION_SCENARIOS: dict[str, ColocationScenario] = {
-    scenario.name: scenario
-    for scenario in (
-        ColocationScenario(
-            name="thrash-vs-compute",
-            description="cache-thrasher (SM) next to a compute-bound tenant (2DCONV)",
-            tenants=(
-                ("thrash", "SM", "gto", (0,)),
-                ("compute", "2DCONV", "gto", (1,)),
-            ),
-        ),
-        ColocationScenario(
-            name="symmetric-thrash",
-            description="two identical cache-thrashers (ATAX) fighting over L2/DRAM",
-            tenants=(
-                ("left", "ATAX", "gto", (0,)),
-                ("right", "ATAX", "gto", (1,)),
-            ),
-        ),
-        ColocationScenario(
-            name="mixed-schedulers",
-            description="same workload, GTO vs CIAO-C side by side",
-            tenants=(
-                ("gto", "ATAX", "gto", (0,)),
-                ("ciao", "ATAX", "ciao-c", (1,)),
-            ),
-        ),
-        ColocationScenario(
-            name="asymmetric-split",
-            description="high-APKI tenant on two SMs vs compute-bound tenant on one",
-            tenants=(
-                ("wide", "GESUMMV", "gto", (0, 1)),
-                ("narrow", "2DCONV", "gto", (2,)),
-            ),
-        ),
-        ColocationScenario(
-            name="quad-stress",
-            description="four tenants, one SM each, mixed workload classes",
-            tenants=(
-                ("lws", "ATAX", "gto", (0,)),
-                ("sws", "SYRK", "gto", (1,)),
-                ("mapreduce", "SM", "gto", (2,)),
-                ("compute", "2DCONV", "gto", (3,)),
-            ),
-        ),
-        ColocationScenario(
-            name="ciao-shield",
-            description="does CIAO-C protect a thrashed tenant better than GTO?",
-            tenants=(
-                ("shielded", "SYRK", "ciao-c", (0,)),
-                ("aggressor", "SM", "gto", (1,)),
-            ),
-        ),
-    )
-}
-
-
-def colocation_scenario_names() -> tuple[str, ...]:
-    """Names of the built-in co-location scenarios."""
-    return tuple(COLOCATION_SCENARIOS)
-
-
-def colocation_scenario(
-    name: str,
-    *,
-    scale: Optional[float] = None,
-    seed: Optional[int] = None,
-    backend: Optional[str] = None,
-) -> MultiTenantRequest:
-    """Build the named scenario's request (``KeyError`` for unknown names)."""
-    scenario = COLOCATION_SCENARIOS.get(name)
-    if scenario is None:
-        raise KeyError(
-            f"unknown scenario {name!r} (known: {', '.join(COLOCATION_SCENARIOS)})"
-        )
-    return scenario.request(scale=scale, seed=seed, backend=backend)
+# The scenario types moved to repro.scenarios.library (the seeded generation
+# / search subsystem builds on them); re-exported here — same objects, so
+# experiment code and tests that patch COLOCATION_SCENARIOS keep working.
+from repro.scenarios.library import (  # noqa: E402  (re-export)
+    COLOCATION_SCENARIOS,
+    ColocationScenario,
+    colocation_scenario,
+    colocation_scenario_names,
+)
 
 
 def colocation_interference(

@@ -1,0 +1,64 @@
+"""``repro.scenarios`` — seeded scenario generation, search and promotion.
+
+The subsystem behind ``repro scenarios generate|search|promote``:
+
+* :mod:`repro.scenarios.library` — the named scenario library
+  (:class:`ColocationScenario`, :data:`COLOCATION_SCENARIOS`): hand-written
+  built-ins plus promoted search discoveries (``promoted.json``).
+* :mod:`repro.scenarios.generator` — deterministic samplers over workload
+  mixes, SM partitions, scheduler assignments and staggered launch cycles
+  (same seed, same scenarios, same cache keys).
+* :mod:`repro.scenarios.search` — hill climbing with random restarts
+  maximising the worst per-tenant slowdown, cache-backed and ledgered.
+* :mod:`repro.scenarios.promote` — pinning discovered worst cases into the
+  library (and, via ``scripts/regen_goldens.py``, the golden fixtures).
+"""
+
+from repro.scenarios.generator import (
+    BENCHMARK_POOL,
+    SCHEDULER_POOL,
+    generate_scenario,
+    generate_scenarios,
+)
+from repro.scenarios.library import (
+    BUILTIN_SCENARIO_NAMES,
+    COLOCATION_SCENARIOS,
+    PROMOTED_PATH,
+    SCENARIO_SCHEMA,
+    ColocationScenario,
+    colocation_scenario,
+    colocation_scenario_names,
+    load_promoted,
+    scenario_from_json,
+)
+from repro.scenarios.promote import promote, promoted_from_search
+from repro.scenarios.search import (
+    Evaluation,
+    SearchOutcome,
+    builtin_best,
+    evaluate_scenario,
+    search,
+)
+
+__all__ = [
+    "BENCHMARK_POOL",
+    "BUILTIN_SCENARIO_NAMES",
+    "COLOCATION_SCENARIOS",
+    "ColocationScenario",
+    "Evaluation",
+    "PROMOTED_PATH",
+    "SCENARIO_SCHEMA",
+    "SCHEDULER_POOL",
+    "SearchOutcome",
+    "builtin_best",
+    "colocation_scenario",
+    "colocation_scenario_names",
+    "evaluate_scenario",
+    "generate_scenario",
+    "generate_scenarios",
+    "load_promoted",
+    "promote",
+    "promoted_from_search",
+    "scenario_from_json",
+    "search",
+]

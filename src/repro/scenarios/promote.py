@@ -1,0 +1,93 @@
+"""Promotion of discovered worst cases into the named scenario library.
+
+A search run (:func:`repro.scenarios.search.search`) leaves a ledger of
+evaluated points; :func:`promote` pins chosen ones into ``promoted.json``
+next to the library module, where :mod:`repro.scenarios.library` loads them
+at import time as first-class named scenarios.  Promoted scenarios then ride
+every surface the hand-written ones do — ``repro run --scenario``, the
+``colocation_interference`` experiment, and (after a
+``scripts/regen_goldens.py`` run) the bit-exact golden fixtures.
+
+The workflow is documented in docs/EXPERIMENTS.md; the CLI front end is
+``repro scenarios promote``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.scenarios.library import (
+    BUILTIN_SCENARIO_NAMES,
+    PROMOTED_PATH,
+    SCENARIO_SCHEMA,
+    ColocationScenario,
+    load_promoted,
+)
+from repro.scenarios.search import SearchOutcome
+
+
+def promoted_from_search(
+    outcome: SearchOutcome,
+    *,
+    top_k: int = 2,
+    name_prefix: str = "discovered",
+) -> list[ColocationScenario]:
+    """The ``top_k`` distinct best scenarios of a search, renamed for the library.
+
+    Names are ``{prefix}-{rank}-{objective}`` (rank 1 = worst interference
+    found) so a promoted entry's provenance is legible in ``repro list``.
+    """
+    promoted = []
+    for rank, row in enumerate(outcome.top(top_k), start=1):
+        promoted.append(
+            replace(
+                row.scenario,
+                name=f"{name_prefix}-{rank}",
+                description=(
+                    f"{row.scenario.description}; promoted with max slowdown "
+                    f"{row.objective:.3f}"
+                ),
+            )
+        )
+    return promoted
+
+
+def promote(
+    scenarios: Sequence[ColocationScenario],
+    *,
+    path: Optional[Path] = None,
+    merge: bool = True,
+) -> list[ColocationScenario]:
+    """Pin ``scenarios`` into the promoted fixture; returns the full list.
+
+    ``merge=True`` (the default) keeps existing promoted entries, replacing
+    any with the same name; ``merge=False`` rewrites the fixture from
+    scratch.  Promoted names must not collide with built-ins.  The library
+    picks the fixture up on the next import — re-run
+    ``scripts/regen_goldens.py`` afterwards to pin the new entries'
+    results bit-for-bit.
+    """
+    path = PROMOTED_PATH if path is None else path
+    entries: dict[str, ColocationScenario] = {}
+    if merge:
+        for scenario in load_promoted(path):
+            entries[scenario.name] = scenario
+    for scenario in scenarios:
+        if scenario.name in BUILTIN_SCENARIO_NAMES:
+            raise ValueError(
+                f"cannot promote {scenario.name!r}: collides with a built-in scenario"
+            )
+        # Fails loudly on inconsistent specs before they reach the fixture.
+        scenario.request().validate()
+        entries[scenario.name] = scenario
+    ordered = [entries[name] for name in sorted(entries)]
+    payload = {
+        "schema": SCENARIO_SCHEMA,
+        "regen": "repro scenarios promote (see docs/EXPERIMENTS.md)",
+        "scenarios": [scenario.to_json() for scenario in ordered],
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return ordered

@@ -1,0 +1,58 @@
+"""Differential backend fuzzing: every engine computes the same simulation.
+
+Hypothesis generates small single-kernel requests and runs each through
+every in-tree engine — ``reference`` (serialized), ``lockstep``
+(cycle-accurate multi-SM, here on the single-kernel path) and ``vector``
+(numpy-batched, silently excluded when numpy is absent).  The results must
+be bit-identical after blanking the backend label: that is the repo's
+cross-engine parity contract, here probed over the whole request space
+instead of the pinned golden matrix.
+
+Example depth is controlled by the hypothesis profile in the root
+``conftest.py`` (``ci``: 60 derandomized examples; ``deep``: 600, selected
+with ``HYPOTHESIS_PROFILE=deep``), so this file deliberately sets no
+``max_examples`` of its own.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from strategies import (
+    FUZZ_BENCHMARKS,
+    FUZZ_SCHEDULERS,
+    HAVE_NUMPY,
+    result_dicts,
+    simulation_requests,
+    strip_backend,
+)
+
+from repro.api import execute
+
+ENGINES = ("reference", "lockstep") + (("vector",) if HAVE_NUMPY else ())
+
+
+@settings(deadline=None)
+@given(
+    request=simulation_requests(
+        benchmarks=FUZZ_BENCHMARKS, schedulers=FUZZ_SCHEDULERS, backends=(None,)
+    )
+)
+def test_engines_agree_bit_for_bit(request):
+    """reference == lockstep == vector on arbitrary single-kernel requests."""
+    results = [
+        execute(dataclasses.replace(request, backend=engine)) for engine in ENGINES
+    ]
+    payloads = strip_backend(result_dicts(results))
+    for engine, payload in zip(ENGINES[1:], payloads[1:]):
+        assert payload == payloads[0], (
+            f"{engine} diverged from reference on {request.benchmark_name}/"
+            f"{request.scheduler} seed {request.run_config.seed}"
+        )
+
+
+def test_vector_engine_participates_when_numpy_present():
+    """Guard: the fuzz above really covers three engines on a full install."""
+    if not HAVE_NUMPY:
+        assert ENGINES == ("reference", "lockstep")
+    else:
+        assert "vector" in ENGINES

@@ -13,11 +13,11 @@ the pinned bit-exact fixtures in ``tests/test_goldens.py``.
 import json
 
 import pytest
+from strategies import SMALL, pair_request
 
 from repro.api import (
     MULTI_TENANT_SCHEMA,
     MultiTenantRequest,
-    RunConfig,
     SimulationRequest,
     TenantSpec,
     execute,
@@ -25,19 +25,12 @@ from repro.api import (
 from repro.analysis.metrics import tenant_slowdowns
 from repro.cli import main, parse_tenant_specs
 from repro.gpu.gpu import SimulationResult
+from repro.gpu.stats import TenantStats
 from repro.harness import experiments
 from repro.harness.cache import ResultCache
 from repro.harness.parallel import SweepError, run_jobs
 
-SMALL = RunConfig(scale=0.05, seed=1)
-
-PAIR = MultiTenantRequest(
-    tenants=(
-        TenantSpec("left", "ATAX", "gto", (0,), address_space=1),
-        TenantSpec("right", "SYRK", "ccws", (1,), address_space=2),
-    ),
-    run_config=SMALL,
-)
+PAIR = pair_request()
 
 
 # ---------------------------------------------------------------------------
@@ -306,6 +299,72 @@ class TestScenarioLibrary:
 
 
 # ---------------------------------------------------------------------------
+# Slowdown metric edge cases (synthetic results, no simulation)
+# ---------------------------------------------------------------------------
+class TestSlowdownEdgeCases:
+    """``tenant_slowdowns`` on hand-built results: degenerate inputs stay
+    finite (no NaNs, no ZeroDivisionError) and busy spans cancel launch
+    offsets exactly."""
+
+    @staticmethod
+    def _result(tenants):
+        """A synthetic co-located result from {name: (finish, launch, conflicts)}."""
+        return SimulationResult(
+            kernel_name="synthetic",
+            scheduler_name="gto",
+            per_tenant={
+                name: TenantStats(
+                    name=name,
+                    finish_cycle=finish,
+                    launch_cycle=launch,
+                    inter_sm_dram_conflicts=conflicts,
+                )
+                for name, (finish, launch, conflicts) in tenants.items()
+            },
+        )
+
+    def test_empty_per_tenant_yields_empty_report(self):
+        assert tenant_slowdowns(self._result({}), {}) == {}
+
+    def test_exact_parity_slowdown_is_one(self):
+        # Different launch offsets, identical busy spans: exactly 1.0.
+        colocated = self._result({"a": (1500, 500, 0)})
+        isolated = {"a": self._result({"a": (1300, 300, 0)})}
+        row = tenant_slowdowns(colocated, isolated)["a"]
+        assert row["slowdown"] == 1.0
+        assert row["colocated_cycles"] == 1000.0
+        assert row["isolated_cycles"] == 1000.0
+
+    def test_zero_conflicts_share_is_zero_not_nan(self):
+        colocated = self._result({"a": (100, 0, 0), "b": (200, 0, 0)})
+        isolated = {
+            "a": self._result({"a": (100, 0, 0)}),
+            "b": self._result({"b": (150, 0, 0)}),
+        }
+        report = tenant_slowdowns(colocated, isolated)
+        for row in report.values():
+            assert row["conflict_share"] == 0.0
+            assert row["inter_sm_dram_conflicts"] == 0.0
+
+    def test_zero_isolated_cycles_reports_zero_slowdown(self):
+        colocated = self._result({"a": (100, 0, 0)})
+        isolated = {"a": self._result({"a": (700, 700, 0)})}
+        assert tenant_slowdowns(colocated, isolated)["a"]["slowdown"] == 0.0
+
+    def test_single_kernel_baseline_uses_machine_clock(self):
+        from repro.gpu.stats import SMStats
+
+        colocated = self._result({"a": (800, 0, 3)})
+        baseline = SimulationResult(
+            kernel_name="ATAX", scheduler_name="gto", per_sm=[SMStats(cycles=400)]
+        )
+        row = tenant_slowdowns(colocated, {"a": baseline})["a"]
+        assert row["isolated_cycles"] == 400.0
+        assert row["slowdown"] == 2.0
+        assert row["conflict_share"] == 1.0
+
+
+# ---------------------------------------------------------------------------
 # CLI surface
 # ---------------------------------------------------------------------------
 class TestCLI:
@@ -320,8 +379,15 @@ class TestCLI:
         tenants = parse_tenant_specs("ATAX:0,ATAX:1")
         assert [t.name for t in tenants] == ["ATAX", "ATAX-2"]
 
+    def test_parse_tenant_specs_launch_cycles(self):
+        tenants = parse_tenant_specs("SM:0-1@250,2DCONV/ciao_c:2")
+        assert tenants[0].launch_cycle == 250
+        assert tenants[0].sm_ids == (0, 1)
+        assert tenants[1].launch_cycle == 0  # @CYCLE defaults to 0
+
     @pytest.mark.parametrize("spec", ["ATAX", "ATAX:x-y", "ATAX:3-1", ":0",
-                                      "ATAX:0-", "ATAX:-1"])
+                                      "ATAX:0-", "ATAX:-1", "ATAX:0@",
+                                      "ATAX:0@-5", "ATAX:0@x"])
     def test_parse_tenant_specs_rejects_garbage(self, spec):
         with pytest.raises(ValueError):
             parse_tenant_specs(spec)
@@ -363,6 +429,18 @@ class TestCLI:
         for row in data["tenants"]:
             assert row["slowdown"] > 1.0
             assert row["dram_conflicts"] > 0
+
+    def test_run_tenants_staggered_json(self, capsys):
+        rc = main(["run", "--tenants", "ATAX:0@200,SYRK/ccws:1", "--scale", "0.05",
+                   "--no-cache", "--json", "--isolated"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        staggered = data["tenants"][0]
+        assert staggered["launch"] == 200
+        # Slowdown compares busy spans, so the dormant prefix cancels.
+        assert data["per_tenant"]["ATAX"]["colocated_cycles"] == (
+            staggered["cycles"] - 200
+        )
 
     def test_run_tenants_isolated_table(self, capsys):
         rc = main(["run", "--tenants", "SM:0,2DCONV:1", "--isolated",

@@ -5,6 +5,7 @@ import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import multi_tenant_requests
 
 from repro.core.config import CIAOParameters
 from repro.core.interference import InterferenceDetector
@@ -122,52 +123,15 @@ def test_geometric_mean_bounds(values):
 # ---------------------------------------------------------------------------
 # Multi-tenant invariants
 # ---------------------------------------------------------------------------
-@st.composite
-def _partitions(draw):
-    """A random disjoint SM partition of a small machine into named tenants."""
-    num_sms = draw(st.integers(min_value=1, max_value=8))
-    sm_ids = draw(st.permutations(list(range(num_sms))))
-    num_tenants = draw(st.integers(min_value=1, max_value=num_sms))
-    if num_tenants == 1:
-        cuts = []
-    else:
-        cuts = sorted(
-            draw(
-                st.lists(
-                    st.integers(min_value=1, max_value=num_sms - 1),
-                    unique=True,
-                    min_size=num_tenants - 1,
-                    max_size=num_tenants - 1,
-                )
-            )
-        )
-    bounds = [0, *cuts, num_sms]
-    return [
-        tuple(sorted(sm_ids[lo:hi])) for lo, hi in zip(bounds, bounds[1:])
-    ]
-
-
 @settings(max_examples=50, deadline=None)
-@given(_partitions(), st.data())
-def test_multi_tenant_request_round_trips_for_random_partitions(partition, data):
-    """to_dict/from_dict is the identity for arbitrary valid partitions."""
+@given(multi_tenant_requests())
+def test_multi_tenant_request_round_trips_for_random_partitions(request):
+    """to_dict/from_dict is the identity for arbitrary valid partitions,
+    simultaneous and staggered launches alike."""
     import json
 
-    from repro.api import MultiTenantRequest, RunConfig, TenantSpec
+    from repro.api import MultiTenantRequest
 
-    request = MultiTenantRequest(
-        tenants=tuple(
-            TenantSpec(
-                name=f"t{index}",
-                benchmark=data.draw(st.sampled_from(["ATAX", "SYRK", "WC"])),
-                scheduler=data.draw(st.sampled_from(["gto", "ccws", "lrr"])),
-                sm_ids=sm_ids,
-                address_space=index,
-            )
-            for index, sm_ids in enumerate(partition)
-        ),
-        run_config=RunConfig(scale=0.05, seed=data.draw(st.integers(1, 1000))),
-    )
     request.validate()  # the strategy only builds valid partitions
     assert MultiTenantRequest.from_dict(request.to_dict()) == request
     wire = json.loads(json.dumps(request.to_dict()))

@@ -7,11 +7,15 @@ seeds and backends the batch contains, however requests are grouped per
 engine, and however cache hits interleave with executed requests.
 """
 
-import json
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import (
+    HAVE_NUMPY,
+    result_dicts as _dicts,
+    simulation_requests,
+    strip_backend as _strip_backend,
+)
 
 from repro.api import (
     BatchExecutionError,
@@ -24,41 +28,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.parallel import run_jobs
 from repro.harness.runner import run_benchmark
 
-try:
-    import numpy  # noqa: F401
-
-    HAVE_NUMPY = True
-except ImportError:  # pragma: no cover - CI installs numpy
-    HAVE_NUMPY = False
-
-BACKENDS = ("reference", "vector") if HAVE_NUMPY else ("reference",)
-
-
-def _dicts(results):
-    return [json.loads(json.dumps(r.to_dict(), sort_keys=True)) for r in results]
-
-
-def _strip_backend(payloads):
-    for payload in payloads:
-        payload["data"]["fields"]["backend"] = ""
-    return payloads
-
-
-requests_strategy = st.lists(
-    st.builds(
-        SimulationRequest,
-        benchmark=st.sampled_from(["ATAX", "SYRK"]),
-        scheduler=st.sampled_from(["gto", "lrr"]),
-        run_config=st.builds(
-            RunConfig,
-            scale=st.just(0.02),
-            seed=st.integers(min_value=1, max_value=3),
-        ),
-        backend=st.sampled_from([None, *BACKENDS]),
-    ),
-    min_size=1,
-    max_size=4,
-)
+requests_strategy = st.lists(simulation_requests(), min_size=1, max_size=4)
 
 
 @settings(max_examples=12, deadline=None)

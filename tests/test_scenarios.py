@@ -1,0 +1,350 @@
+"""Tests for ``repro.scenarios``: generation, staggered launches, search,
+promotion and the ``repro scenarios`` CLI.
+
+The load-bearing contracts:
+
+* **Generator determinism** — same seed, same scenario specs, same request
+  cache keys; each (seed, index) pair is an independent stream.
+* **Staggered-launch parity** — all-zero launch offsets are bit-identical
+  to the classic simultaneous path (result, wire form and cache key), so
+  the new engine capability cannot drift schema-1 behaviour.
+* **Search acceptance** — a pinned small-budget search rediscovers
+  interference at least as bad as the worst hand-written scenario.
+* **Promotion round-trip** — promoted fixtures reload identically and are
+  first-class library members.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from strategies import SMALL, pair_request
+
+from repro.analysis.metrics import tenant_slowdowns
+from repro.api import MultiTenantRequest, execute
+from repro.scenarios import (
+    BUILTIN_SCENARIO_NAMES,
+    COLOCATION_SCENARIOS,
+    SCENARIO_SCHEMA,
+    Evaluation,
+    SearchOutcome,
+    builtin_best,
+    generate_scenario,
+    generate_scenarios,
+    load_promoted,
+    promote,
+    promoted_from_search,
+    scenario_from_json,
+    search,
+)
+
+
+# ---------------------------------------------------------------------------
+# Generator determinism
+# ---------------------------------------------------------------------------
+class TestGenerator:
+    def test_same_seed_same_specs_and_cache_keys(self):
+        first = generate_scenarios(42, 6)
+        second = generate_scenarios(42, 6)
+        assert first == second
+        assert [s.request().cache_key() for s in first] == [
+            s.request().cache_key() for s in second
+        ]
+
+    def test_indices_are_independent_streams(self):
+        # Scenario i is the same whether sampled alone or as part of a batch.
+        assert generate_scenario(42, 3) == generate_scenarios(42, 6)[3]
+
+    def test_different_seeds_differ(self):
+        assert generate_scenarios(1, 4) != generate_scenarios(2, 4)
+
+    def test_every_generated_scenario_is_valid(self):
+        for scenario in generate_scenarios(7, 10):
+            request = scenario.request()
+            request.validate()
+            spaces = [t.address_space for t in request.tenants]
+            assert len(set(spaces)) == len(spaces)  # separate processes
+            assert request.resolved_backend() == "lockstep"
+
+    def test_stream_mixes_staggered_and_simultaneous(self):
+        scenarios = generate_scenarios(3, 12)
+        assert any(s.launch_cycles for s in scenarios)
+        assert any(not s.launch_cycles for s in scenarios)
+
+    def test_stagger_span_zero_disables_staggering(self):
+        assert all(
+            not s.launch_cycles for s in generate_scenarios(3, 8, stagger_span=0)
+        )
+
+    def test_scenario_json_round_trips(self):
+        for scenario in generate_scenarios(13, 5):
+            wire = json.loads(json.dumps(scenario.to_json()))
+            assert scenario_from_json(wire) == scenario
+
+    def test_scenario_json_schema_guard(self):
+        payload = generate_scenario(13).to_json()
+        payload["schema"] = SCENARIO_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            scenario_from_json(payload)
+
+    def test_launch_cycle_count_mismatch_rejected(self):
+        scenario = dataclasses.replace(
+            generate_scenario(13), launch_cycles=(0, 1, 2, 3, 4, 5, 6)
+        )
+        with pytest.raises(ValueError, match="launch"):
+            scenario.request()
+
+
+# ---------------------------------------------------------------------------
+# Staggered launches on the engine
+# ---------------------------------------------------------------------------
+class TestStaggeredLaunches:
+    def test_all_zero_offsets_bit_identical_to_simultaneous(self):
+        # The parity anchor: explicitly pinning launch_cycle=0 must change
+        # nothing — not the result, not the wire form, not the cache key.
+        base = pair_request()
+        zeroed = MultiTenantRequest(
+            tenants=tuple(
+                dataclasses.replace(t, launch_cycle=0) for t in base.tenants
+            ),
+            run_config=base.run_config,
+        )
+        assert json.dumps(zeroed.to_dict(), sort_keys=True) == json.dumps(
+            base.to_dict(), sort_keys=True
+        )
+        assert zeroed.cache_key() == base.cache_key()
+        assert execute(zeroed) == execute(base)
+
+    def test_staggered_tenant_launches_late_and_spans_stay_sane(self):
+        base = pair_request()
+        staggered = MultiTenantRequest(
+            tenants=(
+                base.tenants[0],
+                dataclasses.replace(base.tenants[1], launch_cycle=500),
+            ),
+            run_config=SMALL,
+        )
+        result = execute(staggered)
+        late = result.per_tenant["right"]
+        assert late.launch_cycle == 500
+        assert late.finish_cycle > 500
+        # The early tenant still launches at cycle 0.
+        assert result.per_tenant["left"].launch_cycle == 0
+        # The wire form round-trips the new field.
+        restored = type(result).from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+
+    def test_staggered_slowdown_compares_busy_spans(self):
+        base = pair_request()
+        staggered = MultiTenantRequest(
+            tenants=(
+                base.tenants[0],
+                dataclasses.replace(base.tenants[1], launch_cycle=500),
+            ),
+            run_config=SMALL,
+        )
+        colocated = execute(staggered)
+        isolated = {
+            t.name: execute(staggered.isolated_request(t.name))
+            for t in staggered.tenants
+        }
+        report = tenant_slowdowns(colocated, isolated)
+        row = report["right"]
+        assert row["colocated_cycles"] == (
+            colocated.per_tenant["right"].finish_cycle - 500
+        )
+        # The isolated baseline carries the same offset, so the dormant
+        # prefix cancels and contention alone moves the ratio.
+        assert 0.5 < row["slowdown"] < 3.0
+
+    def test_staggered_cache_key_differs_from_simultaneous(self):
+        base = pair_request()
+        staggered = MultiTenantRequest(
+            tenants=(
+                base.tenants[0],
+                dataclasses.replace(base.tenants[1], launch_cycle=500),
+            ),
+            run_config=SMALL,
+        )
+        assert staggered.cache_key() != base.cache_key()
+
+    def test_negative_launch_cycle_rejected(self):
+        with pytest.raises(ValueError, match="launch cycle"):
+            dataclasses.replace(
+                pair_request().tenants[0], launch_cycle=-1
+            ).validate()
+
+
+# ---------------------------------------------------------------------------
+# Search
+# ---------------------------------------------------------------------------
+class TestSearch:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="restart"):
+            search(1, restarts=0, steps=1)
+        with pytest.raises(ValueError, match="steps"):
+            search(1, restarts=1, steps=-1)
+
+    def test_search_is_deterministic(self):
+        first = search(5, restarts=1, steps=1, scale=0.02, workers=1, cache=None)
+        second = search(5, restarts=1, steps=1, scale=0.02, workers=1, cache=None)
+        assert first.best == second.best
+        assert first.best_objective == second.best_objective
+        assert [row.cache_key for row in first.ledger] == [
+            row.cache_key for row in second.ledger
+        ]
+        assert [row.objective for row in first.ledger] == [
+            row.objective for row in second.ledger
+        ]
+
+    def test_ledger_rows_are_reproducible_specs(self):
+        outcome = search(5, restarts=1, steps=1, scale=0.02, workers=1, cache=None)
+        for row in outcome.ledger:
+            # Every ledger row can be re-simulated from its spec: the
+            # recorded cache key IS the spec's content address.
+            assert row.scenario.request().cache_key() == row.cache_key
+        best_row = outcome.top(1)[0]
+        assert best_row.objective == outcome.best_objective
+        assert best_row.scenario == outcome.best
+
+    def test_search_rediscovers_worst_case_interference(self):
+        """Acceptance: a pinned small-budget search finds max tenant
+        slowdown at least as bad as the worst hand-written scenario."""
+        _, bar = builtin_best(scale=0.05, workers=1, cache=None)
+        outcome = search(7, restarts=2, steps=3, scale=0.05, workers=1, cache=None)
+        assert bar > 1.0  # the built-ins genuinely interfere
+        assert outcome.best_objective >= bar
+        assert outcome.evaluations + outcome.reused == len(outcome.ledger)
+
+
+# ---------------------------------------------------------------------------
+# Promotion
+# ---------------------------------------------------------------------------
+def _fake_outcome(seed=11, count=3):
+    """A SearchOutcome with synthetic objectives (no simulation needed)."""
+    scenarios = generate_scenarios(seed, count)
+    ledger = [
+        Evaluation(
+            scenario=scenario,
+            cache_key=scenario.request().cache_key(),
+            objective=1.0 + index,
+            slowdowns={},
+            restart=0,
+            step=index,
+            accepted=True,
+        )
+        for index, scenario in enumerate(scenarios)
+    ]
+    return SearchOutcome(
+        best=scenarios[-1], best_objective=float(count), ledger=ledger
+    )
+
+
+class TestPromotion:
+    def test_promoted_from_search_ranks_and_renames(self):
+        outcome = _fake_outcome()
+        chosen = promoted_from_search(outcome, top_k=2)
+        assert [s.name for s in chosen] == ["discovered-1", "discovered-2"]
+        assert chosen[0].tenants == outcome.best.tenants
+        assert "max slowdown 3.000" in chosen[0].description
+
+    def test_promote_round_trips_through_fixture(self, tmp_path):
+        path = tmp_path / "promoted.json"
+        chosen = promoted_from_search(_fake_outcome(), top_k=2)
+        written = promote(chosen, path=path, merge=False)
+        assert load_promoted(path) == written
+        assert {s.name for s in written} == {"discovered-1", "discovered-2"}
+
+    def test_promote_merges_by_name(self, tmp_path):
+        path = tmp_path / "promoted.json"
+        promote(promoted_from_search(_fake_outcome(seed=11), top_k=1), path=path)
+        replacement = promoted_from_search(_fake_outcome(seed=12), top_k=1)
+        written = promote(replacement, path=path)
+        assert len(written) == 1  # same name, replaced not appended
+        assert written[0].tenants == replacement[0].tenants
+
+    def test_promote_rejects_builtin_name_collision(self, tmp_path):
+        impostor = dataclasses.replace(
+            generate_scenario(11), name=BUILTIN_SCENARIO_NAMES[0]
+        )
+        with pytest.raises(ValueError, match="built-in"):
+            promote([impostor], path=tmp_path / "promoted.json")
+
+    def test_library_ships_promoted_discoveries(self):
+        """Acceptance: >= 2 promoted scenarios ride the library, staggered
+        launches included, behind the same accessors as the built-ins."""
+        promoted = [
+            name for name in COLOCATION_SCENARIOS if name not in BUILTIN_SCENARIO_NAMES
+        ]
+        assert len(promoted) >= 2
+        assert any(COLOCATION_SCENARIOS[name].launch_cycles for name in promoted)
+        for name in promoted:
+            COLOCATION_SCENARIOS[name].request().validate()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestScenariosCLI:
+    def test_generate_is_deterministic(self, capsys):
+        from repro.cli import main
+
+        argv = ["scenarios", "generate", "--seed", "42", "--count", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["schema"] == SCENARIO_SCHEMA
+        assert len(payload["scenarios"]) == 2
+        for entry in payload["scenarios"]:
+            restored = scenario_from_json(entry)
+            assert restored.request().cache_key() == entry["cache_key"]
+
+    def test_generate_rejects_bad_count(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios", "generate", "--count", "0"]) == 2
+
+    def test_search_cli_tiny_budget(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "scenarios", "search", "--seed", "3", "--restarts", "1",
+            "--steps", "0", "--scale", "0.02", "--workers", "1",
+            "--no-cache", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["best"]["objective"] > 0
+        assert len(payload["ledger"]) == 1
+        assert payload["ledger"][0]["cache_key"]
+
+    def test_promote_cli_writes_fixture(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "promoted.json"
+        rc = main([
+            "scenarios", "promote", "--seed", "3", "--restarts", "1",
+            "--steps", "0", "--scale", "0.02", "--workers", "1",
+            "--no-cache", "--top-k", "1", "--path", str(path),
+        ])
+        assert rc == 0
+        assert "promoted discovered-1" in capsys.readouterr().out
+        loaded = load_promoted(path)
+        assert len(loaded) == 1
+        assert loaded[0].name == "discovered-1"
+
+    def test_promote_cli_dry_run_writes_nothing(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "promoted.json"
+        rc = main([
+            "scenarios", "promote", "--seed", "3", "--restarts", "1",
+            "--steps", "0", "--scale", "0.02", "--workers", "1",
+            "--no-cache", "--top-k", "1", "--path", str(path), "--dry-run",
+        ])
+        assert rc == 0
+        assert not path.exists()
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["name"] == "discovered-1"
