@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving layer (``repro serve``).
+
+Boots ``repro serve`` as a real subprocess on an ephemeral port, then:
+
+1. submits a duplicate pair of identical requests concurrently and asserts
+   exactly one simulation ran (``/stats`` coalesce counter == 1,
+   executed == 1) with both response bodies bit-identical;
+2. exercises the ``repro submit`` client against the live server;
+3. asserts the ``/stats`` books reconcile
+   (hits + coalesced + executed == requests served);
+4. exercises graceful shutdown: ``POST /shutdown`` must drain and exit 0
+   with the final "drained:" summary on stdout.
+
+Standalone and stdlib-only, usable without installing the package::
+
+    python scripts/serve_smoke.py
+
+Exit code 0 on success, 1 on any failed assertion or timeout.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import RunConfig, SimulationRequest  # noqa: E402
+
+STARTUP_TIMEOUT = 30.0
+SHUTDOWN_TIMEOUT = 60.0
+
+
+def fail(message: str, server: subprocess.Popen | None = None):
+    print(f"SMOKE FAILURE: {message}", file=sys.stderr)
+    if server is not None and server.poll() is None:
+        server.kill()
+    sys.exit(1)
+
+
+def request(port: int, method: str, path: str, body: bytes | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        data = response.read()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, headers, data
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    # The generous linger guarantees the duplicate pair overlaps in flight,
+    # so the second request *must* coalesce rather than racing a cache hit.
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--no-cache", "--linger", "0.5", "--workers", "1",
+        ],
+        cwd=ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+    # Parse the announce line for the ephemeral port.
+    port = None
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    assert server.stdout is not None
+    while time.monotonic() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            fail(f"server exited early (rc={server.poll()})", server)
+        print(f"[serve] {line.rstrip()}")
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        fail("server never announced its port", server)
+
+    status, _, _ = request(port, "GET", "/healthz")
+    if status != 200:
+        fail(f"/healthz answered {status}", server)
+
+    payload = json.dumps(
+        SimulationRequest("ATAX", "gto", RunConfig(scale=0.05)).to_dict()
+    ).encode()
+
+    # -- 1. the duplicate pair ------------------------------------------
+    outcomes: list = [None, None]
+
+    def submit(slot: int) -> None:
+        outcomes[slot] = request(port, "POST", "/simulate", payload)
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    if any(outcome is None for outcome in outcomes):
+        fail("a /simulate request never completed", server)
+    (status_a, headers_a, body_a), (status_b, headers_b, body_b) = outcomes
+    if status_a != 200 or status_b != 200:
+        fail(f"/simulate answered {status_a}/{status_b}: "
+             f"{body_a[:200]!r} {body_b[:200]!r}", server)
+    if body_a != body_b:
+        fail("duplicate requests returned different bytes", server)
+    sources = sorted((headers_a["x-repro-source"], headers_b["x-repro-source"]))
+    if sources != ["coalesced", "executed"]:
+        fail(f"expected one executed + one coalesced, got {sources}", server)
+    print(f"duplicate pair ok: {len(body_a)} identical bytes, sources {sources}")
+
+    # -- 2. the repro submit client -------------------------------------
+    submit_cmd = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "submit", "SYRK", "gto",
+            "--scale", "0.05", "--url", f"http://127.0.0.1:{port}", "--json",
+        ],
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if submit_cmd.returncode != 0:
+        fail(f"repro submit failed (rc={submit_cmd.returncode}): "
+             f"{submit_cmd.stderr[:500]}", server)
+    if json.loads(submit_cmd.stdout).get("kind") != "SimulationResult":
+        fail("repro submit did not print a result wire form", server)
+    print("repro submit ok")
+
+    # -- 3. the books reconcile -----------------------------------------
+    status, _, body = request(port, "GET", "/stats")
+    if status != 200:
+        fail(f"/stats answered {status}", server)
+    stats = json.loads(body)
+    expected = {"requests": 3, "hits": 0, "coalesced": 1, "executed": 2, "failed": 0}
+    actual = {key: stats.get(key) for key in expected}
+    if actual != expected:
+        fail(f"stats do not reconcile: expected {expected}, got {actual}", server)
+    if not stats.get("reconciles"):
+        fail(f"/stats reports reconciles={stats.get('reconciles')}", server)
+    print(f"stats ok: {actual}")
+
+    # -- 4. graceful shutdown -------------------------------------------
+    status, _, body = request(port, "POST", "/shutdown", b"")
+    if status != 200:
+        fail(f"/shutdown answered {status}: {body[:200]!r}", server)
+    try:
+        rc = server.wait(timeout=SHUTDOWN_TIMEOUT)
+    except subprocess.TimeoutExpired:
+        fail("server did not exit after /shutdown", server)
+    tail = server.stdout.read() or ""
+    for line in tail.splitlines():
+        print(f"[serve] {line}")
+    if rc != 0:
+        fail(f"server exited rc={rc} after graceful drain", server)
+    if "drained:" not in tail:
+        fail("server never printed its drain summary", server)
+    print("graceful shutdown ok")
+    print("SERVE SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,10 @@ RESULT_SCHEMA = 1
 #: Version of the :meth:`MultiTenantRequest.to_dict` wire format.
 MULTI_TENANT_SCHEMA = 1
 
+#: Version of the :meth:`JobRecord.to_dict` wire format (the serving
+#: layer's job-lifecycle envelope; see :mod:`repro.serve`).
+JOB_SCHEMA = 1
+
 
 # ---------------------------------------------------------------------------
 # Serialization codec: registered dataclasses/enums <-> JSON-safe primitives
@@ -570,6 +574,132 @@ class MultiTenantRequest:
 AnyRequest = Union[SimulationRequest, MultiTenantRequest]
 
 
+# ---------------------------------------------------------------------------
+# Job lifecycle (the serving layer's view of one submitted request)
+# ---------------------------------------------------------------------------
+@register_serializable
+class JobState(enum.Enum):
+    """Lifecycle states of a served simulation job.
+
+    Jobs move strictly forward: ``QUEUED`` → ``RUNNING`` → ``DONE`` /
+    ``FAILED``.  Requests answered without simulating (cache hits, requests
+    coalesced onto an identical in-flight job) jump straight from ``QUEUED``
+    to their terminal state — they were never dispatched to an engine.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: Legal lifecycle transitions (see :meth:`JobRecord.advance`).
+_JOB_TRANSITIONS: dict[JobState, tuple[JobState, ...]] = {
+    JobState.QUEUED: (JobState.RUNNING, JobState.DONE, JobState.FAILED),
+    JobState.RUNNING: (JobState.DONE, JobState.FAILED),
+    JobState.DONE: (),
+    JobState.FAILED: (),
+}
+
+
+@register_serializable
+@dataclass
+class JobRecord:
+    """One submitted request's lifecycle record inside the serving layer.
+
+    Created when :mod:`repro.serve` accepts a request and kept (bounded)
+    for the ``/jobs`` endpoints: which request this was (its
+    content-addressed ``cache_key`` plus human-readable identity), how it
+    progressed (``state``), and how the response was ultimately produced
+    (``source``: served from the result cache, coalesced onto an identical
+    in-flight job, or executed by an engine).  ``to_dict`` / ``from_dict``
+    give it the same versioned JSON wire form as the request and result
+    types (:data:`JOB_SCHEMA`).
+    """
+
+    job_id: str
+    cache_key: str
+    #: Request kind: ``"SimulationRequest"`` or ``"MultiTenantRequest"``.
+    request_kind: str
+    benchmark: str
+    scheduler: str
+    backend: str
+    state: JobState = JobState.QUEUED
+    #: How the response was produced: ``"cache"``, ``"coalesced"`` or
+    #: ``"executed"`` (``None`` while the job is still pending).
+    source: Optional[str] = None
+    #: Terminal error message (``FAILED`` jobs only).
+    error: Optional[str] = None
+    #: Unix timestamps (0.0 when unset — records are wall-clock stamped by
+    #: the service, not by this dataclass).
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+
+    @classmethod
+    def for_request(
+        cls,
+        request: AnyRequest,
+        *,
+        job_id: str,
+        cache_key: str,
+        submitted_at: float = 0.0,
+    ) -> "JobRecord":
+        """A fresh ``QUEUED`` record describing ``request``."""
+        try:
+            backend = request.resolved_backend()
+        except KeyError:
+            backend = str(request.backend)
+        return cls(
+            job_id=job_id,
+            cache_key=cache_key,
+            request_kind=type(request).__name__,
+            benchmark=request.benchmark_name,
+            scheduler=request.scheduler,
+            backend=backend,
+            submitted_at=submitted_at,
+        )
+
+    def advance(
+        self,
+        state: JobState,
+        *,
+        source: Optional[str] = None,
+        error: Optional[str] = None,
+        finished_at: float = 0.0,
+    ) -> None:
+        """Move to ``state``, rejecting illegal lifecycle transitions."""
+        if state not in _JOB_TRANSITIONS[self.state]:
+            raise ValueError(
+                f"illegal job transition {self.state.value} -> {state.value} "
+                f"(job {self.job_id})"
+            )
+        self.state = state
+        if source is not None:
+            self.source = source
+        if error is not None:
+            self.error = error
+        if finished_at:
+            self.finished_at = finished_at
+
+    # -- wire format ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe form; :meth:`from_dict` restores an equal record."""
+        return {
+            "schema": JOB_SCHEMA,
+            "kind": "JobRecord",
+            "data": encode_value(self),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobRecord":
+        """Inverse of :meth:`to_dict` (raises ``ValueError`` on schema drift)."""
+        check_schema(payload, "JobRecord", JOB_SCHEMA)
+        value = decode_value(payload["data"])
+        if not isinstance(value, cls):
+            raise ValueError(f"payload decoded to {type(value).__name__}, not {cls.__name__}")
+        return value
+
+
 def execute(request: AnyRequest):
     """Execute ``request`` on its backend and return the ``SimulationResult``.
 
@@ -584,12 +714,28 @@ def execute(request: AnyRequest):
 
 
 class BatchExecutionError(RuntimeError):
-    """One request of a :func:`run_batch` call failed; carries the request."""
+    """One request of a :func:`run_batch` call failed; carries the request.
+
+    The message names the request's content-addressed ``cache_key()`` and
+    resolved backend so service-side failures (`repro serve` logs, CI
+    output) are attributable to one exact job without the request object in
+    hand.  Both fields degrade gracefully: the very error being reported may
+    be an unknown benchmark or backend, in which case they are unavailable.
+    """
 
     def __init__(self, request: AnyRequest, cause: BaseException) -> None:
+        try:
+            backend = request.resolved_backend()
+        except Exception:
+            backend = request.backend or "?"
+        try:
+            cache_key = request.cache_key()
+        except Exception:
+            cache_key = "unavailable"
         super().__init__(
             f"batch request failed: benchmark={request.benchmark_name!r} "
-            f"scheduler={request.scheduler!r} ({type(cause).__name__}: {cause})"
+            f"scheduler={request.scheduler!r} backend={backend!r} "
+            f"cache_key={cache_key} ({type(cause).__name__}: {cause})"
         )
         self.request = request
 

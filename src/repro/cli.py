@@ -40,10 +40,21 @@ Subcommands
     pinned workload matrix, write ``BENCH_<rev>.json``, append to the bench
     ledger, and optionally gate against a baseline report (exit code 1 on
     regression).  See docs/PERFORMANCE.md.
+``repro serve --host --port --workers``
+    Boot the long-lived simulation service (see docs/SERVING.md): accepts
+    request wire forms on ``POST /simulate``, serves cache hits instantly,
+    coalesces identical in-flight requests into one simulation, batches
+    the rest into ``run_batch`` on a worker pool, and exposes
+    ``/healthz`` / ``/stats`` / ``/jobs``.  SIGTERM or ``POST /shutdown``
+    drains gracefully.
+``repro submit BENCH [SCHED]`` / ``repro submit --file payload.json``
+    Submit one request to a running ``repro serve`` instance and print the
+    result (the testing client for the service).
 ``repro cache [show|stats|clear]``
     Show the content-addressed result cache, print the bench-ledger
-    statistics (warm vs cold sweep trajectory and the ``repro bench``
-    throughput trajectory), or clear the cache.
+    statistics (warm vs cold sweep trajectory, the ``repro bench``
+    throughput trajectory and ``repro serve`` traffic), or clear the
+    cache.
 ``repro list``
     List the available benchmarks, schedulers and backends
     (``--backends`` for backends only).
@@ -582,9 +593,18 @@ def cmd_cache(args) -> int:
         return 0
     if action == "stats":
         path = ledger_path()
+        # A missing .repro/ or ledger file is the normal state of a fresh
+        # checkout, not an error: say so plainly instead of an ambiguous
+        # "(empty)" (the serve /stats endpoint shares summarize_ledger and
+        # reports zeros for the same reason).
+        if not path.exists():
+            print(f"no bench ledger yet at {path}")
+            print("run a sweep (repro sweep), a bench (repro bench) or a "
+                  "service session (repro serve) to create it")
+            return 0
         entries = read_ledger(path)
         if not entries:
-            print(f"bench ledger    : {path} (empty)")
+            print(f"bench ledger    : {path} (exists but has no entries yet)")
             return 0
         summary = summarize_ledger(entries)
         print(f"bench ledger    : {path}")
@@ -605,18 +625,25 @@ def cmd_cache(args) -> int:
                   f"(latest {summary['bench_latest_cycles_per_second']:.0f} cyc/s"
                   f" @ {summary['bench_latest_rev'] or '?'}, "
                   f"best {summary['bench_best_cycles_per_second']:.0f} cyc/s)")
-        recent = [e for e in entries if e.get("kind") != "bench"][-5:]
-        print("\nmost recent sweeps:")
-        print(format_table([
-            {
-                "jobs": e.get("jobs", 0),
-                "cached": e.get("cache_hits", 0),
-                "workers": e.get("workers", 0),
-                "wall_s": e.get("wall_seconds", 0.0),
-                "backend": e.get("backend", ""),
-            }
-            for e in recent
-        ]))
+        if summary["serve_sessions"]:
+            print(f"serve sessions  : {summary['serve_sessions']} "
+                  f"({summary['serve_requests']} requests: "
+                  f"{summary['serve_hits']} hits, "
+                  f"{summary['serve_coalesced']} coalesced, "
+                  f"{summary['serve_executed']} executed)")
+        recent = [e for e in entries if e.get("kind") not in ("bench", "serve")][-5:]
+        if recent:
+            print("\nmost recent sweeps:")
+            print(format_table([
+                {
+                    "jobs": e.get("jobs", 0),
+                    "cached": e.get("cache_hits", 0),
+                    "workers": e.get("workers", 0),
+                    "wall_s": e.get("wall_seconds", 0.0),
+                    "backend": e.get("backend", ""),
+                }
+                for e in recent
+            ]))
         return 0
     enabled = cache_enabled_by_env()
     print(f"cache directory : {default_cache_dir()}")
@@ -841,6 +868,129 @@ def cmd_scenarios_promote(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro serve / repro submit
+# ---------------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ReproService, run_service
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_max < 1:
+        print("error: --batch-max must be >= 1", file=sys.stderr)
+        return 2
+    if args.linger < 0:
+        print("error: --linger must be >= 0", file=sys.stderr)
+        return 2
+    if args.backend is not None:
+        try:
+            args.backend = resolve_backend_name(args.backend)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        cache=_cache_from_args(args),
+        workers=args.workers,
+        batch_max=args.batch_max,
+        linger=args.linger,
+        backend=args.backend,
+    )
+    try:
+        # The announce line goes to stdout (flushed) so scripts — the CI
+        # smoke job, test harnesses — can parse the bound port when
+        # --port 0 asked for an ephemeral one.
+        asyncio.run(run_service(service, announce=lambda m: print(m, flush=True)))
+    except KeyboardInterrupt:
+        pass  # the signal handler already drained; a second ^C lands here
+    snapshot = service.stats.snapshot()
+    print(
+        f"drained: {snapshot['requests']} requests "
+        f"({snapshot['hits']} hits, {snapshot['coalesced']} coalesced, "
+        f"{snapshot['executed']} executed, {snapshot['failed']} failed)",
+        flush=True,
+    )
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import http.client
+    import urllib.parse
+
+    from repro.serve import DEFAULT_PORT
+
+    if args.file:
+        try:
+            if args.file == "-":
+                payload = json.load(sys.stdin)
+            else:
+                with open(args.file) as fh:
+                    payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read request payload: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not args.benchmark:
+            print("error: benchmark argument required (or use --file)",
+                  file=sys.stderr)
+            return 2
+        request = SimulationRequest(
+            get_benchmark(args.benchmark).name,
+            canonical_scheduler_name(args.scheduler),
+            RunConfig(scale=args.scale, seed=args.seed),
+            backend=args.backend,
+        )
+        payload = request.to_dict()
+
+    url = urllib.parse.urlsplit(args.url)
+    host = url.hostname or "127.0.0.1"
+    port = url.port or DEFAULT_PORT
+    conn = http.client.HTTPConnection(host, port, timeout=args.timeout)
+    try:
+        conn.request(
+            "POST",
+            "/simulate",
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = response.read()
+        status = response.status
+        source = response.getheader("X-Repro-Source", "")
+        job_id = response.getheader("X-Repro-Job", "")
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc} "
+              "(is `repro serve` running?)", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+
+    if status != 200:
+        print(f"error: server answered {status}: {body.decode(errors='replace')}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(body.decode())
+        return 0
+    from repro.gpu.gpu import SimulationResult
+
+    result = SimulationResult.from_dict(json.loads(body))
+    print(f"{result.kernel_name} / {result.scheduler_name} "
+          f"({result.backend} backend, {source or 'unknown'} via job {job_id})")
+    rows = [{
+        "ipc": result.ipc,
+        "cycles": result.sm0.cycles,
+        "l1d_hit_rate": result.sm0.l1d_hit_rate,
+        "inter_sm_dram_conflicts": result.inter_sm_dram_conflicts,
+    }]
+    print(format_table(rows))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1003,6 +1153,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_prom.add_argument("--dry-run", action="store_true",
                         help="print what would be promoted without writing")
     p_prom.set_defaults(func=cmd_scenarios_promote)
+
+    from repro.serve.server import DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="boot the long-lived simulation service (HTTP/JSON; see "
+             "docs/SERVING.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"TCP port (default {DEFAULT_PORT}; 0 picks an "
+                              "ephemeral port, announced on stdout)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker threads draining request batches into "
+                              "run_batch (default 2)")
+    p_serve.add_argument("--batch-max", type=int, default=16,
+                         help="most requests dispatched per batch (default 16)")
+    p_serve.add_argument("--linger", type=float, default=0.05, metavar="SECONDS",
+                         help="window after the first queued miss in which "
+                              "later arrivals join its batch (default 0.05)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without the on-disk result cache (every "
+                              "distinct request simulates)")
+    p_serve.add_argument("--backend", default=None, metavar="NAME",
+                         help="engine for requests that do not pin one, one of: "
+                              f"{', '.join(backend_names())} "
+                              "(default: REPRO_BACKEND or 'reference')")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one request to a running `repro serve` and print the result",
+    )
+    p_submit.add_argument("benchmark", nargs="?", default=None,
+                          help="Table II benchmark name (omit with --file)")
+    p_submit.add_argument("scheduler", nargs="?", default="gto",
+                          help="scheduler name (default: gto)")
+    p_submit.add_argument("--scale", type=float, default=0.3,
+                          help="workload size multiplier (default 0.3)")
+    p_submit.add_argument("--seed", type=int, default=1,
+                          help="workload RNG seed (default 1)")
+    p_submit.add_argument("--backend", default=None, metavar="NAME",
+                          help="execution engine to request (default: let the "
+                               "server decide)")
+    p_submit.add_argument("--file", metavar="PATH",
+                          help="POST this JSON request payload verbatim "
+                               "(a SimulationRequest or MultiTenantRequest "
+                               "wire form; '-' reads stdin)")
+    p_submit.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                          help="service base URL "
+                               f"(default http://127.0.0.1:{DEFAULT_PORT})")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="HTTP timeout in seconds (default 300)")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the raw result wire form instead of a summary")
+    p_submit.set_defaults(func=cmd_submit)
 
     p_cache = sub.add_parser("cache", help="inspect the result cache and bench ledger")
     p_cache.add_argument("action", nargs="?", choices=("show", "stats", "clear"),

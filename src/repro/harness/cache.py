@@ -199,6 +199,15 @@ class ResultCache:
     (temp file + ``os.replace``) so concurrent workers and interrupted runs
     can never leave a torn entry behind; a corrupt or unreadable entry is
     treated as a miss and deleted.
+
+    Concurrency: any number of writers may race on the *same* key — each
+    writes its own ``mkstemp`` temp file and the final ``os.replace`` is
+    atomic on POSIX, so a reader observes either no entry or one complete
+    entry, never interleaved bytes (pinned by
+    ``tests/test_result_cache.py::TestConcurrentAccess``).  Readers that
+    must not perturb a live store (the serving layer's lookup-without-
+    execute path) use :meth:`peek`, which mutates no counters and never
+    deletes entries.
     """
 
     def __init__(self, root: Optional[Path | str] = None) -> None:
@@ -238,6 +247,25 @@ class ResultCache:
             return None
         self.stats.hits += 1
         return payload["result"]
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Look ``key`` up without executing anything and without side effects.
+
+        The serving layer's lookup-without-execute path: unlike :meth:`get`
+        a peek mutates no hit/miss counters (the service keeps its own
+        authoritative counters) and never deletes an entry it cannot read —
+        a concurrent writer may be mid-``os.replace``, and what looks torn
+        to a peek can be a complete entry a millisecond later.  Returns the
+        stored result, or ``None`` when the key is absent or unreadable.
+        """
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
+                return None
+            return payload["result"]
+        except Exception:
+            return None
 
     def put(self, key: str, result: Any) -> None:
         """Store ``result`` under ``key`` atomically."""

@@ -118,10 +118,13 @@ def summarize_ledger(entries: list[dict]) -> dict:
     A sweep counts as *cold* when it simulated every job (no cache hits) and
     *warm* when at least half its jobs were served from the cache.  Bench
     entries (``"kind": "bench"``, written by ``repro bench``) are summarised
-    separately as the simulator-throughput trajectory.
+    separately as the simulator-throughput trajectory, and serve entries
+    (``"kind": "serve"``, written by ``repro serve`` at drain time) as the
+    service-traffic trajectory (requests, hit/coalesce/execute split).
     """
     bench = [e for e in entries if e.get("kind") == "bench"]
-    entries = [e for e in entries if e.get("kind") != "bench"]
+    serve = [e for e in entries if e.get("kind") == "serve"]
+    entries = [e for e in entries if e.get("kind") not in ("bench", "serve")]
     total_jobs = sum(e.get("jobs", 0) for e in entries)
     total_hits = sum(e.get("cache_hits", 0) for e in entries)
     cold = [e for e in entries if e.get("jobs") and not e.get("cache_hits")]
@@ -157,4 +160,11 @@ def summarize_ledger(entries: list[dict]) -> dict:
         "bench_latest_cycles_per_second": bench_cps[-1] if bench_cps else 0.0,
         "bench_best_cycles_per_second": max(bench_cps) if bench_cps else 0.0,
         "bench_latest_rev": str(bench[-1].get("rev", "")) if bench else "",
+        # -- service-traffic trajectory (repro serve drain rows) -----------
+        "serve_sessions": len(serve),
+        "serve_requests": sum(e.get("requests", 0) for e in serve),
+        "serve_hits": sum(e.get("hits", 0) for e in serve),
+        "serve_coalesced": sum(e.get("coalesced", 0) for e in serve),
+        "serve_executed": sum(e.get("executed", 0) for e in serve),
+        "serve_failed": sum(e.get("failed", 0) for e in serve),
     }

@@ -1,0 +1,37 @@
+"""``repro.serve`` — the async simulation-as-a-service layer.
+
+Assembles the serving primitives the rest of the package already provides
+— versioned request wire forms, content-addressed cache keys, ``run_batch``
+and the result cache — into a long-lived stdlib-only HTTP/JSON daemon with
+request coalescing, batched dispatch and live stats endpoints.  See
+docs/SERVING.md and :mod:`repro.serve.server` for the full picture; the
+CLI front ends are ``repro serve`` and ``repro submit``.
+"""
+
+from repro.serve.coalesce import Coalescer
+from repro.serve.queue import BatchQueue, QueuedJob
+from repro.serve.server import (
+    DEFAULT_PORT,
+    RejectedRequest,
+    ReproService,
+    ServiceDraining,
+    canonical_json,
+    decode_request_payload,
+    run_service,
+)
+from repro.serve.stats import BackendThroughput, ServiceStats
+
+__all__ = [
+    "BackendThroughput",
+    "BatchQueue",
+    "Coalescer",
+    "DEFAULT_PORT",
+    "QueuedJob",
+    "RejectedRequest",
+    "ReproService",
+    "ServiceDraining",
+    "ServiceStats",
+    "canonical_json",
+    "decode_request_payload",
+    "run_service",
+]

@@ -1,0 +1,192 @@
+"""Batching dispatcher: queued misses drain into ``repro.api.run_batch``.
+
+Requests that were neither cache hits nor coalesced land here.  The
+dispatcher collects them into batches — up to ``batch_max`` requests, or
+whatever arrived within the ``linger`` window after the first one — and
+hands each batch to :func:`repro.api.run_batch` on a worker-thread pool.
+Batching is what lets engines that intern per-kernel state (the ``vector``
+backend's extracted traces) pay setup once per kernel instead of once per
+request, exactly as the sweep engine's in-process path does.
+
+Failure attribution: ``run_batch`` raises :class:`repro.api
+.BatchExecutionError` naming one offending request (message now carries its
+cache key and backend).  The dispatcher fails *only that job's* future and
+re-runs the remainder of the batch, so one poisoned request never takes
+innocent co-batched requests down with it.
+
+Lifecycle: :meth:`BatchQueue.put` is loop-confined; simulation happens on
+``ThreadPoolExecutor`` workers; results return to the loop through the
+executor future, where job records advance (``QUEUED`` → ``RUNNING`` →
+``DONE`` / ``FAILED``) and coalescer futures resolve.  :meth:`drain` stops
+intake, waits for the queue and every in-flight batch to finish, then
+shuts the pool down — the graceful half of drain-on-shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.api import AnyRequest, BatchExecutionError, JobRecord, JobState, run_batch
+
+
+@dataclass
+class QueuedJob:
+    """One pending miss: the request, its identity and its lifecycle record."""
+
+    request: AnyRequest
+    cache_key: str
+    record: JobRecord
+
+
+class BatchQueue:
+    """Collects :class:`QueuedJob` values and drains them in batches."""
+
+    def __init__(
+        self,
+        *,
+        cache=None,
+        workers: int = 2,
+        batch_max: int = 16,
+        linger: float = 0.05,
+        on_batch_done: Optional[Callable[[list, float], None]] = None,
+        on_job_done: Optional[Callable[[QueuedJob, object, Optional[BaseException]], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if linger < 0:
+            raise ValueError("linger must be >= 0")
+        self._cache = cache
+        self._batch_max = batch_max
+        self._linger = linger
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._pending: List[QueuedJob] = []
+        self._wakeup: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._active: set[asyncio.Task] = set()
+        self._closing = False
+        #: ``(outcomes, wall_seconds)`` hook — the service's stats feed.
+        self._on_batch_done = on_batch_done
+        #: per-job completion hook — resolves coalescer futures / records.
+        self._on_job_done = on_job_done
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Jobs queued but not yet dispatched."""
+        return len(self._pending)
+
+    @property
+    def inflight_batches(self) -> int:
+        return len(self._active)
+
+    def start(self) -> None:
+        """Start the dispatcher task (call from the event loop)."""
+        if self._dispatcher is None:
+            self._wakeup = asyncio.Event()
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    def put(self, job: QueuedJob) -> None:
+        """Enqueue one miss (loop-confined; raises once draining began)."""
+        if self._closing:
+            raise RuntimeError("queue is draining; not accepting new jobs")
+        self._pending.append(job)
+        assert self._wakeup is not None, "BatchQueue.start() was not called"
+        self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._wakeup is not None
+        while True:
+            if not self._pending:
+                if self._closing:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            # Linger: give identical-arrival-time traffic a window to pile
+            # into one batch before draining (0 = dispatch immediately).
+            if self._linger and len(self._pending) < self._batch_max:
+                await asyncio.sleep(self._linger)
+            batch = self._pending[: self._batch_max]
+            del self._pending[: len(batch)]
+            for job in batch:
+                job.record.advance(JobState.RUNNING)
+            task = asyncio.get_running_loop().create_task(self._run_batch(batch))
+            self._active.add(task)
+            task.add_done_callback(self._active.discard)
+
+    async def _run_batch(self, batch: List[QueuedJob]) -> None:
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        outcomes = await loop.run_in_executor(
+            self._pool, self._execute_batch, [job.request for job in batch]
+        )
+        wall = time.perf_counter() - started
+        executed = []
+        for job, (result, error) in zip(batch, outcomes):
+            if error is None and result is not None:
+                cycles = max((s.cycles for s in result.per_sm), default=0)
+                executed.append((result.backend, cycles))
+            if self._on_job_done is not None:
+                self._on_job_done(job, result, error)
+        if self._on_batch_done is not None:
+            self._on_batch_done(executed, wall)
+
+    def _execute_batch(self, requests: List[AnyRequest]):
+        """Worker-thread body: one ``run_batch`` call, retrying around
+        individually-failing requests so attribution stays per job."""
+        outcomes: list = [None] * len(requests)
+        remaining = list(enumerate(requests))
+        while remaining:
+            try:
+                results = run_batch(
+                    [request for _, request in remaining], cache=self._cache
+                )
+            except BatchExecutionError as exc:
+                position = next(
+                    (
+                        i
+                        for i, (_, request) in enumerate(remaining)
+                        if request is exc.request or request == exc.request
+                    ),
+                    None,
+                )
+                if position is None:
+                    # Cannot map the failure onto a batch member: fail all.
+                    for index, _ in remaining:
+                        outcomes[index] = (None, exc)
+                    break
+                index, _ = remaining.pop(position)
+                outcomes[index] = (None, exc)
+                continue
+            except Exception as exc:  # batch-level failure, no attribution
+                for index, _ in remaining:
+                    outcomes[index] = (None, exc)
+                break
+            for (index, _), result in zip(remaining, results):
+                outcomes[index] = (result, None)
+            break
+        return outcomes
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop intake, run everything queued and wait for it to finish."""
+        self._closing = True
+        if self._wakeup is not None:
+            self._wakeup.set()  # let an idle dispatcher observe _closing
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        while self._active:
+            await asyncio.gather(*list(self._active), return_exceptions=True)
+        self._pool.shutdown(wait=True)

@@ -1,0 +1,470 @@
+"""The ``repro serve`` daemon: simulation-as-a-service over HTTP/JSON.
+
+A stdlib-only front end (raw ``asyncio.start_server`` + a minimal HTTP/1.1
+parser — no new dependencies) that turns the library into a long-lived
+service.  One :class:`ReproService` wires the existing pieces together:
+
+* requests arrive as the existing versioned wire forms
+  (:meth:`repro.api.SimulationRequest.from_dict` /
+  :meth:`repro.api.MultiTenantRequest.from_dict`) on ``POST /simulate``;
+* cache hits are served instantly from :class:`repro.harness.cache
+  .ResultCache` via its side-effect-free :meth:`~repro.harness.cache
+  .ResultCache.peek` path;
+* identical in-flight requests coalesce into a single simulation
+  (:class:`repro.serve.coalesce.Coalescer`, keyed on the same
+  content-addressed cache key as the result cache);
+* remaining misses queue into the batching dispatcher
+  (:class:`repro.serve.queue.BatchQueue`), which drains into
+  :func:`repro.api.run_batch` on a worker pool;
+* ``GET /healthz`` / ``GET /stats`` / ``GET /jobs[/<id>]`` expose liveness,
+  live counters (queue depth, hit/coalesce/miss split, per-backend
+  throughput plus the bench-ledger summary) and job lifecycle records
+  (:class:`repro.api.JobRecord`);
+* ``POST /shutdown`` (or SIGTERM/SIGINT under :func:`run_service`) drains
+  gracefully: intake stops, queued work finishes, a ``"kind": "serve"``
+  row lands in the bench ledger, then the listener closes.
+
+Response bodies for ``/simulate`` are the *canonical JSON rendering of the
+result wire form* (sorted keys, compact separators) whichever path produced
+them — cache hit, coalesced or executed — so identical requests always
+receive byte-identical responses equal to a direct
+``execute(request).to_dict()`` (asserted end to end by
+``tests/test_serve.py`` and the CI serve-smoke job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
+
+from repro.api import (
+    AnyRequest,
+    JobRecord,
+    JobState,
+    MultiTenantRequest,
+    SimulationRequest,
+    _decode_cached_result,
+)
+from repro.harness.ledger import append_entry, read_ledger, summarize_ledger
+from repro.serve.coalesce import Coalescer
+from repro.serve.queue import BatchQueue, QueuedJob
+from repro.serve.stats import ServiceStats
+from repro.version import __version__
+
+#: Default TCP port of ``repro serve`` (and ``repro submit``'s default URL).
+DEFAULT_PORT = 8651
+
+#: Upper bound on accepted request bodies (a wire-form request is a few KB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def canonical_json(payload: Any) -> bytes:
+    """The one JSON rendering every response path shares (byte-stable)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+class RejectedRequest(ValueError):
+    """A payload that never became a job (bad schema, unknown names, ...)."""
+
+
+class ServiceDraining(RuntimeError):
+    """New simulation requests are rejected while the service drains."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed (minimal) HTTP/1.1 request."""
+
+    method: str
+    path: str
+    query: str
+    headers: Mapping[str, str]
+    body: bytes
+
+
+async def _read_http_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request from ``reader`` (``None`` on immediate EOF)."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 100:
+            raise ValueError("too many headers")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ValueError("malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    path, _, query = target.partition("?")
+    return HttpRequest(method.upper(), path, query, headers, body)
+
+
+def decode_request_payload(payload: Any) -> AnyRequest:
+    """Dispatch a wire-form payload to the matching ``from_dict``."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"request payload must be an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind == "SimulationRequest":
+        return SimulationRequest.from_dict(payload)
+    if kind == "MultiTenantRequest":
+        return MultiTenantRequest.from_dict(payload)
+    raise ValueError(f"unsupported request kind {kind!r}")
+
+
+class ReproService:
+    """The serving layer: cache -> coalesce -> batch -> respond."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache=None,
+        workers: int = 2,
+        batch_max: int = 16,
+        linger: float = 0.05,
+        backend: Optional[str] = None,
+        max_job_records: int = 256,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache = cache
+        #: Fills in the engine for requests that left theirs ``None``
+        #: (multi-tenant requests keep their ``lockstep`` default).
+        self.backend = backend
+        self.stats = ServiceStats()
+        self.coalescer = Coalescer()
+        self.queue = BatchQueue(
+            cache=cache,
+            workers=workers,
+            batch_max=batch_max,
+            linger=linger,
+            on_batch_done=self.stats.record_batch,
+            on_job_done=self._job_done,
+        )
+        self.jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._max_job_records = max_job_records
+        self._job_counter = 0
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closed: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the dispatcher (call on the loop)."""
+        self._closed = asyncio.Event()
+        self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Port 0 means "pick one": surface the kernel's choice.
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_shutdown(self) -> None:
+        """Start the graceful drain (idempotent, loop-confined)."""
+        if self._draining:
+            return
+        self._draining = True
+        asyncio.get_running_loop().create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        await self.queue.drain()
+        try:
+            append_entry(self.stats.ledger_entry())
+        except Exception:
+            pass  # the ledger is best-effort; never block a shutdown on it
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        assert self._closed is not None
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Wait until a graceful shutdown has completed."""
+        assert self._closed is not None, "start() was not called"
+        await self._closed.wait()
+
+    # ------------------------------------------------------------------
+    # request core (also the in-process API the tests drive directly)
+    # ------------------------------------------------------------------
+    def _new_record(self, request: AnyRequest, cache_key: str) -> JobRecord:
+        self._job_counter += 1
+        record = JobRecord.for_request(
+            request,
+            job_id=f"{cache_key[:12]}-{self._job_counter}",
+            cache_key=cache_key,
+            submitted_at=time.time(),
+        )
+        self.jobs[record.job_id] = record
+        while len(self.jobs) > self._max_job_records:
+            self.jobs.popitem(last=False)
+        return record
+
+    async def submit(self, request: AnyRequest):
+        """Serve one request; returns ``(result, source, record)``.
+
+        ``source`` is ``"cache"``, ``"coalesced"`` or ``"executed"`` —
+        exactly one counter increments per request, so the ``/stats``
+        books always reconcile.  Raises :class:`RejectedRequest` for
+        payloads that never became a job, :class:`ServiceDraining` during
+        shutdown, and the underlying simulation error for failed jobs.
+        """
+        if self._draining:
+            self.stats.record_rejected()
+            raise ServiceDraining("service is draining; not accepting requests")
+        if self.backend is not None and (
+            isinstance(request, SimulationRequest) and request.backend is None
+        ):
+            request = replace(request, backend=self.backend)
+        try:
+            cache_key = request.cache_key()
+        except Exception as exc:
+            self.stats.record_rejected()
+            raise RejectedRequest(f"invalid request: {exc}") from exc
+        self.stats.record_request()
+        record = self._new_record(request, cache_key)
+
+        # 1. Cache: serve hits instantly, via the side-effect-free peek.
+        if self.cache is not None:
+            hit = _decode_cached_result(self.cache.peek(cache_key))
+            if hit is not None:
+                self.stats.record_hit()
+                record.advance(
+                    JobState.DONE, source="cache", finished_at=time.time()
+                )
+                return hit, "cache", record
+
+        # 2. Single-flight: identical in-flight requests share one future.
+        future, leader = self.coalescer.lease(cache_key)
+        if leader:
+            self.queue.put(QueuedJob(request, cache_key, record))
+        try:
+            result = await asyncio.shield(future)
+        except Exception:
+            self.stats.record_failed()
+            if record.state not in (JobState.DONE, JobState.FAILED):
+                record.advance(
+                    JobState.FAILED,
+                    source="coalesced",
+                    error="coalesced onto a failed job",
+                    finished_at=time.time(),
+                )
+            raise
+        if leader:
+            return result, "executed", record
+        self.stats.record_coalesced()
+        record.advance(JobState.DONE, source="coalesced", finished_at=time.time())
+        return result, "coalesced", record
+
+    def _job_done(self, job: QueuedJob, result, error) -> None:
+        """Dispatcher callback (loop thread): settle one executed job."""
+        now = time.time()
+        if error is not None:
+            job.record.advance(
+                JobState.FAILED, source="executed", error=str(error), finished_at=now
+            )
+            self.coalescer.fail(job.cache_key, error)
+        else:
+            job.record.advance(JobState.DONE, source="executed", finished_at=now)
+            self.coalescer.resolve(job.cache_key, result)
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` document: live counters + bench-ledger summary."""
+        payload = self.stats.snapshot(
+            queue_depth=self.queue.depth, inflight=len(self.coalescer)
+        )
+        payload["draining"] = self._draining
+        payload["jobs_tracked"] = len(self.jobs)
+        payload["reconciles"] = self.stats.reconciles()
+        payload["version"] = __version__
+        # Per-backend throughput across sessions comes from the same
+        # append-only ledger repro bench and the sweep engine feed.
+        payload["ledger"] = summarize_ledger(read_ledger())
+        return payload
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await _read_http_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as exc:
+                await _respond(writer, 400, {"error": f"bad request: {exc}"})
+                return
+            if request is None:
+                return
+            await self._route(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away mid-response; nothing to answer
+        except Exception as exc:  # never let a handler bug kill the loop
+            try:
+                await _respond(writer, 500, {"error": f"internal error: {exc}"})
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _route(self, request: HttpRequest, writer) -> None:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            if method != "GET":
+                await _respond(writer, 405, {"error": "use GET"})
+                return
+            await _respond(
+                writer,
+                200,
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "version": __version__,
+                },
+            )
+        elif path == "/stats":
+            if method != "GET":
+                await _respond(writer, 405, {"error": "use GET"})
+                return
+            await _respond(writer, 200, self.stats_payload())
+        elif path == "/jobs":
+            if method != "GET":
+                await _respond(writer, 405, {"error": "use GET"})
+                return
+            records = list(self.jobs.values())[-50:]
+            await _respond(
+                writer, 200, {"jobs": [r.to_dict() for r in reversed(records)]}
+            )
+        elif path.startswith("/jobs/"):
+            if method != "GET":
+                await _respond(writer, 405, {"error": "use GET"})
+                return
+            record = self.jobs.get(path[len("/jobs/"):])
+            if record is None:
+                await _respond(writer, 404, {"error": "unknown job"})
+                return
+            await _respond(writer, 200, record.to_dict())
+        elif path == "/simulate":
+            if method != "POST":
+                await _respond(writer, 405, {"error": "use POST"})
+                return
+            await self._handle_simulate(request, writer)
+        elif path == "/shutdown":
+            if method != "POST":
+                await _respond(writer, 405, {"error": "use POST"})
+                return
+            await _respond(writer, 200, {"status": "draining"})
+            self.begin_shutdown()
+        else:
+            await _respond(writer, 404, {"error": f"unknown path {path!r}"})
+
+    async def _handle_simulate(self, http: HttpRequest, writer) -> None:
+        try:
+            payload = json.loads(http.body.decode("utf-8"))
+            request = decode_request_payload(payload)
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.stats.record_rejected()
+            await _respond(writer, 400, {"error": f"bad payload: {exc}"})
+            return
+        try:
+            result, source, record = await self.submit(request)
+        except ServiceDraining as exc:
+            await _respond(writer, 503, {"error": str(exc)})
+            return
+        except RejectedRequest as exc:
+            await _respond(writer, 400, {"error": str(exc)})
+            return
+        except Exception as exc:
+            await _respond(writer, 500, {"error": str(exc)})
+            return
+        # The body is the canonical rendering of the result wire form —
+        # byte-identical across the cache / coalesced / executed paths and
+        # to a direct execute(request).to_dict().  Job metadata rides in
+        # headers so it can never perturb response bytes.
+        body = canonical_json(result.to_dict())
+        await _respond(
+            writer,
+            200,
+            body,
+            extra_headers=(
+                ("X-Repro-Source", source),
+                ("X-Repro-Job", record.job_id),
+                ("X-Repro-Cache-Key", record.cache_key),
+            ),
+        )
+
+
+async def _respond(writer, status: int, payload, *, extra_headers=()) -> None:
+    body = payload if isinstance(payload, bytes) else canonical_json(payload)
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+    )
+    for name, value in extra_headers:
+        head += f"{name}: {value}\r\n"
+    head += "\r\n"
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+async def run_service(service: ReproService, *, announce=None) -> None:
+    """Start ``service``, announce the bound address, serve until drained.
+
+    SIGINT/SIGTERM trigger the same graceful drain as ``POST /shutdown``
+    (where the platform supports loop signal handlers).
+    """
+    import signal
+
+    await service.start()
+    if announce is not None:
+        announce(f"repro serve listening on {service.address}")
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, service.begin_shutdown)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or unsupported platform
+    await service.wait_closed()

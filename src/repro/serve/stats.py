@@ -1,0 +1,166 @@
+"""Live service counters for the ``repro.serve`` layer.
+
+One :class:`ServiceStats` instance is shared by the HTTP handlers (which
+count requests, cache hits, coalesces and rejects on the event loop) and
+the batch dispatcher (whose worker threads report executed batches).  All
+mutation goes through ``record_*`` methods guarded by one lock, so the
+``/stats`` endpoint always reads a consistent snapshot.
+
+The central service invariant is :meth:`ServiceStats.reconciles`: every
+request answered with a result was answered exactly one way —
+
+    ``hits + coalesced + executed == served``
+
+(failed requests are counted separately).  The end-to-end suite and the CI
+serve-smoke job both assert it after mixed traffic.
+
+At drain time :meth:`ledger_entry` renders the counters as one bench-ledger
+row (``"kind": "serve"``, see :mod:`repro.harness.ledger`), so service
+traffic lands in the same append-only trajectory as sweeps and bench runs
+and shows up in ``repro cache stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BackendThroughput:
+    """Per-engine execution totals of one service session."""
+
+    executed: int = 0
+    cycles: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.cycles / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "executed": self.executed,
+            "cycles": self.cycles,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cycles_per_second": round(self.cycles_per_second, 2),
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Hit/coalesce/execute counters plus per-backend throughput."""
+
+    #: Requests whose payload parsed into a valid job descriptor.
+    requests: int = 0
+    #: Requests answered straight from the result cache.
+    hits: int = 0
+    #: Requests coalesced onto an identical in-flight job (single-flight).
+    coalesced: int = 0
+    #: Requests that ran a simulation (exactly one per distinct miss).
+    executed: int = 0
+    #: Requests whose simulation raised.
+    failed: int = 0
+    #: Payloads rejected before a job existed (bad JSON, schema drift,
+    #: unknown benchmark/backend, draining server).
+    rejected: int = 0
+    #: Batches drained into ``repro.api.run_batch`` by the dispatcher.
+    batches: int = 0
+    started_at: float = field(default_factory=time.time)
+    per_backend: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # ------------------------------------------------------------------
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_batch(self, outcomes, wall_seconds: float) -> None:
+        """Account one drained batch.
+
+        ``outcomes`` is an iterable of ``(backend_name, cycles)`` pairs,
+        one per successfully executed request; the batch's wall time is
+        split evenly across them (a batch is one ``run_batch`` call, so
+        per-request walls are not individually observable).
+        """
+        outcomes = list(outcomes)
+        share = wall_seconds / len(outcomes) if outcomes else 0.0
+        with self._lock:
+            self.batches += 1
+            for backend, cycles in outcomes:
+                self.executed += 1
+                slot = self.per_backend.get(backend)
+                if slot is None:
+                    slot = self.per_backend[backend] = BackendThroughput()
+                slot.executed += 1
+                slot.cycles += cycles
+                slot.wall_seconds += share
+
+    # ------------------------------------------------------------------
+    @property
+    def served(self) -> int:
+        """Requests answered with a result (failures excluded)."""
+        return self.hits + self.coalesced + self.executed
+
+    def reconciles(self) -> bool:
+        """The books balance: every accepted request was answered one way."""
+        with self._lock:
+            return (
+                self.hits + self.coalesced + self.executed + self.failed
+                == self.requests
+            )
+
+    def snapshot(self, *, queue_depth: int = 0, inflight: int = 0) -> dict:
+        """A consistent JSON-safe view for the ``/stats`` endpoint."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "hits": self.hits,
+                "coalesced": self.coalesced,
+                "executed": self.executed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "batches": self.batches,
+                "served": self.hits + self.coalesced + self.executed,
+                "queue_depth": queue_depth,
+                "inflight": inflight,
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "per_backend": {
+                    name: slot.as_dict()
+                    for name, slot in sorted(self.per_backend.items())
+                },
+            }
+
+    def ledger_entry(self) -> dict:
+        """One ``"kind": "serve"`` row for the bench ledger (drain time)."""
+        with self._lock:
+            return {
+                "kind": "serve",
+                "ts": round(time.time(), 3),
+                "requests": self.requests,
+                "hits": self.hits,
+                "coalesced": self.coalesced,
+                "executed": self.executed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "batches": self.batches,
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "backend": ",".join(sorted(self.per_backend)),
+            }

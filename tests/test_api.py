@@ -5,8 +5,11 @@ import json
 import pytest
 
 from repro.api import (
+    JOB_SCHEMA,
     REQUEST_SCHEMA,
     RESULT_SCHEMA,
+    JobRecord,
+    JobState,
     RunConfig,
     SimulationRequest,
     decode_value,
@@ -88,6 +91,60 @@ class TestResultRoundTrip:
         assert restored == result
         assert restored.ipc == result.ipc
         assert payload["schema"] == RESULT_SCHEMA
+
+
+class TestJobRecordRoundTrip:
+    def make_record(self) -> JobRecord:
+        request = SimulationRequest("SYRK", "ciao-c", SMALL, backend="lockstep")
+        return JobRecord.for_request(
+            request,
+            job_id="abc123-7",
+            cache_key=request.cache_key(),
+            submitted_at=12.5,
+        )
+
+    def test_queued_record_identity(self):
+        record = self.make_record()
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_terminal_record_identity_through_json(self):
+        record = self.make_record()
+        record.advance(JobState.RUNNING)
+        record.advance(JobState.DONE, source="executed", finished_at=14.0)
+        payload = json.loads(json.dumps(record.to_dict()))
+        restored = JobRecord.from_dict(payload)
+        assert restored == record
+        assert restored.state is JobState.DONE
+        assert restored.source == "executed"
+        assert payload["schema"] == JOB_SCHEMA
+        assert payload["kind"] == "JobRecord"
+
+    def test_failed_record_keeps_error_text(self):
+        record = self.make_record()
+        record.advance(JobState.FAILED, error="boom: kernel exploded")
+        restored = JobRecord.from_dict(record.to_dict())
+        assert restored.state is JobState.FAILED
+        assert restored.error == "boom: kernel exploded"
+
+    def test_unknown_schema_rejected(self):
+        payload = self.make_record().to_dict()
+        payload["schema"] = JOB_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            JobRecord.from_dict(payload)
+
+    def test_wrong_kind_rejected(self):
+        payload = self.make_record().to_dict()
+        payload["kind"] = "SomethingElse"
+        with pytest.raises(ValueError, match="kind"):
+            JobRecord.from_dict(payload)
+
+    def test_for_request_captures_identity_fields(self):
+        record = self.make_record()
+        assert record.benchmark == "SYRK"
+        assert record.scheduler == "ciao-c"
+        assert record.backend == "lockstep"
+        assert record.request_kind == "SimulationRequest"
+        assert record.state is JobState.QUEUED
 
 
 class TestCodec:

@@ -17,6 +17,8 @@ class TestParser:
             ["reproduce", "fig8"],
             ["cache"],
             ["list"],
+            ["serve", "--port", "0", "--workers", "1"],
+            ["submit", "ATAX", "gto", "--scale", "0.1"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -137,3 +139,106 @@ class TestCommands:
         assert str(tmp_path) in capsys.readouterr().out
         assert main(["cache", "--clear"]) == 0
         assert "removed 0" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_missing_ledger_explained_not_empty(self, monkeypatch, tmp_path, capsys):
+        # A fresh checkout has no .repro/ at all: the command must say so
+        # plainly and exit 0 instead of printing a confusing empty report.
+        monkeypatch.setenv(
+            "REPRO_LEDGER_PATH", str(tmp_path / "nope" / "ledger.jsonl")
+        )
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "no bench ledger yet" in out
+        assert "repro sweep" in out  # the hint tells the user how to create one
+
+    def test_existing_but_empty_ledger_explained(self, monkeypatch, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("")
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["cache", "stats"]) == 0
+        assert "has no entries yet" in capsys.readouterr().out
+
+    def test_serve_sessions_summarised(self, monkeypatch, tmp_path, capsys):
+        import json as json_mod
+
+        path = tmp_path / "ledger.jsonl"
+        row = {
+            "kind": "serve", "ts": 1.0, "requests": 5, "hits": 1,
+            "coalesced": 1, "executed": 3, "failed": 0, "rejected": 0,
+            "batches": 2, "uptime_seconds": 9.0, "backend": "reference",
+        }
+        path.write_text(json_mod.dumps(row) + "\n")
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(path))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "serve sessions  : 1" in out
+        assert "5 requests" in out and "1 coalesced" in out
+        # A serve-only ledger has no sweeps: the recent-sweeps table must
+        # be omitted, not crash on an empty row list.
+        assert "most recent sweeps" not in out
+
+
+class TestServeCli:
+    def test_serve_rejects_bad_knobs(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert main(["serve", "--batch-max", "0"]) == 2
+        assert main(["serve", "--linger", "-1"]) == 2
+        assert main(["serve", "--backend", "not-a-backend"]) == 2
+
+    def test_submit_connection_refused_is_clean(self, capsys):
+        # Nothing listens on this port: the client must fail with rc 1 and
+        # a message, not a traceback.
+        rc = main([
+            "submit", "ATAX", "gto", "--scale", "0.02",
+            "--url", "http://127.0.0.1:9", "--timeout", "5",
+        ])
+        assert rc == 1
+        assert capsys.readouterr().err
+
+    def test_submit_round_trip_against_live_service(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.serve import ReproService
+
+        service = ReproService(host="127.0.0.1", port=0, cache=None, workers=1)
+        started = threading.Event()
+
+        def run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(service.start())
+            started.set()
+            loop.run_until_complete(service.wait_closed())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=15)
+        try:
+            url = f"http://127.0.0.1:{service.port}"
+            rc = main([
+                "submit", "ATAX", "gto", "--scale", "0.02", "--url", url,
+            ])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "executed via job" in out and "ipc" in out
+            rc = main([
+                "submit", "ATAX", "gto", "--scale", "0.02",
+                "--url", url, "--json",
+            ])
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["kind"] == "SimulationResult"
+        finally:
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", service.port, timeout=30
+            )
+            conn.request("POST", "/shutdown", b"")
+            conn.getresponse().read()
+            conn.close()
+            thread.join(timeout=60)
+        assert not thread.is_alive()

@@ -230,6 +230,110 @@ class TestStorage:
         assert cache.entry_count() == 0
 
 
+class TestPeek:
+    def test_peek_returns_without_counting(self, cache):
+        key = "ab" * 32
+        cache.put(key, {"x": 1})
+        assert cache.peek(key) == {"x": 1}
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_peek_miss_is_none_and_uncounted(self, cache):
+        assert cache.peek("cd" * 32) is None
+        assert cache.stats.misses == 0
+
+    def test_peek_never_deletes_corrupt_entries(self, cache):
+        key = "ef" * 32
+        cache.put(key, {"x": 1})
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.peek(key) is None
+        assert path.exists(), "peek must be side-effect free"
+        assert cache.stats.errors == 0
+
+
+class TestConcurrentAccess:
+    """Two writers racing one key; readers must never see torn data.
+
+    This pins the write-to-temp + atomic-``os.replace`` protocol the class
+    docstring promises: whatever interleaving the OS picks, ``get``/``peek``
+    return one writer's complete payload or a clean miss — never a blend.
+    """
+
+    def test_writers_racing_same_key_leave_one_complete_value(self, cache):
+        import threading
+
+        key = "ab" * 32
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def write(value):
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(50):
+                    cache.put(key, {"writer": value, "blob": [value] * 256})
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(v,)) for v in (1, 2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        final = cache.get(key)
+        assert final is not None
+        assert final["blob"] == [final["writer"]] * 256
+        # No orphaned temp files survive the race.
+        assert not list(cache.root.rglob("*.tmp"))
+
+    def test_reader_racing_writers_never_sees_corrupt_data(self, cache):
+        import threading
+
+        key = "cd" * 32
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            while not stop.is_set():
+                value = cache.peek(key)
+                if value is not None and value["blob"] != [value["writer"]] * 256:
+                    bad.append(value)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for i in range(100):
+                cache.put(key, {"writer": i, "blob": [i] * 256})
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+        assert not bad, f"reader observed torn payloads: {bad[:3]}"
+        # Corrupt-entry bookkeeping never fired: every read was clean.
+        assert cache.stats.errors == 0
+
+    def test_atomic_rename_protocol_is_pinned(self, cache, monkeypatch):
+        """put() must write a temp file and publish it with os.replace."""
+        import os as os_mod
+
+        import repro.harness.cache as cache_mod
+
+        replaced = []
+        real_replace = os_mod.replace
+
+        def spying_replace(src, dst):
+            replaced.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_mod.os, "replace", spying_replace)
+        key = "ef" * 32
+        cache.put(key, {"x": 1})
+        assert len(replaced) == 1
+        src, dst = replaced[0]
+        assert src.endswith(".tmp")
+        assert dst == str(cache._path(key))
+        assert cache.get(key) == {"x": 1}
+
+
 class TestEnvironmentControl:
     def test_disabled_by_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
