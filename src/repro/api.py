@@ -740,7 +740,8 @@ class BatchExecutionError(RuntimeError):
         self.request = request
 
 
-def run_batch(requests, *, backend: Optional[str] = None, cache=None):
+def run_batch(requests, *, backend: Optional[str] = None, cache=None,
+              on_result=None):
     """Execute ``requests`` and return their results in submission order.
 
     The batch counterpart of :func:`execute`: requests are grouped by
@@ -761,6 +762,12 @@ def run_batch(requests, *, backend: Optional[str] = None, cache=None):
     already-simulated work.  (With a cache attached, requests therefore run
     through the shared engine instance one at a time — per-kernel interning
     still amortises — and ``execute_batch`` is used on the cache-less path.)
+
+    ``on_result`` is an optional ``(index, request, result)`` callback
+    invoked as each result lands (cache hits included) — the hook sweep
+    checkpointing (:mod:`repro.harness.manifest`) uses to record progress
+    incrementally, so a failure mid-batch leaves a manifest that reflects
+    exactly what completed.
 
     Failures raise :class:`BatchExecutionError` naming the offending
     request.
@@ -788,6 +795,8 @@ def run_batch(requests, *, backend: Optional[str] = None, cache=None):
             hit = _decode_cached_result(cache.get(key))
             if hit is not None:
                 results[index] = hit
+                if on_result is not None:
+                    on_result(index, request, hit)
                 continue
         try:
             engine_name = request.resolved_backend()
@@ -829,6 +838,8 @@ def run_batch(requests, *, backend: Optional[str] = None, cache=None):
                 )
             for (index, request, key), outcome in zip(group, outcomes):
                 results[index] = outcome
+                if on_result is not None:
+                    on_result(index, request, outcome)
         else:
             # One shared engine instance per group (per-kernel setup still
             # amortises); results — and cache entries — land one by one, so
@@ -841,6 +852,8 @@ def run_batch(requests, *, backend: Optional[str] = None, cache=None):
                 results[index] = outcome
                 if key is not None:
                     cache.put(key, outcome.to_dict())
+                if on_result is not None:
+                    on_result(index, request, outcome)
     return results
 
 

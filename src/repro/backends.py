@@ -255,6 +255,24 @@ def _make_vector_backend():
     return backend_cls()
 
 
+def _make_chaos_backend():
+    """Instantiate the fault-injecting wrapper engine (needs an active plan).
+
+    The ``chaos`` backend (:mod:`repro.harness.faults`) delegates to a real
+    engine but injects failures/hangs/crashes from a seeded schedule.  Like
+    ``vector`` it is always *registered*; selecting it without a configured
+    :class:`~repro.harness.faults.FaultPlan` raises
+    :class:`BackendUnavailableError` explaining how to configure one, so
+    ``repro list --backends`` reports it honestly instead of crashing.
+    """
+    from repro.harness.faults import ChaosBackend, ChaosUnconfiguredError
+
+    try:
+        return ChaosBackend()
+    except ChaosUnconfiguredError as exc:
+        raise BackendUnavailableError("chaos", str(exc)) from exc
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -269,6 +287,7 @@ def register_backend(name, factory, *, aliases=(), replace=False):
 register_backend("reference", ReferenceBackend, aliases=("serial", "serialized"))
 register_backend("lockstep", LockstepBackend, aliases=("lock-step", "lock_step"))
 register_backend("vector", _make_vector_backend, aliases=("numpy", "vectorized"))
+register_backend("chaos", _make_chaos_backend, aliases=("fault", "faults"))
 
 
 def backend_names() -> tuple[str, ...]:

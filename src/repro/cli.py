@@ -82,7 +82,13 @@ from repro.backends import (
 )
 from repro.harness.cache import ResultCache, cache_enabled_by_env, default_cache_dir
 from repro.harness.ledger import ledger_path, read_ledger, summarize_ledger
-from repro.harness.parallel import SweepError, derive_seed, run_jobs
+from repro.harness.parallel import (
+    JobFailure,
+    RetryPolicy,
+    SweepError,
+    derive_seed,
+    run_jobs,
+)
 from repro.harness.reporting import format_sweep_stats, format_table
 from repro.harness.runner import RunConfig
 from repro.sched.registry import canonical_scheduler_name, scheduler_names
@@ -371,9 +377,57 @@ def cmd_run(args) -> int:
 # ---------------------------------------------------------------------------
 # repro sweep
 # ---------------------------------------------------------------------------
+def _sweep_retry_policy(args) -> Optional[RetryPolicy]:
+    """Build the sweep's RetryPolicy from CLI flags (None = defaults)."""
+    if (
+        args.timeout is None
+        and args.straggler is None
+        and args.max_attempts == 3
+    ):
+        return None  # run_jobs substitutes a default policy when retrying
+    return RetryPolicy(
+        max_attempts=args.max_attempts,
+        timeout_seconds=args.timeout,
+        straggler_seconds=args.straggler,
+        seed=args.seed,
+    )
+
+
 def cmd_sweep(args) -> int:
     benchmarks = resolve_benchmark_names(args.benchmarks)
     schedulers = [canonical_scheduler_name(s) for s in args.schedulers]
+
+    backend = args.backend
+    if args.chaos:
+        # Wrap the selected engine in the seeded fault injector: jobs run
+        # on the `chaos` backend, which delegates to the real one.  The
+        # plan is mirrored into REPRO_CHAOS so pool workers see it too.
+        from dataclasses import replace as _dc_replace
+
+        from repro.harness.faults import FaultPlan, configure_chaos
+
+        try:
+            plan = FaultPlan.from_spec(args.chaos)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if backend is not None:
+            plan = _dc_replace(plan, delegate=resolve_backend_name(backend))
+        configure_chaos(plan)
+        backend = "chaos"
+
+    manifest = args.resume or args.manifest
+    if args.resume and args.manifest and args.resume != args.manifest:
+        print("error: --resume and --manifest name different files",
+              file=sys.stderr)
+        return 2
+
+    try:
+        retry = _sweep_retry_policy(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     jobs = []
     for bench in benchmarks:
         for sched in schedulers:
@@ -385,23 +439,35 @@ def cmd_sweep(args) -> int:
             jobs.append(
                 SimulationRequest(
                     bench, sched, RunConfig(scale=args.scale, seed=seed),
-                    backend=args.backend,
+                    backend=backend,
                 )
             )
     cache = _cache_from_args(args)
-    outcome = run_jobs(jobs, workers=args.workers, cache=cache)
+    outcome = run_jobs(
+        jobs,
+        workers=args.workers,
+        cache=cache,
+        on_error=args.on_error,
+        retry=retry,
+        manifest=manifest,
+    )
 
+    failures = outcome.failures()
     raw: dict[str, dict[str, float]] = {}
     for job, result in outcome:
+        if isinstance(result, JobFailure):
+            continue
         raw.setdefault(job.benchmark_name, {})[job.scheduler] = result.ipc
     baseline = schedulers[0]
     normalized = {
         bench: {
-            sched: (row[sched] / row[baseline] if row.get(baseline) else 0.0)
+            sched: (row.get(sched, 0.0) / row[baseline]
+                    if row.get(baseline) else 0.0)
             for sched in schedulers
         }
         for bench, row in raw.items()
     }
+    stats = outcome.stats
     if args.json:
         json.dump(
             {
@@ -410,29 +476,56 @@ def cmd_sweep(args) -> int:
                 "raw_ipc": raw,
                 "normalized_ipc": normalized,
                 "baseline": baseline,
-                "backend": outcome.stats.backend,
+                "backend": stats.backend,
+                "executed": stats.executed,
+                "cache_hits": stats.cache_hits,
+                "failed": stats.failed,
+                "retried": stats.retried,
+                "timed_out": stats.timed_out,
+                "failures": [
+                    {
+                        "benchmark": f.benchmark_name,
+                        "scheduler": f.scheduler,
+                        "error_type": f.error_type,
+                        "error": f.error,
+                        "attempts": f.attempts,
+                        "timed_out": f.timed_out,
+                    }
+                    for f in failures
+                ],
             },
             sys.stdout,
             indent=2,
         )
         print()
-        return 0
+        return 1 if failures else 0
 
     rows = [
         {"benchmark": bench, **{s: normalized[bench][s] for s in schedulers}}
         for bench in benchmarks
+        if bench in normalized
     ]
     print(f"IPC normalised to {baseline} (scale {args.scale}, seed {args.seed}"
           f"{', per-job seeds' if args.seed_per_job else ''}):")
     print(format_table(rows))
     from repro.harness.reporting import geometric_mean
 
+    complete = [b for b in benchmarks if b in normalized]
     print("\nGeomean speedup over", baseline + ":")
     for sched in schedulers:
-        gm = geometric_mean(normalized[b][sched] for b in benchmarks)
+        gm = geometric_mean(normalized[b][sched] for b in complete)
         print(f"  {sched:10s} {gm:.3f}")
     print()
-    print(format_sweep_stats(outcome.stats, cache.stats if cache else None))
+    print(format_sweep_stats(stats, cache.stats if cache else None))
+    if failures:
+        print(f"\n{len(failures)} job(s) failed "
+              f"(on_error={args.on_error!r}):")
+        for failure in failures:
+            extra = ", timed out" if failure.timed_out else ""
+            print(f"  {failure.benchmark_name}/{failure.scheduler}: "
+                  f"{failure.error_type}: {failure.error} "
+                  f"(attempts {failure.attempts}{extra})")
+        return 1
     return 0
 
 
@@ -890,6 +983,21 @@ def cmd_serve(args) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+    if args.retry_max < 1:
+        print("error: --retry-max must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_timeout is not None and args.batch_timeout <= 0:
+        print("error: --batch-timeout must be positive", file=sys.stderr)
+        return 2
+    if args.max_queue_depth is not None and args.max_queue_depth < 1:
+        print("error: --max-queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    retry = None
+    if args.retry_max > 1 or args.batch_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=args.retry_max,
+            timeout_seconds=args.batch_timeout,
+        )
     service = ReproService(
         host=args.host,
         port=args.port,
@@ -898,6 +1006,8 @@ def cmd_serve(args) -> int:
         batch_max=args.batch_max,
         linger=args.linger,
         backend=args.backend,
+        retry=retry,
+        max_queue_depth=args.max_queue_depth,
     )
     try:
         # The announce line goes to stdout (flushed) so scripts — the CI
@@ -910,9 +1020,20 @@ def cmd_serve(args) -> int:
     print(
         f"drained: {snapshot['requests']} requests "
         f"({snapshot['hits']} hits, {snapshot['coalesced']} coalesced, "
-        f"{snapshot['executed']} executed, {snapshot['failed']} failed)",
+        f"{snapshot['executed']} executed, {snapshot['failed']} failed, "
+        f"{snapshot['shed']} shed, {snapshot['timed_out']} timed out, "
+        f"{snapshot['retried']} retried)",
         flush=True,
     )
+    summary = service.drain_summary or {}
+    if summary.get("drain_errors"):
+        # Satellite fix: these used to be silently swallowed by
+        # gather(..., return_exceptions=True) during shutdown.
+        print(f"warning: {summary['drain_errors']} worker error(s) during "
+              "drain:", file=sys.stderr)
+        for message in summary.get("errors", []):
+            print(f"  {message}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -961,6 +1082,14 @@ def cmd_submit(args) -> int:
         status = response.status
         source = response.getheader("X-Repro-Source", "")
         job_id = response.getheader("X-Repro-Job", "")
+    except TimeoutError:
+        # socket.timeout is TimeoutError: a server that accepts but never
+        # answers (or a hung simulation) lands here, not in the generic
+        # OSError arm — exit code 3 tells scripts "reachable but hung".
+        print(f"error: request to {args.url} timed out after "
+              f"{args.timeout}s (server accepted the connection but never "
+              "responded)", file=sys.stderr)
+        return 3
     except OSError as exc:
         print(f"error: cannot reach {args.url}: {exc} "
               "(is `repro serve` running?)", file=sys.stderr)
@@ -1037,6 +1166,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed-per-job", action="store_true",
                          help="derive a deterministic per-(benchmark, scheduler) seed "
                               "from --seed instead of sharing one seed")
+    p_sweep.add_argument("--on-error", choices=("raise", "skip", "retry"),
+                         default="raise",
+                         help="failure mode: abort the sweep (raise, default), "
+                              "record typed JobFailure rows and continue "
+                              "(skip), or re-dispatch failed jobs with "
+                              "seeded backoff (retry); see docs/RESILIENCE.md")
+    p_sweep.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                         help="executions any one job may consume with "
+                              "--on-error retry (default 3)")
+    p_sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="per-job deadline on the pool path; a dispatch "
+                              "running longer is abandoned and counted "
+                              "timed_out (default: none)")
+    p_sweep.add_argument("--straggler", type=float, default=None, metavar="SECONDS",
+                         help="straggler deadline: a job still running after "
+                              "this long is duplicated onto an idle worker, "
+                              "first result wins (default: none)")
+    p_sweep.add_argument("--manifest", default=None, metavar="PATH",
+                         help="append per-job outcomes to this checkpoint "
+                              "manifest as they settle (JSON lines; see "
+                              "docs/RESILIENCE.md)")
+    p_sweep.add_argument("--resume", default=None, metavar="MANIFEST",
+                         help="resume an interrupted sweep: with the result "
+                              "cache on, jobs already done are served from "
+                              "the cache and only the rest execute; outcomes "
+                              "keep appending to the same manifest")
+    p_sweep.add_argument("--chaos", default=None, metavar="SEED:RATE[:KINDS]",
+                         help="run the sweep under the seeded fault injector "
+                              "(e.g. 7:0.2 or 7:0.2:fail+hang); same seed, "
+                              "same faults — pair with --on-error retry")
     p_sweep.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -1181,6 +1340,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="engine for requests that do not pin one, one of: "
                               f"{', '.join(backend_names())} "
                               "(default: REPRO_BACKEND or 'reference')")
+    p_serve.add_argument("--batch-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-batch deadline: a batch running longer "
+                              "fails its jobs with BatchTimeoutError and its "
+                              "worker thread is abandoned (default: none)")
+    p_serve.add_argument("--retry-max", type=int, default=1, metavar="N",
+                         help="attempts per dispatched batch, with seeded "
+                              "backoff between them (default 1 = no retry)")
+    p_serve.add_argument("--max-queue-depth", type=int, default=None,
+                         metavar="N",
+                         help="load-shedding threshold: new leader requests "
+                              "get 503 + Retry-After while the dispatch "
+                              "queue is this deep (default: never shed)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -1206,7 +1378,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="service base URL "
                                f"(default http://127.0.0.1:{DEFAULT_PORT})")
     p_submit.add_argument("--timeout", type=float, default=300.0,
-                          help="HTTP timeout in seconds (default 300)")
+                          help="HTTP connect + read timeout in seconds "
+                               "(default 300); a hung server exits with "
+                               "code 3 instead of blocking forever")
     p_submit.add_argument("--json", action="store_true",
                           help="print the raw result wire form instead of a summary")
     p_submit.set_defaults(func=cmd_submit)

@@ -87,6 +87,9 @@ def record_sweep(stats, *, path: Optional[Path] = None) -> Optional[Path]:
         "wall_seconds": round(stats.wall_seconds, 6),
         "cache_hit_rate": round(stats.cache_hit_rate, 6),
         "backend": getattr(stats, "backend", ""),
+        "failed": getattr(stats, "failed", 0),
+        "retried": getattr(stats, "retried", 0),
+        "timed_out": getattr(stats, "timed_out", 0),
     }
     return append_entry(entry, path=path)
 
@@ -152,6 +155,10 @@ def summarize_ledger(entries: list[dict]) -> dict:
         "wall_seconds": sum(e.get("wall_seconds", 0.0) for e in entries),
         "cold_sweeps": len(cold),
         "warm_sweeps": len(warm),
+        # -- resilience counters (docs/RESILIENCE.md) -----------------------
+        "failed": sum(e.get("failed", 0) for e in entries),
+        "retried": sum(e.get("retried", 0) for e in entries),
+        "timed_out": sum(e.get("timed_out", 0) for e in entries),
         "mean_cold_wall_seconds": _mean_wall(cold),
         "mean_warm_wall_seconds": _mean_wall(warm),
         "sweeps_by_backend": by_backend,
@@ -167,4 +174,7 @@ def summarize_ledger(entries: list[dict]) -> dict:
         "serve_coalesced": sum(e.get("coalesced", 0) for e in serve),
         "serve_executed": sum(e.get("executed", 0) for e in serve),
         "serve_failed": sum(e.get("failed", 0) for e in serve),
+        "serve_retried": sum(e.get("retried", 0) for e in serve),
+        "serve_timed_out": sum(e.get("timed_out", 0) for e in serve),
+        "serve_shed": sum(e.get("shed", 0) for e in serve),
     }

@@ -1,0 +1,146 @@
+"""Sweep checkpoint manifests: append-only per-job outcome records.
+
+A *manifest* makes a sweep resumable: as :func:`repro.harness.parallel
+.run_jobs` settles each job it appends one JSON line — the job's
+content-addressed cache key, its terminal status (``done`` / ``failed`` /
+``timeout``), how many attempts it took, and a human-readable identity — to
+an append-only file.  A later sweep over the same job list with the same
+manifest (``repro sweep --resume MANIFEST``) skips every key the manifest
+marks ``done`` (serving its result from the content-addressed cache) and
+re-runs only the jobs that failed, timed out, or never ran.
+
+Design mirrors the bench ledger (:mod:`repro.harness.ledger`): JSON lines,
+corrupt lines skipped on read, writes flushed per line so an interrupted
+sweep loses at most the line being written.  Because entries are keyed by
+content-addressed cache keys, manifests from different machines or partial
+runs merge by construction — union the lines; ``done`` wins over any other
+status for the same key, otherwise the last line wins.
+
+The manifest stores *statuses*, not results: results live in the result
+cache under the same keys.  A key marked ``done`` whose cache entry has
+been evicted (or whose sweep runs cache-less) is simply re-run — resuming
+can never serve a result the cache cannot substantiate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+#: Version stamp written on every manifest line.
+MANIFEST_SCHEMA = 1
+
+#: Terminal statuses a manifest line may carry.
+MANIFEST_STATUSES = ("done", "failed", "timeout")
+
+
+@dataclass
+class ManifestEntry:
+    """One job's terminal outcome within a sweep."""
+
+    key: str
+    status: str
+    attempts: int = 1
+    benchmark: str = ""
+    scheduler: str = ""
+    backend: str = ""
+    error: str = ""
+    ts: float = field(default_factory=lambda: round(time.time(), 3))
+
+    def __post_init__(self) -> None:
+        if self.status not in MANIFEST_STATUSES:
+            raise ValueError(
+                f"bad manifest status {self.status!r} "
+                f"(choose from {MANIFEST_STATUSES})"
+            )
+
+    def to_line(self) -> str:
+        payload = {"schema": MANIFEST_SCHEMA, **asdict(self)}
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> Optional["ManifestEntry"]:
+        """Rebuild an entry from a parsed line (``None`` when unusable)."""
+        if not isinstance(payload, dict) or payload.get("schema") != MANIFEST_SCHEMA:
+            return None
+        key = payload.get("key")
+        status = payload.get("status")
+        if not isinstance(key, str) or status not in MANIFEST_STATUSES:
+            return None
+        return cls(
+            key=key,
+            status=status,
+            attempts=int(payload.get("attempts", 1) or 1),
+            benchmark=str(payload.get("benchmark", "")),
+            scheduler=str(payload.get("scheduler", "")),
+            backend=str(payload.get("backend", "")),
+            error=str(payload.get("error", "")),
+            ts=float(payload.get("ts", 0.0) or 0.0),
+        )
+
+
+def append_outcome(path: Union[str, Path], entry: ManifestEntry) -> None:
+    """Append one outcome line to the manifest (flushed immediately)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(entry.to_line() + "\n")
+        fh.flush()
+
+
+def load_manifest(path: Union[str, Path]) -> dict[str, ManifestEntry]:
+    """Parse a manifest into ``{key: entry}``.
+
+    Merge rule per key: ``done`` wins over any other status (a completed
+    result is durable in the cache; a stray failure line from a merged
+    partial run must not force a re-run), otherwise the later line wins.
+    Corrupt or unknown-schema lines are skipped, mirroring the ledger.
+    """
+    entries: dict[str, ManifestEntry] = {}
+    try:
+        with open(Path(path), encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue
+                entry = ManifestEntry.from_payload(payload)
+                if entry is None:
+                    continue
+                prior = entries.get(entry.key)
+                if prior is not None and prior.status == "done" and entry.status != "done":
+                    continue
+                entries[entry.key] = entry
+    except OSError:
+        return {}
+    return entries
+
+
+def merge_manifests(paths: Iterable[Union[str, Path]]) -> dict[str, ManifestEntry]:
+    """Union several manifests under the same per-key merge rule."""
+    merged: dict[str, ManifestEntry] = {}
+    for path in paths:
+        for key, entry in load_manifest(path).items():
+            prior = merged.get(key)
+            if prior is not None and prior.status == "done" and entry.status != "done":
+                continue
+            merged[key] = entry
+    return merged
+
+
+def summarize_manifest(entries: dict[str, ManifestEntry]) -> dict:
+    """Counts by status plus total attempts (CLI / test accounting)."""
+    summary = {status: 0 for status in MANIFEST_STATUSES}
+    attempts = 0
+    for entry in entries.values():
+        summary[entry.status] += 1
+        attempts += entry.attempts
+    summary["keys"] = len(entries)
+    summary["attempts"] = attempts
+    return summary

@@ -23,6 +23,21 @@ worker count.  :func:`derive_seed` builds stable per-job seeds for callers
 who want decorrelated seeds across a sweep (e.g. ``repro sweep
 --seed-per-job``).
 
+Fault tolerance (see docs/RESILIENCE.md): ``on_error`` selects what a
+failing job does to the sweep — ``"raise"`` (the default, and the historic
+behavior) aborts with :class:`SweepError`, ``"skip"`` records a typed
+:class:`JobFailure` in the failed job's result slot and keeps going, and
+``"retry"`` re-dispatches failed jobs under a :class:`RetryPolicy`
+(bounded attempts, exponential backoff with deterministic seeded jitter).
+The policy also carries per-job ``timeout_seconds`` and a
+``straggler_seconds`` deadline past which a slow job is re-dispatched to an
+idle worker with first-result-wins — safe by construction because results
+are bit-identical whichever dispatch finishes.  A crashed worker
+(``BrokenProcessPool``) respawns the pool and re-dispatches only the lost
+jobs; ``manifest=`` appends per-job outcomes to an append-only checkpoint
+file (:mod:`repro.harness.manifest`) so an interrupted sweep resumes by
+re-running only what is not already ``done``-and-cached.
+
 Backends: each request carries its own ``backend`` selection; ``run_jobs``'s
 ``backend`` argument fills it in for requests that left it ``None``, and the
 environment default (``REPRO_BACKEND``) applies last, inside the worker.
@@ -34,14 +49,19 @@ import hashlib
 import multiprocessing
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, replace
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
 from repro.api import AnyRequest, MultiTenantRequest, SimulationRequest
 from repro.gpu.gpu import SimulationResult
 from repro.harness.cache import ResultCache
+from repro.harness.faults import _unit_draw, set_current_attempt
 from repro.harness.ledger import record_sweep
+from repro.harness.manifest import ManifestEntry, append_outcome, load_manifest
 from repro.harness.runner import run_benchmark
 
 #: Compatibility alias: the engine's job type *is* the canonical request.
@@ -50,16 +70,117 @@ SweepJob = SimulationRequest
 #: ``cache`` argument sentinel: use the environment-default cache.
 AUTO_CACHE = "auto"
 
+#: Legal ``on_error`` modes of :func:`run_jobs`.
+ON_ERROR_MODES = ("raise", "skip", "retry")
+
 
 class SweepError(RuntimeError):
-    """A job of a sweep failed; carries the offending job for context."""
+    """A job of a sweep failed; carries the offending job for context.
 
-    def __init__(self, job: AnyRequest, cause: BaseException) -> None:
-        super().__init__(
+    On the pool path the error also carries how much of the sweep survived:
+    ``completed`` results already landed (and were written to the cache)
+    before the failure, and ``outstanding`` futures were cancelled or
+    abandoned so the pool shuts down without orphaned workers.
+    """
+
+    def __init__(
+        self,
+        job: AnyRequest,
+        cause: BaseException,
+        *,
+        completed: Optional[int] = None,
+        outstanding: Optional[int] = None,
+    ) -> None:
+        message = (
             f"sweep job failed: benchmark={job.benchmark_name!r} "
             f"scheduler={job.scheduler!r} ({type(cause).__name__}: {cause})"
         )
+        if completed is not None:
+            message += (
+                f"; {completed} job(s) had already completed (results "
+                f"cached), {outstanding or 0} outstanding dispatch(es) "
+                "cancelled"
+            )
+        super().__init__(message)
         self.job = job
+        self.cause = cause
+        self.completed = completed
+        self.outstanding = outstanding
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry / timeout / straggler policy of one sweep (or serve queue).
+
+    Backoff before retry ``n`` (1-based) is ``backoff_base *
+    backoff_factor**(n-1)`` scaled by a deterministic seeded jitter in
+    ``[1-jitter, 1+jitter]`` — the jitter is a pure function of
+    ``(seed, job key, n)``, so two runs of the same sweep back off
+    identically (no wall-clock or RNG state leaks into scheduling).
+    """
+
+    #: Most executions any one job may consume in ``on_error="retry"`` mode
+    #: (the first attempt included); also bounds worker-crash re-dispatch.
+    max_attempts: int = 3
+    #: First backoff delay, in seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied per further retry (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Fractional jitter amplitude (0 disables jitter).
+    jitter: float = 0.5
+    #: Jitter stream seed.
+    seed: int = 0
+    #: Per-job execution deadline; a dispatch running longer counts as
+    #: timed out and is abandoned (pool path only — an in-process job
+    #: cannot be interrupted).
+    timeout_seconds: Optional[float] = None
+    #: Straggler deadline: a dispatch still running after this long is
+    #: duplicated onto an idle worker, first result wins (pool path only).
+    straggler_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        if self.straggler_seconds is not None and self.straggler_seconds <= 0:
+            raise ValueError("straggler_seconds must be positive")
+
+    def backoff_seconds(self, key: str, retry: int) -> float:
+        """Deterministic backoff before retry ``retry`` (1-based) of ``key``."""
+        base = self.backoff_base * self.backoff_factor ** max(0, retry - 1)
+        if not self.jitter or not base:
+            return base
+        draw = _unit_draw(self.seed, "backoff", key, retry)
+        return base * (1.0 + self.jitter * (2.0 * draw - 1.0))
+
+
+@dataclass
+class JobFailure:
+    """Typed terminal failure of one sweep job (``on_error != "raise"``).
+
+    Occupies the failed job's slot in :attr:`SweepOutcome.results`, in
+    submission order, so callers can tell exactly which jobs failed and
+    why without losing the successes around them.
+    """
+
+    job: AnyRequest
+    error: str
+    error_type: str
+    attempts: int = 1
+    timed_out: bool = False
+
+    @property
+    def benchmark_name(self) -> str:
+        return self.job.benchmark_name
+
+    @property
+    def scheduler(self) -> str:
+        return self.job.scheduler
 
 
 @dataclass
@@ -74,6 +195,13 @@ class SweepStats:
     #: Resolved backend name(s) the sweep's jobs ran on (comma-joined when
     #: a sweep mixes engines).
     backend: str = ""
+    #: Jobs that ended in a terminal :class:`JobFailure`.
+    failed: int = 0
+    #: Extra dispatches beyond each job's first (retries after failures,
+    #: straggler duplicates, crash re-dispatches).
+    retried: int = 0
+    #: Dispatches abandoned past ``RetryPolicy.timeout_seconds``.
+    timed_out: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -82,7 +210,12 @@ class SweepStats:
 
 @dataclass
 class SweepOutcome:
-    """Results of a sweep, aligned with the submitted job list."""
+    """Results of a sweep, aligned with the submitted job list.
+
+    With ``on_error="skip"`` / ``"retry"`` a slot holds a
+    :class:`JobFailure` instead of a :class:`SimulationResult` when that
+    job exhausted its attempts; :meth:`failures` collects them.
+    """
 
     jobs: list[SimulationRequest]
     results: list[SimulationResult]
@@ -90,6 +223,15 @@ class SweepOutcome:
 
     def __iter__(self):
         return iter(zip(self.jobs, self.results))
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job produced a result (no failure slots)."""
+        return not any(isinstance(r, JobFailure) for r in self.results)
+
+    def failures(self) -> list[JobFailure]:
+        """The :class:`JobFailure` slots, in submission order."""
+        return [r for r in self.results if isinstance(r, JobFailure)]
 
     def nested(self) -> dict[str, dict[str, SimulationResult]]:
         """``{benchmark: {scheduler: result}}`` view (``run_many`` shape)."""
@@ -124,8 +266,14 @@ def resolve_workers(workers: Optional[int], n_jobs: int) -> int:
     return max(1, min(int(workers), max(1, n_jobs)))
 
 
-def _execute(job: AnyRequest) -> SimulationResult:
-    """Worker entry point: run one job (module-level so it pickles)."""
+def _execute(job: AnyRequest, attempt: int = 1) -> SimulationResult:
+    """Worker entry point: run one job (module-level so it pickles).
+
+    ``attempt`` is the dispatch number of this execution, advertised to the
+    fault-injection layer (:mod:`repro.harness.faults`) so a seeded chaos
+    schedule advances with retries instead of replaying the same fault.
+    """
+    set_current_attempt(attempt)
     if isinstance(job, MultiTenantRequest):
         from repro.api import execute
 
@@ -161,12 +309,427 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _force_shutdown(pool: ProcessPoolExecutor) -> None:
+    """Shut ``pool`` down without waiting for hung or abandoned workers.
+
+    ``shutdown(wait=True)`` would block on a dispatch we already abandoned
+    (a timed-out or hanging job); instead cancel what never started and
+    terminate the worker processes so no orphans outlive the sweep.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+        except Exception:
+            pass
+
+
+class _PendingJob:
+    """Book-keeping of one not-yet-settled job on the pool path."""
+
+    __slots__ = (
+        "index", "job", "key", "fail_count", "dispatches", "inflight",
+        "not_before", "running_since", "settled", "last_error", "timed_out",
+    )
+
+    def __init__(self, index: int, job: AnyRequest, key: Optional[str]) -> None:
+        self.index = index
+        self.job = job
+        self.key = key
+        self.fail_count = 0      # job-level failures consumed
+        self.dispatches = 0      # total executions started (fault dimension)
+        self.inflight: set = set()
+        self.not_before: Optional[float] = None  # backoff gate (monotonic)
+        #: When the current attempt actually started *executing* (a future
+        #: can sit queued behind abandoned hung workers; deadlines must not
+        #: run while it waits).  ``None`` until a dispatch reports running.
+        self.running_since: Optional[float] = None
+        self.settled = False
+        self.last_error: Optional[BaseException] = None
+        self.timed_out = False
+
+    def backoff_key(self) -> str:
+        return self.key or f"index:{self.index}"
+
+
+class _PoolRunner:
+    """The fault-tolerant process-pool execution loop of :func:`run_jobs`."""
+
+    #: Poll granularity while deadlines (timeouts, backoff, stragglers) are
+    #: armed; without any, the loop blocks until a future completes.
+    TICK = 0.05
+
+    def __init__(
+        self,
+        pending: list[tuple[int, AnyRequest, Optional[str]]],
+        *,
+        stats: SweepStats,
+        results: list,
+        cache: Optional[ResultCache],
+        manifest_path: Optional[Path],
+        on_error: str,
+        policy: RetryPolicy,
+        attempts_allowed: int,
+    ) -> None:
+        self.states = [_PendingJob(i, job, key) for i, job, key in pending]
+        self.stats = stats
+        self.results = results
+        self.cache = cache
+        self.manifest_path = manifest_path
+        self.on_error = on_error
+        self.policy = policy
+        self.attempts_allowed = attempts_allowed
+        #: Crash re-dispatch is infrastructure recovery, not a job retry,
+        #: but still bounded so a deterministic crasher cannot loop forever.
+        self.max_dispatches = max(attempts_allowed, 3)
+        self.ready: deque[_PendingJob] = deque(self.states)
+        self.waiting: list[_PendingJob] = []
+        self.future_map: dict = {}
+        self.abandoned: set = set()
+        self.unsettled = len(self.states)
+        self.pool: Optional[ProcessPoolExecutor] = None
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch(self, state: _PendingJob, *, duplicate: bool = False) -> None:
+        state.dispatches += 1
+        future = self.pool.submit(_execute, state.job, state.dispatches)
+        self.future_map[future] = state
+        state.inflight.add(future)
+        state.not_before = None
+        if not duplicate:
+            state.running_since = None
+
+    def _busy_workers(self) -> int:
+        """Worker slots in use: live dispatches + abandoned-but-running."""
+        self.abandoned = {f for f in self.abandoned if not f.done()}
+        return len(self.future_map) + len(self.abandoned)
+
+    def _observe_running(self, now: float) -> None:
+        """Start each attempt's deadline clock when it actually executes."""
+        for state in self.states:
+            if state.settled or state.running_since is not None:
+                continue
+            if any(f.running() or f.done() for f in state.inflight):
+                state.running_since = now
+
+    def _record_manifest(self, state: _PendingJob, status: str, error: str = "") -> None:
+        if self.manifest_path is None or state.key is None:
+            return
+        try:
+            backend = state.job.resolved_backend()
+        except KeyError:
+            backend = str(state.job.backend or "")
+        append_outcome(self.manifest_path, ManifestEntry(
+            key=state.key,
+            status=status,
+            attempts=state.dispatches,
+            benchmark=state.job.benchmark_name,
+            scheduler=state.job.scheduler,
+            backend=backend,
+            error=error,
+        ))
+
+    # -- settlement ----------------------------------------------------
+    def _abandon_inflight(self, state: _PendingJob) -> None:
+        for future in state.inflight:
+            self.future_map.pop(future, None)
+            if not future.cancel():
+                self.abandoned.add(future)
+        state.inflight.clear()
+
+    def _settle_success(self, state: _PendingJob, result: SimulationResult) -> None:
+        state.settled = True
+        self.unsettled -= 1
+        self.results[state.index] = result
+        if self.cache is not None and state.key is not None:
+            self.cache.put(state.key, result.to_dict())
+        self._record_manifest(state, "done")
+        self._abandon_inflight(state)  # first result wins; drop any duplicate
+
+    def _settle_failure(self, state: _PendingJob, exc: BaseException) -> None:
+        state.settled = True
+        self.unsettled -= 1
+        self.stats.failed += 1
+        self._abandon_inflight(state)
+        status = "timeout" if state.timed_out else "failed"
+        self._record_manifest(state, status, error=f"{type(exc).__name__}: {exc}")
+        if self.on_error == "raise":
+            completed = sum(
+                1 for s in self.states
+                if s.settled and not isinstance(self.results[s.index], JobFailure)
+                and self.results[s.index] is not None
+            )
+            outstanding = len(self.future_map) + len(self.ready) + len(self.waiting)
+            _force_shutdown(self.pool)
+            raise SweepError(
+                state.job, exc, completed=completed, outstanding=outstanding
+            ) from exc
+        self.results[state.index] = JobFailure(
+            job=state.job,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            attempts=max(1, state.dispatches),
+            timed_out=state.timed_out,
+        )
+
+    def _fail_attempt(
+        self, state: _PendingJob, exc: BaseException, *, timed_out: bool = False
+    ) -> None:
+        state.last_error = exc
+        state.timed_out = state.timed_out or timed_out
+        state.fail_count += 1
+        if state.inflight:
+            # A duplicate dispatch of the same job is still running and may
+            # yet win; hold judgement until the last dispatch settles.
+            return
+        if (
+            self.on_error == "retry"
+            and state.fail_count < self.attempts_allowed
+            and state.dispatches < self.max_dispatches
+        ):
+            self.stats.retried += 1
+            delay = self.policy.backoff_seconds(state.backoff_key(), state.fail_count)
+            state.not_before = time.monotonic() + delay
+            self.waiting.append(state)
+            return
+        self._settle_failure(state, exc)
+
+    # -- pool-break recovery -------------------------------------------
+    def _handle_pool_break(
+        self, broken_states: list, exc: BaseException
+    ) -> None:
+        lost = sorted(
+            {
+                s.index: s
+                for s in (*self.future_map.values(), *broken_states)
+                if not s.settled
+            }.values(),
+            key=lambda s: s.index,
+        )
+        self.future_map.clear()
+        for state in lost:
+            state.inflight.clear()
+        broken_pool, self.pool = self.pool, None
+        broken_pool.shutdown(wait=False, cancel_futures=True)
+        if self.on_error == "raise":
+            completed = sum(1 for s in self.states if s.settled)
+            named = lost[0] if lost else broken_states[0]
+            raise SweepError(
+                named.job,
+                RuntimeError(
+                    f"a worker process crashed while running this job "
+                    f"({type(exc).__name__}: {exc})"
+                ),
+                completed=completed,
+                outstanding=len(lost) + len(self.ready) + len(self.waiting),
+            ) from exc
+        # Respawn and re-dispatch only the lost jobs.  A crash consumes no
+        # retry attempt (the job itself did not fail) but every re-dispatch
+        # counts against max_dispatches, bounding crash loops.
+        self.pool = ProcessPoolExecutor(
+            max_workers=self.stats.workers, mp_context=_pool_context()
+        )
+        for state in lost:
+            if state.dispatches >= self.max_dispatches:
+                state.last_error = exc
+                self._settle_failure(state, RuntimeError(
+                    f"worker crashed on every dispatch "
+                    f"({state.dispatches} of them): {exc}"
+                ))
+            else:
+                self.stats.retried += 1
+                self.ready.append(state)
+
+    # -- deadline sweeps -----------------------------------------------
+    def _check_timeouts(self, now: float) -> None:
+        if self.policy.timeout_seconds is None:
+            return
+        for state in self.states:
+            if state.settled or not state.inflight:
+                continue
+            if state.running_since is None:
+                continue  # still queued; the deadline clock has not started
+            if now - state.running_since <= self.policy.timeout_seconds:
+                continue
+            self.stats.timed_out += 1
+            self._abandon_inflight(state)
+            self._fail_attempt(
+                state,
+                TimeoutError(
+                    f"job exceeded its {self.policy.timeout_seconds}s deadline"
+                ),
+                timed_out=True,
+            )
+
+    def _check_stragglers(self, now: float) -> None:
+        if self.policy.straggler_seconds is None:
+            return
+        for state in self.states:
+            if state.settled or len(state.inflight) != 1:
+                continue
+            if state.running_since is None:
+                continue  # queued, not slow
+            if now - state.running_since <= self.policy.straggler_seconds:
+                continue
+            if self._busy_workers() >= self.stats.workers:
+                return  # no idle worker to duplicate onto
+            if state.dispatches >= self.max_dispatches:
+                continue
+            self.stats.retried += 1
+            self._dispatch(state, duplicate=True)
+
+    # -- the loop ------------------------------------------------------
+    def run(self) -> None:
+        self.pool = ProcessPoolExecutor(
+            max_workers=self.stats.workers, mp_context=_pool_context()
+        )
+        try:
+            while self.unsettled:
+                now = time.monotonic()
+                for state in list(self.waiting):
+                    if state.not_before is None or now >= state.not_before:
+                        self.waiting.remove(state)
+                        self.ready.append(state)
+                while self.ready and self._busy_workers() < self.stats.workers:
+                    self._dispatch(self.ready.popleft())
+                self._observe_running(now)
+                self._check_stragglers(now)
+
+                if not self.future_map:
+                    if not self.waiting and not self.ready:
+                        # Engine invariant: every unsettled job is either
+                        # dispatched, ready or backing off.  Failing loud
+                        # beats silently returning None result slots.
+                        raise RuntimeError(
+                            f"sweep engine lost track of {self.unsettled} "
+                            "unsettled job(s)"
+                        )
+                    if self.ready and self._busy_workers() >= self.stats.workers:
+                        # Every worker is stuck on an abandoned (timed-out)
+                        # call and no live dispatch exists: recycle the
+                        # pool so pending work is not hostage to hung jobs.
+                        stuck, self.pool = self.pool, ProcessPoolExecutor(
+                            max_workers=self.stats.workers,
+                            mp_context=_pool_context(),
+                        )
+                        _force_shutdown(stuck)
+                        self.abandoned.clear()
+                        continue
+                    time.sleep(self.TICK)
+                    continue
+                ticking = (
+                    self.policy.timeout_seconds is not None
+                    or self.policy.straggler_seconds is not None
+                    or bool(self.waiting)
+                    or bool(self.ready)
+                )
+                done, _ = wait(
+                    set(self.future_map),
+                    timeout=self.TICK if ticking else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken_exc: Optional[BaseException] = None
+                broken_states: list[_PendingJob] = []
+                for future in done:
+                    state = self.future_map.pop(future, None)
+                    if state is None:
+                        continue
+                    state.inflight.discard(future)
+                    if state.settled:
+                        continue
+                    exc = future.exception()
+                    if isinstance(exc, BrokenProcessPool):
+                        # A worker crash fails every in-flight future at
+                        # once; collect them all before recovering.
+                        broken_exc = exc
+                        broken_states.append(state)
+                        continue
+                    if exc is None:
+                        self._settle_success(state, future.result())
+                    else:
+                        self._fail_attempt(state, exc)
+                if broken_exc is not None:
+                    self._handle_pool_break(broken_states, broken_exc)
+                    continue
+                self._check_timeouts(time.monotonic())
+        finally:
+            if self.pool is not None:
+                if any(not f.done() for f in self.abandoned):
+                    _force_shutdown(self.pool)
+                else:
+                    self.pool.shutdown(wait=True)
+
+
+def _run_inprocess_resilient(
+    pending: list[tuple[int, AnyRequest, Optional[str]]],
+    *,
+    stats: SweepStats,
+    results: list,
+    cache: Optional[ResultCache],
+    manifest_path: Optional[Path],
+    on_error: str,
+    policy: RetryPolicy,
+    attempts_allowed: int,
+) -> None:
+    """The in-process (workers == 1) retry/skip loop.
+
+    Timeouts and straggler duplicates need a pool — a job running in this
+    very process cannot be interrupted — so only the retry/backoff half of
+    the policy applies here (documented in docs/RESILIENCE.md).
+    """
+    for index, job, key in pending:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = _execute(job, attempt)
+            except Exception as exc:
+                if on_error == "retry" and attempt < attempts_allowed:
+                    stats.retried += 1
+                    time.sleep(
+                        policy.backoff_seconds(key or f"index:{index}", attempt)
+                    )
+                    continue
+                stats.failed += 1
+                if manifest_path is not None and key is not None:
+                    append_outcome(manifest_path, ManifestEntry(
+                        key=key, status="failed", attempts=attempt,
+                        benchmark=job.benchmark_name, scheduler=job.scheduler,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ))
+                if on_error == "raise":
+                    raise SweepError(job, exc) from exc
+                results[index] = JobFailure(
+                    job=job, error=str(exc), error_type=type(exc).__name__,
+                    attempts=attempt,
+                )
+                break
+            results[index] = result
+            if cache is not None and key is not None:
+                cache.put(key, result.to_dict())
+            if manifest_path is not None and key is not None:
+                append_outcome(manifest_path, ManifestEntry(
+                    key=key, status="done", attempts=attempt,
+                    benchmark=job.benchmark_name, scheduler=job.scheduler,
+                ))
+            break
+
+
 def run_jobs(
     jobs: Sequence[AnyRequest],
     *,
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, None] = AUTO_CACHE,
     backend: Optional[str] = None,
+    on_error: str = "raise",
+    retry: Optional[RetryPolicy] = None,
+    manifest: Union[str, Path, None] = None,
 ) -> SweepOutcome:
     """Execute ``jobs`` and return results in submission order.
 
@@ -178,7 +741,28 @@ def run_jobs(
     ``backend`` selects the engine for jobs that did not pin one themselves
     (multi-tenant jobs with no pinned backend keep their ``lockstep``
     default — the serialized engine cannot run them).
+
+    ``on_error`` picks the failure mode (:data:`ON_ERROR_MODES`):
+    ``"raise"`` aborts on the first failure (historic behavior, the
+    default), ``"skip"`` records a :class:`JobFailure` in the failed job's
+    result slot and continues, ``"retry"`` re-dispatches failures under
+    ``retry`` (a :class:`RetryPolicy`; a default-constructed one applies
+    when omitted).  The policy's ``timeout_seconds`` / ``straggler_seconds``
+    deadlines apply on the pool path in every mode.
+
+    ``manifest`` names an append-only checkpoint file
+    (:mod:`repro.harness.manifest`): per-job outcomes are appended as they
+    settle, and — together with the content-addressed result cache — a
+    re-run of the same sweep skips everything already completed and
+    re-executes only failures, timeouts and never-ran jobs.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"unknown on_error mode {on_error!r} (choose from {ON_ERROR_MODES})"
+        )
+    policy = retry if retry is not None else RetryPolicy()
+    attempts_allowed = policy.max_attempts if on_error == "retry" else 1
+
     jobs = list(jobs)
     if backend is not None:
         jobs = [
@@ -191,22 +775,37 @@ def run_jobs(
         if cache != AUTO_CACHE:
             raise ValueError(f"unknown cache mode {cache!r}")
         cache = ResultCache.from_env()
+    manifest_path = Path(manifest) if manifest is not None else None
+    if manifest_path is not None:
+        # Touch-load for the resume contract: malformed files surface here,
+        # and "done" keys whose results the cache still holds are served as
+        # plain cache hits below (the manifest stores statuses, the cache
+        # stores results — see repro.harness.manifest).
+        load_manifest(manifest_path)
 
     start = time.perf_counter()
     results: list[Optional[SimulationResult]] = [None] * len(jobs)
-    pending: list[tuple[int, SimulationRequest, Optional[str]]] = []
+    pending: list[tuple[int, AnyRequest, Optional[str]]] = []
 
     stats = SweepStats(jobs=len(jobs), backend=_resolved_backends(jobs))
     for index, job in enumerate(jobs):
         key = None
-        if cache is not None:
+        if cache is not None or manifest_path is not None:
             try:
                 key = job.cache_key()
             except Exception as exc:
                 # Same contract as execution failures: an unknown benchmark
                 # or scheduler surfaces as SweepError whether or not a cache
-                # is attached.
-                raise SweepError(job, exc) from exc
+                # is attached — or as a JobFailure in skip/retry mode
+                # (retrying a structurally-invalid job cannot help).
+                if on_error == "raise":
+                    raise SweepError(job, exc) from exc
+                stats.failed += 1
+                results[index] = JobFailure(
+                    job=job, error=str(exc), error_type=type(exc).__name__,
+                )
+                continue
+        if cache is not None:
             hit = _decode_cached(cache.get(key))
             if hit is not None:
                 results[index] = hit
@@ -219,43 +818,73 @@ def run_jobs(
 
     if stats.workers <= 1:
         if pending:
-            # One repro.api.run_batch call: jobs are grouped per engine so
-            # per-kernel setup (the vector engine's trace interning)
-            # amortises across the sweep instead of per job.  The cache is
-            # handed through so completed results are written as they land
-            # — a failing job never discards the work done before it.
-            from repro.api import BatchExecutionError, run_batch
+            if on_error == "raise" and attempts_allowed == 1:
+                # One repro.api.run_batch call: jobs are grouped per engine
+                # so per-kernel setup (the vector engine's trace interning)
+                # amortises across the sweep instead of per job.  The cache
+                # is handed through so completed results are written as
+                # they land — a failing job never discards the work done
+                # before it — and the on_result hook checkpoints each
+                # completion into the manifest as it happens.
+                from repro.api import BatchExecutionError, run_batch
 
-            try:
-                outcomes = run_batch([job for _, job, _ in pending], cache=cache)
-            except BatchExecutionError as exc:
-                raise SweepError(exc.request, exc.__cause__ or exc) from exc
-            except Exception as exc:
-                raise SweepError(pending[0][1], exc) from exc
-            for (index, _job, _key), result in zip(pending, outcomes):
-                results[index] = result
-    elif pending:
-        with ProcessPoolExecutor(
-            max_workers=stats.workers, mp_context=_pool_context()
-        ) as pool:
-            futures = {
-                pool.submit(_execute, job): (index, job, key)
-                for index, job, key in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, job, key = futures[future]
-                    exc = future.exception()
-                    if exc is not None:
-                        for other in remaining:
-                            other.cancel()
-                        raise SweepError(job, exc) from exc
-                    result = future.result()
+                on_result = None
+                if manifest_path is not None:
+                    keys = {i: key for i, (_, _, key) in enumerate(pending)}
+
+                    def on_result(batch_index, job, _result):
+                        key = keys.get(batch_index)
+                        if key is None:
+                            return
+                        append_outcome(manifest_path, ManifestEntry(
+                            key=key, status="done",
+                            benchmark=job.benchmark_name,
+                            scheduler=job.scheduler,
+                        ))
+
+                try:
+                    outcomes = run_batch(
+                        [job for _, job, _ in pending], cache=cache,
+                        on_result=on_result,
+                    )
+                except BatchExecutionError as exc:
+                    if manifest_path is not None:
+                        try:
+                            append_outcome(manifest_path, ManifestEntry(
+                                key=exc.request.cache_key(), status="failed",
+                                benchmark=exc.request.benchmark_name,
+                                scheduler=exc.request.scheduler,
+                                error=str(exc.__cause__ or exc),
+                            ))
+                        except Exception:
+                            pass
+                    raise SweepError(exc.request, exc.__cause__ or exc) from exc
+                except Exception as exc:
+                    raise SweepError(pending[0][1], exc) from exc
+                for (index, _job, _key), result in zip(pending, outcomes):
                     results[index] = result
-                    if cache is not None and key is not None:
-                        cache.put(key, result.to_dict())
+            else:
+                _run_inprocess_resilient(
+                    pending,
+                    stats=stats,
+                    results=results,
+                    cache=cache,
+                    manifest_path=manifest_path,
+                    on_error=on_error,
+                    policy=policy,
+                    attempts_allowed=attempts_allowed,
+                )
+    elif pending:
+        _PoolRunner(
+            pending,
+            stats=stats,
+            results=results,
+            cache=cache,
+            manifest_path=manifest_path,
+            on_error=on_error,
+            policy=policy,
+            attempts_allowed=attempts_allowed,
+        ).run()
 
     stats.wall_seconds = time.perf_counter() - start
     try:

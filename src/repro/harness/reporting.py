@@ -75,6 +75,14 @@ def format_sweep_stats(stats, cache_stats=None) -> str:
     ]
     if stats.executed:
         parts.append(f"{stats.wall_seconds / stats.executed:.2f}s/sim")
+    # Resilience counters appear only when something actually went wrong,
+    # so the healthy-sweep line stays as short as it always was.
+    if getattr(stats, "failed", 0):
+        parts.append(f"{stats.failed} failed")
+    if getattr(stats, "retried", 0):
+        parts.append(f"{stats.retried} retried")
+    if getattr(stats, "timed_out", 0):
+        parts.append(f"{stats.timed_out} timed out")
     if cache_stats is not None and cache_stats.errors:
         parts.append(f"{cache_stats.errors} cache errors")
     return "sweep: " + ", ".join(parts)

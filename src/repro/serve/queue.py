@@ -14,12 +14,23 @@ cache key and backend).  The dispatcher fails *only that job's* future and
 re-runs the remainder of the batch, so one poisoned request never takes
 innocent co-batched requests down with it.
 
+Resilience (docs/RESILIENCE.md): the queue accepts the same
+:class:`repro.harness.parallel.RetryPolicy` the sweep engine uses.  A
+failing batch is retried up to ``max_attempts`` times with the policy's
+deterministic backoff before the per-offender attribution above kicks in,
+and ``timeout_seconds`` bounds each batch's wall time — a batch past its
+deadline fails all its jobs with :class:`BatchTimeoutError` while the
+worker thread is *abandoned*, not interrupted (Python threads cannot be
+killed), so :meth:`drain` shuts the pool down without waiting on it.
+
 Lifecycle: :meth:`BatchQueue.put` is loop-confined; simulation happens on
 ``ThreadPoolExecutor`` workers; results return to the loop through the
 executor future, where job records advance (``QUEUED`` → ``RUNNING`` →
 ``DONE`` / ``FAILED``) and coalescer futures resolve.  :meth:`drain` stops
-intake, waits for the queue and every in-flight batch to finish, then
-shuts the pool down — the graceful half of drain-on-shutdown.
+intake, waits for the queue and every in-flight batch to finish, shuts the
+pool down, and returns a summary dict — worker-thread exceptions during
+shutdown are *counted and surfaced* there (they were previously discarded
+by ``asyncio.gather(..., return_exceptions=True)``).
 """
 
 from __future__ import annotations
@@ -31,6 +42,12 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.api import AnyRequest, BatchExecutionError, JobRecord, JobState, run_batch
+from repro.harness.faults import set_current_attempt
+from repro.harness.parallel import RetryPolicy
+
+
+class BatchTimeoutError(RuntimeError):
+    """A dispatched batch exceeded the queue's per-batch deadline."""
 
 
 @dataclass
@@ -52,8 +69,10 @@ class BatchQueue:
         workers: int = 2,
         batch_max: int = 16,
         linger: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
         on_batch_done: Optional[Callable[[list, float], None]] = None,
         on_job_done: Optional[Callable[[QueuedJob, object, Optional[BaseException]], None]] = None,
+        on_retry: Optional[Callable[[], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -64,6 +83,11 @@ class BatchQueue:
         self._cache = cache
         self._batch_max = batch_max
         self._linger = linger
+        #: Shared policy object (same type the sweep engine takes): retry
+        #: attempts + backoff apply per batch, ``timeout_seconds`` bounds
+        #: each batch's wall time.  ``None`` keeps the historic behavior
+        #: (one attempt, no deadline).
+        self._retry = retry
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -72,10 +96,15 @@ class BatchQueue:
         self._dispatcher: Optional[asyncio.Task] = None
         self._active: set[asyncio.Task] = set()
         self._closing = False
+        #: Batches whose worker thread outlived its deadline; their threads
+        #: cannot be interrupted, so drain must not wait on the pool.
+        self._abandoned = 0
         #: ``(outcomes, wall_seconds)`` hook — the service's stats feed.
         self._on_batch_done = on_batch_done
         #: per-job completion hook — resolves coalescer futures / records.
         self._on_job_done = on_job_done
+        #: called (from the worker thread) on each batch retry.
+        self._on_retry = on_retry
 
     # ------------------------------------------------------------------
     @property
@@ -86,6 +115,11 @@ class BatchQueue:
     @property
     def inflight_batches(self) -> int:
         return len(self._active)
+
+    @property
+    def abandoned_batches(self) -> int:
+        """Batches abandoned past their deadline (threads left to finish)."""
+        return self._abandoned
 
     def start(self) -> None:
         """Start the dispatcher task (call from the event loop)."""
@@ -128,9 +162,35 @@ class BatchQueue:
     async def _run_batch(self, batch: List[QueuedJob]) -> None:
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
-        outcomes = await loop.run_in_executor(
+        future = loop.run_in_executor(
             self._pool, self._execute_batch, [job.request for job in batch]
         )
+        timeout = self._retry.timeout_seconds if self._retry is not None else None
+        if timeout is not None:
+            try:
+                # shield(): on timeout the executor future keeps running in
+                # its worker thread (threads cannot be interrupted); we stop
+                # *waiting*, fail the batch's jobs, and mark the thread
+                # abandoned so drain skips it.
+                outcomes = await asyncio.wait_for(asyncio.shield(future), timeout)
+            except asyncio.TimeoutError:
+                self._abandoned += 1
+                # A late result (or error) from the abandoned thread must
+                # never surface as an unretrieved-exception warning.
+                future.add_done_callback(lambda f: f.exception())
+                error = BatchTimeoutError(
+                    f"batch of {len(batch)} job(s) exceeded its "
+                    f"{timeout}s deadline"
+                )
+                wall = time.perf_counter() - started
+                if self._on_job_done is not None:
+                    for job in batch:
+                        self._on_job_done(job, None, error)
+                if self._on_batch_done is not None:
+                    self._on_batch_done([], wall)
+                return
+        else:
+            outcomes = await future
         wall = time.perf_counter() - started
         executed = []
         for job, (result, error) in zip(batch, outcomes):
@@ -143,16 +203,29 @@ class BatchQueue:
             self._on_batch_done(executed, wall)
 
     def _execute_batch(self, requests: List[AnyRequest]):
-        """Worker-thread body: one ``run_batch`` call, retrying around
-        individually-failing requests so attribution stays per job."""
+        """Worker-thread body: one ``run_batch`` call, retried under the
+        policy's backoff, then retried around individually-failing requests
+        so attribution stays per job."""
         outcomes: list = [None] * len(requests)
         remaining = list(enumerate(requests))
+        max_attempts = self._retry.max_attempts if self._retry is not None else 1
+        attempt = 1
+        set_current_attempt(attempt)
         while remaining:
             try:
                 results = run_batch(
                     [request for _, request in remaining], cache=self._cache
                 )
             except BatchExecutionError as exc:
+                if attempt < max_attempts:
+                    if self._on_retry is not None:
+                        self._on_retry()
+                    time.sleep(
+                        self._retry.backoff_seconds("serve-batch", attempt)
+                    )
+                    attempt += 1
+                    set_current_attempt(attempt)
+                    continue
                 position = next(
                     (
                         i
@@ -170,6 +243,15 @@ class BatchQueue:
                 outcomes[index] = (None, exc)
                 continue
             except Exception as exc:  # batch-level failure, no attribution
+                if attempt < max_attempts:
+                    if self._on_retry is not None:
+                        self._on_retry()
+                    time.sleep(
+                        self._retry.backoff_seconds("serve-batch", attempt)
+                    )
+                    attempt += 1
+                    set_current_attempt(attempt)
+                    continue
                 for index, _ in remaining:
                     outcomes[index] = (None, exc)
                 break
@@ -179,14 +261,35 @@ class BatchQueue:
         return outcomes
 
     # ------------------------------------------------------------------
-    async def drain(self) -> None:
-        """Stop intake, run everything queued and wait for it to finish."""
+    async def drain(self) -> dict:
+        """Stop intake, run everything queued, wait, and summarize.
+
+        Returns ``{"drain_errors": int, "abandoned_batches": int,
+        "errors": [str, ...]}``.  Worker-task exceptions are counted and
+        returned instead of being silently discarded; the pool is shut down
+        without waiting when any batch thread was abandoned past its
+        deadline (it cannot be joined).
+        """
         self._closing = True
         if self._wakeup is not None:
             self._wakeup.set()  # let an idle dispatcher observe _closing
         if self._dispatcher is not None:
             await self._dispatcher
             self._dispatcher = None
+        errors: list[str] = []
         while self._active:
-            await asyncio.gather(*list(self._active), return_exceptions=True)
-        self._pool.shutdown(wait=True)
+            settled = await asyncio.gather(
+                *list(self._active), return_exceptions=True
+            )
+            for outcome in settled:
+                if isinstance(outcome, BaseException):
+                    errors.append(f"{type(outcome).__name__}: {outcome}")
+        if self._abandoned:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._pool.shutdown(wait=True)
+        return {
+            "drain_errors": len(errors),
+            "abandoned_batches": self._abandoned,
+            "errors": errors,
+        }

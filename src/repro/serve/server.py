@@ -50,8 +50,9 @@ from repro.api import (
     _decode_cached_result,
 )
 from repro.harness.ledger import append_entry, read_ledger, summarize_ledger
+from repro.harness.parallel import RetryPolicy
 from repro.serve.coalesce import Coalescer
-from repro.serve.queue import BatchQueue, QueuedJob
+from repro.serve.queue import BatchQueue, BatchTimeoutError, QueuedJob
 from repro.serve.stats import ServiceStats
 from repro.version import __version__
 
@@ -83,6 +84,22 @@ class RejectedRequest(ValueError):
 
 class ServiceDraining(RuntimeError):
     """New simulation requests are rejected while the service drains."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """The dispatch queue is too deep; the request was load-shed.
+
+    Answered as 503 with a ``Retry-After`` header (``retry_after``
+    seconds).  Followers of an in-flight job are never shed — they cost no
+    queue slot — so shedding only applies to would-be leaders.
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after: int) -> None:
+        super().__init__(
+            f"queue depth {depth} is at its limit ({limit}); retry in "
+            f"{retry_after}s"
+        )
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -153,13 +170,21 @@ class ReproService:
         linger: float = 0.05,
         backend: Optional[str] = None,
         max_job_records: int = 256,
+        retry: Optional[RetryPolicy] = None,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
         self.host = host
         self.port = port
         self.cache = cache
         #: Fills in the engine for requests that left theirs ``None``
         #: (multi-tenant requests keep their ``lockstep`` default).
         self.backend = backend
+        #: Load-shedding threshold: a would-be leader arriving while the
+        #: dispatch queue is this deep gets 503 + Retry-After instead of a
+        #: slot (``None`` disables shedding).
+        self.max_queue_depth = max_queue_depth
         self.stats = ServiceStats()
         self.coalescer = Coalescer()
         self.queue = BatchQueue(
@@ -167,9 +192,13 @@ class ReproService:
             workers=workers,
             batch_max=batch_max,
             linger=linger,
+            retry=retry,
             on_batch_done=self.stats.record_batch,
             on_job_done=self._job_done,
+            on_retry=self.stats.record_retried,
         )
+        #: Drain summary (set once the queue has drained) for the CLI.
+        self.drain_summary: Optional[dict] = None
         self.jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._max_job_records = max_job_records
         self._job_counter = 0
@@ -208,7 +237,12 @@ class ReproService:
         asyncio.get_running_loop().create_task(self._drain_and_stop())
 
     async def _drain_and_stop(self) -> None:
-        await self.queue.drain()
+        summary = await self.queue.drain()
+        self.drain_summary = summary
+        if summary.get("drain_errors"):
+            # Worker tasks that died during shutdown used to vanish into
+            # gather(..., return_exceptions=True); account them instead.
+            self.stats.record_drain_error(summary["drain_errors"])
         try:
             append_entry(self.stats.ledger_entry())
         except Exception:
@@ -245,9 +279,11 @@ class ReproService:
 
         ``source`` is ``"cache"``, ``"coalesced"`` or ``"executed"`` —
         exactly one counter increments per request, so the ``/stats``
-        books always reconcile.  Raises :class:`RejectedRequest` for
-        payloads that never became a job, :class:`ServiceDraining` during
-        shutdown, and the underlying simulation error for failed jobs.
+        books always reconcile (load-shed requests count under ``shed``).
+        Raises :class:`RejectedRequest` for payloads that never became a
+        job, :class:`ServiceDraining` during shutdown,
+        :class:`ServiceOverloaded` when the queue is past its load-shedding
+        depth, and the underlying simulation error for failed jobs.
         """
         if self._draining:
             self.stats.record_rejected()
@@ -274,7 +310,27 @@ class ReproService:
                 )
                 return hit, "cache", record
 
-        # 2. Single-flight: identical in-flight requests share one future.
+        # 2. Load shedding: a would-be *leader* past the queue-depth limit
+        # is turned away with 503 + Retry-After before it costs a slot.
+        # Followers piggyback on work already in flight, so they pass.
+        if (
+            self.max_queue_depth is not None
+            and self.queue.depth >= self.max_queue_depth
+            and not self.coalescer.inflight(cache_key)
+        ):
+            self.stats.record_shed()
+            retry_after = max(1, round(self.queue.depth * 0.25))
+            record.advance(
+                JobState.FAILED,
+                source="shed",
+                error="load shed: dispatch queue at capacity",
+                finished_at=time.time(),
+            )
+            raise ServiceOverloaded(
+                self.queue.depth, self.max_queue_depth, retry_after
+            )
+
+        # 3. Single-flight: identical in-flight requests share one future.
         future, leader = self.coalescer.lease(cache_key)
         if leader:
             self.queue.put(QueuedJob(request, cache_key, record))
@@ -300,6 +356,8 @@ class ReproService:
         """Dispatcher callback (loop thread): settle one executed job."""
         now = time.time()
         if error is not None:
+            if isinstance(error, BatchTimeoutError):
+                self.stats.record_timed_out()
             job.record.advance(
                 JobState.FAILED, source="executed", error=str(error), finished_at=now
             )
@@ -411,6 +469,14 @@ class ReproService:
             result, source, record = await self.submit(request)
         except ServiceDraining as exc:
             await _respond(writer, 503, {"error": str(exc)})
+            return
+        except ServiceOverloaded as exc:
+            await _respond(
+                writer,
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers=(("Retry-After", str(exc.retry_after)),),
+            )
             return
         except RejectedRequest as exc:
             await _respond(writer, 400, {"error": str(exc)})

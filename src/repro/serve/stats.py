@@ -7,12 +7,16 @@ mutation goes through ``record_*`` methods guarded by one lock, so the
 ``/stats`` endpoint always reads a consistent snapshot.
 
 The central service invariant is :meth:`ServiceStats.reconciles`: every
-request answered with a result was answered exactly one way —
+accepted request was answered exactly one way —
 
-    ``hits + coalesced + executed == served``
+    ``hits + coalesced + executed + failed + shed == requests``
 
-(failed requests are counted separately).  The end-to-end suite and the CI
-serve-smoke job both assert it after mixed traffic.
+``shed`` counts requests turned away (503 + ``Retry-After``) by the
+queue-depth load-shedding threshold; ``retried`` and ``timed_out`` are
+*informational* — a retried batch still resolves each of its jobs as
+executed or failed, and a timed-out job is a kind of failure, so neither
+adds a new way for a request to be answered.  The end-to-end suite and the
+CI serve-smoke job both assert the invariant after mixed traffic.
 
 At drain time :meth:`ledger_entry` renders the counters as one bench-ledger
 row (``"kind": "serve"``, see :mod:`repro.harness.ledger`), so service
@@ -67,6 +71,15 @@ class ServiceStats:
     rejected: int = 0
     #: Batches drained into ``repro.api.run_batch`` by the dispatcher.
     batches: int = 0
+    #: Valid requests turned away under load (503 + ``Retry-After``).
+    shed: int = 0
+    #: Jobs whose batch exceeded its deadline (each also counts as failed).
+    timed_out: int = 0
+    #: Batch dispatch retries after a failure (informational).
+    retried: int = 0
+    #: Worker-thread exceptions surfaced during drain (would previously be
+    #: silently discarded by ``asyncio.gather(..., return_exceptions=True)``).
+    drain_errors: int = 0
     started_at: float = field(default_factory=time.time)
     per_backend: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -91,6 +104,22 @@ class ServiceStats:
     def record_failed(self) -> None:
         with self._lock:
             self.failed += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_timed_out(self, jobs: int = 1) -> None:
+        with self._lock:
+            self.timed_out += jobs
+
+    def record_retried(self) -> None:
+        with self._lock:
+            self.retried += 1
+
+    def record_drain_error(self, count: int = 1) -> None:
+        with self._lock:
+            self.drain_errors += count
 
     def record_batch(self, outcomes, wall_seconds: float) -> None:
         """Account one drained batch.
@@ -120,10 +149,15 @@ class ServiceStats:
         return self.hits + self.coalesced + self.executed
 
     def reconciles(self) -> bool:
-        """The books balance: every accepted request was answered one way."""
+        """The books balance: every accepted request was answered one way.
+
+        Shed requests are "answered" with a 503 + ``Retry-After``; they
+        enter ``requests`` (the payload was valid) and must balance too.
+        """
         with self._lock:
             return (
                 self.hits + self.coalesced + self.executed + self.failed
+                + self.shed
                 == self.requests
             )
 
@@ -138,6 +172,10 @@ class ServiceStats:
                 "failed": self.failed,
                 "rejected": self.rejected,
                 "batches": self.batches,
+                "shed": self.shed,
+                "timed_out": self.timed_out,
+                "retried": self.retried,
+                "drain_errors": self.drain_errors,
                 "served": self.hits + self.coalesced + self.executed,
                 "queue_depth": queue_depth,
                 "inflight": inflight,
@@ -161,6 +199,10 @@ class ServiceStats:
                 "failed": self.failed,
                 "rejected": self.rejected,
                 "batches": self.batches,
+                "shed": self.shed,
+                "timed_out": self.timed_out,
+                "retried": self.retried,
+                "drain_errors": self.drain_errors,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "backend": ",".join(sorted(self.per_backend)),
             }

@@ -37,14 +37,19 @@ class TestCommands:
     def test_list_backends_shows_availability(self, capsys):
         assert main(["list", "--backends"]) == 0
         out = capsys.readouterr().out
-        for name in ("reference", "lockstep", "vector"):
+        for name in ("reference", "lockstep", "vector", "chaos"):
             assert name in out
+        # The chaos wrapper is *expected* to be unavailable until a fault
+        # plan is configured; its listing must say so and point at the knob.
+        assert "chaos (unavailable:" in out and "fault plan" in out
         # The core engines are always available; vector is flagged if and
         # only if numpy is missing (some CI legs run without it on purpose).
+        core = [line for line in out.splitlines()
+                if not line.startswith("chaos")]
         try:
             import numpy  # noqa: F401
 
-            assert "unavailable" not in out
+            assert all("unavailable" not in line for line in core)
         except ImportError:
             assert "vector (unavailable:" in out
 
@@ -196,6 +201,43 @@ class TestServeCli:
         ])
         assert rc == 1
         assert capsys.readouterr().err
+
+    def test_submit_hung_server_times_out_with_exit_code_3(self, capsys):
+        import socket
+        import threading
+
+        # A "server" that accepts the TCP connection and then never sends a
+        # byte back: the client must distinguish this from connection-refused
+        # (rc 1) with a dedicated exit code so scripts can tell "hung" from
+        # "down".
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        held: list = []
+
+        def accept_and_hold():
+            try:
+                conn, _ = listener.accept()
+                held.append(conn)  # keep it open; never respond
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=accept_and_hold, daemon=True)
+        thread.start()
+        try:
+            rc = main([
+                "submit", "ATAX", "gto", "--scale", "0.02",
+                "--url", f"http://127.0.0.1:{port}", "--timeout", "0.5",
+            ])
+        finally:
+            listener.close()
+            for conn in held:
+                conn.close()
+            thread.join(timeout=5)
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "never responded" in err and "timed out" in err
 
     def test_submit_round_trip_against_live_service(self, capsys):
         import asyncio

@@ -5,6 +5,8 @@ import os
 import pytest
 
 from repro.harness.parallel import (
+    JobFailure,
+    RetryPolicy,
     SweepError,
     SweepJob,
     derive_seed,
@@ -114,6 +116,98 @@ class TestWorkersAndErrors:
         jobs = [SweepJob("SYRK", "gto", SMALL), SweepJob("NOPE", "gto", SMALL)]
         with pytest.raises(SweepError, match="NOPE"):
             run_jobs(jobs, workers=2, cache=None)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             jitter=0.5, seed=3)
+        first = policy.backoff_seconds("job-key", 1)
+        assert first == policy.backoff_seconds("job-key", 1)
+        # Jitter is bounded to ±50%, so retry 3 (4x base) always exceeds
+        # retry 1 (1x base) despite the jitter.
+        assert policy.backoff_seconds("job-key", 3) > first
+        assert 0.05 <= first <= 0.15
+        # Different keys draw different jitter from the same seed.
+        assert first != policy.backoff_seconds("other-key", 1)
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=3.0, jitter=0.0)
+        assert policy.backoff_seconds("k", 1) == pytest.approx(0.1)
+        assert policy.backoff_seconds("k", 2) == pytest.approx(0.3)
+
+    def test_validation(self):
+        for bad in (
+            dict(max_attempts=0),
+            dict(backoff_base=-1.0),
+            dict(backoff_factor=0.5),
+            dict(jitter=2.0),
+            dict(timeout_seconds=0.0),
+            dict(straggler_seconds=-1.0),
+        ):
+            with pytest.raises(ValueError):
+                RetryPolicy(**bad)
+
+
+class TestOnErrorModes:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_jobs([SweepJob("SYRK", "gto", SMALL)], workers=1,
+                     cache=None, on_error="explode")
+
+    def test_skip_mode_keeps_the_successes(self):
+        jobs = [
+            SweepJob("SYRK", "gto", SMALL),
+            SweepJob("NOPE", "gto", SMALL),
+            SweepJob("ATAX", "gto", SMALL),
+        ]
+        outcome = run_jobs(jobs, workers=1, cache=None, on_error="skip")
+        assert not outcome.ok
+        assert outcome.stats.failed == 1
+        good_first, bad, good_last = outcome.results
+        assert good_first.kernel_name == "SYRK"
+        assert isinstance(bad, JobFailure)
+        assert bad.benchmark_name == "NOPE"
+        assert good_last.kernel_name == "ATAX"
+        assert outcome.failures() == [bad]
+
+    def test_skip_mode_in_pool_preserves_order(self):
+        jobs = [
+            SweepJob("NOPE", "gto", SMALL),
+            SweepJob("SYRK", "gto", SMALL),
+            SweepJob("ATAX", "gto", SMALL),
+        ]
+        outcome = run_jobs(jobs, workers=2, cache=None, on_error="skip")
+        assert isinstance(outcome.results[0], JobFailure)
+        assert outcome.results[1].kernel_name == "SYRK"
+        assert outcome.results[2].kernel_name == "ATAX"
+
+
+class TestPartialResults:
+    """Satellite: a pool-path SweepError must report what survived and
+    leave no orphaned worker processes behind."""
+
+    def test_sweep_error_reports_partial_completion(self):
+        import multiprocessing
+        import time
+
+        jobs = [
+            SweepJob("SYRK", "gto", SMALL),
+            SweepJob("ATAX", "gto", SMALL),
+            SweepJob("NOPE", "gto", SMALL),
+        ]
+        with pytest.raises(SweepError) as excinfo:
+            run_jobs(jobs, workers=2, cache=None)
+        err = excinfo.value
+        assert err.job.benchmark_name == "NOPE"
+        assert isinstance(err.completed, int) and err.completed >= 0
+        assert isinstance(err.outstanding, int) and err.outstanding >= 0
+        assert "cancelled" in str(err)
+        # The pool was force-shut: no orphaned workers linger.
+        deadline = time.time() + 10
+        while multiprocessing.active_children() and time.time() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
 
 
 @pytest.mark.skipif((os.cpu_count() or 1) < 2,

@@ -27,8 +27,12 @@ from repro.api import (
     execute,
 )
 from repro.harness.cache import ResultCache
+from repro.harness.faults import FaultPlan, configure_chaos
+from repro.harness.parallel import RetryPolicy
 from repro.serve import (
+    BatchQueue,
     Coalescer,
+    QueuedJob,
     ReproService,
     ServiceStats,
     canonical_json,
@@ -291,9 +295,172 @@ class TestServiceEndToEnd:
         assert stats["requests"] == 2 and stats["reconciles"] is True
 
 
+class TestResilienceEndToEnd:
+    """Acceptance: an injected batch timeout and a shed request, with the
+    /stats books still reconciling exactly."""
+
+    def test_timeout_and_shed_reconcile(self, service_factory):
+        import time
+
+        # Every simulation on this service hangs far past the batch
+        # deadline, so the first dispatched batch is guaranteed to time out.
+        configure_chaos(
+            FaultPlan(seed=1, rate=1.0, kinds=("hang",), hang_seconds=30.0)
+        )
+        try:
+            handle = service_factory(
+                backend="chaos",
+                linger=0.5,
+                workers=1,
+                retry=RetryPolicy(max_attempts=1, timeout_seconds=0.3),
+                max_queue_depth=1,
+            )
+            slow = SimulationRequest("ATAX", "gto", SMALL)
+            outcomes = []
+
+            def submit() -> None:
+                outcomes.append(handle.simulate(slow))
+
+            thread = threading.Thread(target=submit)
+            thread.start()
+            # Wait for the slow request to park in the lingering queue ...
+            deadline = time.time() + 10
+            while handle.service.queue.depth == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert handle.service.queue.depth == 1
+            # ... so a distinct arrival finds the queue at capacity and is
+            # shed with 503 + Retry-After instead of piling up.
+            status, headers, body = handle.simulate(
+                SimulationRequest("SYRK", "gto", SMALL)
+            )
+            assert status == 503
+            assert int(headers["retry-after"]) >= 1
+            assert "at its limit" in json.loads(body)["error"]
+
+            # The parked request eventually dispatches, hangs, and fails
+            # against the 0.3s per-batch deadline.
+            thread.join(timeout=60)
+            assert outcomes and outcomes[0][0] == 500
+            assert "deadline" in json.loads(outcomes[0][2])["error"]
+
+            stats = handle.stats()
+            assert stats["requests"] == 2
+            assert stats["shed"] == 1
+            assert stats["failed"] == 1
+            assert stats["timed_out"] == 1
+            assert stats["executed"] == 0
+            # Extended invariant:
+            # hits + coalesced + executed + failed + shed == requests.
+            assert stats["hits"] + stats["coalesced"] + stats["executed"] \
+                + stats["failed"] + stats["shed"] == stats["requests"]
+            assert stats["reconciles"] is True
+            handle.shutdown()
+        finally:
+            configure_chaos(None)
+
+    def test_batch_retry_recovers_a_transient_failure(self, service_factory):
+        # Attempt 1 of the lone request fails; the queue's bounded retry
+        # re-runs the batch and attempt 2 succeeds — the client sees 200.
+        configure_chaos(
+            FaultPlan(seed=1, rate=1.0, kinds=("fail",), only_attempts=(1,))
+        )
+        try:
+            handle = service_factory(
+                backend="chaos",
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.0,
+                                  jitter=0.0),
+            )
+            request = SimulationRequest("ATAX", "gto", SMALL)
+            status, _, body = handle.simulate(request)
+            assert status == 200
+            stats = handle.stats()
+            assert stats["executed"] == 1 and stats["failed"] == 0
+            assert stats["retried"] >= 1
+            assert stats["reconciles"] is True
+        finally:
+            configure_chaos(None)
+
+
 # ---------------------------------------------------------------------------
 # Unit coverage of the pieces
 # ---------------------------------------------------------------------------
+class TestBatchQueueDrain:
+    """Satellite: drain must surface worker exceptions, not discard them."""
+
+    def _job(self, benchmark="ATAX"):
+        request = SimulationRequest(benchmark, "gto", SMALL)
+        return QueuedJob(
+            request=request,
+            cache_key=request.cache_key(),
+            record=JobRecord.for_request(
+                request, job_id=f"j-{benchmark}", cache_key=request.cache_key()
+            ),
+        )
+
+    def test_drain_surfaces_worker_exceptions(self):
+        async def scenario():
+            def exploding_hook(outcomes, wall):
+                raise RuntimeError("stats hook exploded")
+
+            queue = BatchQueue(workers=1, linger=0.0,
+                               on_batch_done=exploding_hook)
+            queue.start()
+            queue.put(self._job())
+            return await queue.drain()
+
+        summary = asyncio.run(scenario())
+        assert summary["drain_errors"] == 1
+        assert "stats hook exploded" in summary["errors"][0]
+        assert summary["abandoned_batches"] == 0
+
+    def test_clean_drain_reports_zero_errors(self):
+        async def scenario():
+            queue = BatchQueue(workers=1, linger=0.0)
+            queue.start()
+            queue.put(self._job())
+            return await queue.drain()
+
+        summary = asyncio.run(scenario())
+        assert summary == {"drain_errors": 0, "abandoned_batches": 0,
+                           "errors": []}
+
+    def test_timed_out_batch_is_abandoned_and_counted(self):
+        configure_chaos(
+            FaultPlan(seed=1, rate=1.0, kinds=("hang",), hang_seconds=30.0)
+        )
+        try:
+            failures = []
+
+            async def scenario():
+                queue = BatchQueue(
+                    workers=1, linger=0.0,
+                    retry=RetryPolicy(max_attempts=1, timeout_seconds=0.2),
+                    on_job_done=lambda job, result, error:
+                        failures.append((job, error)),
+                )
+                queue.start()
+                request = SimulationRequest("ATAX", "gto", SMALL,
+                                            backend="chaos")
+                queue.put(QueuedJob(
+                    request=request,
+                    cache_key=request.cache_key(),
+                    record=JobRecord.for_request(
+                        request, job_id="j-hang",
+                        cache_key=request.cache_key(),
+                    ),
+                ))
+                return await queue.drain()
+
+            summary = asyncio.run(scenario())
+            assert summary["abandoned_batches"] == 1
+            assert summary["drain_errors"] == 0
+            assert len(failures) == 1
+            job, error = failures[0]
+            assert "deadline" in str(error)
+        finally:
+            configure_chaos(None)
+
+
 class TestCoalescer:
     def test_single_flight_lease(self):
         async def scenario():

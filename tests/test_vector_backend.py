@@ -137,8 +137,12 @@ def test_vector_is_registered_with_aliases():
 def test_backend_availability_reports_all_engines():
     availability = backend_availability()
     assert set(availability) == set(backend_names())
-    # numpy is installed in the test environment: everything is available.
-    assert all(reason is None for reason in availability.values())
+    # numpy is installed in the test environment: every real engine is
+    # available.  The chaos wrapper is the deliberate exception — it is
+    # unavailable (with a configuration hint) until a fault plan is active.
+    assert availability["chaos"] is not None and "fault plan" in availability["chaos"]
+    assert all(reason is None
+               for name, reason in availability.items() if name != "chaos")
 
 
 def test_vector_unavailable_without_numpy(monkeypatch):
