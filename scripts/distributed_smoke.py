@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""CI smoke test for the distributed sweep layer (``repro worker`` +
+``repro sweep --workers-at``).
+
+Boots two ``repro worker`` subprocesses on ephemeral ports, then:
+
+1. runs a sharded sweep across both with a checkpoint manifest, SIGKILLs
+   one worker as soon as the first outcome lands (mid-sweep), and asserts
+   the sweep still exits 0 with every job done — the coordinator must
+   re-dispatch the dead worker's chunks onto the survivor;
+2. asserts the merged results are bit-identical to a plain single-machine
+   ``repro sweep`` over the same matrix (the exactness gate);
+3. asserts the manifest shows the recovery: all jobs done, with the
+   re-dispatched ones settling on attempt >= 2;
+4. resumes the finished manifest against the surviving worker alone and
+   asserts nothing re-executes (``--resume`` works across machines);
+5. exercises graceful worker shutdown: ``POST /shutdown`` must drain and
+   exit 0 with the final "drained:" summary on stdout.
+
+Standalone and stdlib-only, usable without installing the package::
+
+    python scripts/distributed_smoke.py
+
+Exit code 0 on success, 1 on any failed assertion or timeout.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+STARTUP_TIMEOUT = 30.0
+SWEEP_TIMEOUT = 600.0
+SHUTDOWN_TIMEOUT = 60.0
+
+BENCHMARKS = ["ATAX", "BICG", "MVT", "GESUMMV"]
+SCHEDULERS = ["gto", "ccws", "ciao-c"]
+SCALE = "0.05"
+
+PROCS: list[subprocess.Popen] = []
+
+
+def fail(message: str):
+    print(f"SMOKE FAILURE: {message}", file=sys.stderr)
+    for proc in PROCS:
+        if proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+def request(port: int, method: str, path: str, body: bytes | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def boot_worker(env: dict, name: str) -> tuple[subprocess.Popen, int]:
+    worker = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--port", "0"],
+        cwd=ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    PROCS.append(worker)
+    assert worker.stdout is not None
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        line = worker.stdout.readline()
+        if not line:
+            fail(f"worker {name} exited early (rc={worker.poll()})")
+        print(f"[{name}] {line.rstrip()}")
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            return worker, int(match.group(1))
+    fail(f"worker {name} never announced its port")
+    raise AssertionError  # unreachable
+
+
+def sweep_cmd(extra: list[str]) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "sweep",
+        "-b", *BENCHMARKS, "-s", *SCHEDULERS,
+        "--scale", SCALE, "--json", *extra,
+    ]
+
+
+def main() -> int:
+    tmp = tempfile.TemporaryDirectory(prefix="repro-dist-smoke-")
+    cache_dir = Path(tmp.name) / "cache"
+    manifest = Path(tmp.name) / "sweep.manifest"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    # One shared result cache: the workers and the coordinator all see it,
+    # so the resume step can serve every done job without re-dispatching.
+    env["REPRO_RESULT_CACHE"] = "1"
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["REPRO_LEDGER"] = "0"
+
+    worker_a, port_a = boot_worker(env, "worker-a")
+    worker_b, port_b = boot_worker(env, "worker-b")
+    for name, port in (("worker-a", port_a), ("worker-b", port_b)):
+        status, body = request(port, "GET", "/healthz")
+        if status != 200 or json.loads(body).get("status") != "ok":
+            fail(f"{name} /healthz answered {status}: {body[:200]!r}")
+    print(f"workers healthy on ports {port_a}, {port_b}")
+
+    # -- 1. sharded sweep, one worker SIGKILLed mid-flight --------------
+    def kill_b_after_first_outcome() -> None:
+        deadline = time.monotonic() + SWEEP_TIMEOUT
+        while time.monotonic() < deadline:
+            try:
+                if manifest.stat().st_size > 0:
+                    break
+            except OSError:
+                pass
+            time.sleep(0.005)
+        worker_b.send_signal(signal.SIGKILL)
+        print("[smoke] SIGKILLed worker-b after first manifest line")
+
+    killer = threading.Thread(target=kill_b_after_first_outcome, daemon=True)
+    killer.start()
+    sharded = subprocess.run(
+        sweep_cmd([
+            "--workers-at", f"127.0.0.1:{port_a},127.0.0.1:{port_b}",
+            "--chunk-size", "1", "--manifest", str(manifest),
+        ]),
+        cwd=ROOT, env=env, capture_output=True, text=True,
+        timeout=SWEEP_TIMEOUT,
+    )
+    killer.join(timeout=SWEEP_TIMEOUT)
+    if sharded.returncode != 0:
+        fail(f"sharded sweep failed (rc={sharded.returncode}): "
+             f"{sharded.stderr[:800]}")
+    dist = json.loads(sharded.stdout)
+    n_jobs = len(BENCHMARKS) * len(SCHEDULERS)
+    if dist["failed"] != 0 or dist["executed"] + dist["cache_hits"] != n_jobs:
+        fail(f"sharded sweep books are wrong: {dist['executed']=} "
+             f"{dist['cache_hits']=} {dist['failed']=}")
+    if dist["retried"] < 1:
+        fail("coordinator never re-dispatched after the worker kill "
+             f"(retried={dist['retried']})")
+    print(f"sharded sweep ok: {dist['executed']} executed, "
+          f"{dist['retried']} re-dispatch(es) after the kill")
+
+    # -- 2. bit-identical to a single-machine sweep ---------------------
+    local_env = dict(env, REPRO_RESULT_CACHE="0")  # force a fresh compute
+    local = subprocess.run(
+        sweep_cmd([]), cwd=ROOT, env=local_env,
+        capture_output=True, text=True, timeout=SWEEP_TIMEOUT,
+    )
+    if local.returncode != 0:
+        fail(f"local sweep failed (rc={local.returncode}): {local.stderr[:800]}")
+    want = json.loads(local.stdout)
+    if dist["raw_ipc"] != want["raw_ipc"]:
+        fail("sharded sweep is NOT bit-identical to the local sweep:\n"
+             f"  sharded: {dist['raw_ipc']}\n  local:   {want['raw_ipc']}")
+    print(f"exactness ok: {n_jobs} jobs bit-identical to the local sweep")
+
+    # -- 3. the manifest shows the recovery -----------------------------
+    from repro.harness.manifest import load_manifest  # noqa: E402
+
+    entries = load_manifest(manifest)
+    if len(entries) != n_jobs:
+        fail(f"manifest has {len(entries)} keys, expected {n_jobs}")
+    if not all(e.status == "done" for e in entries.values()):
+        fail("manifest contains non-done outcomes: "
+             f"{ {k: e.status for k, e in entries.items() if e.status != 'done'} }")
+    redispatched = sum(1 for e in entries.values() if e.attempts >= 2)
+    if redispatched < 1:
+        fail("manifest shows no attempt >= 2: the re-dispatch left no trace")
+    print(f"manifest ok: {n_jobs} done, {redispatched} settled on attempt >= 2")
+
+    # -- 4. resume across machines: nothing re-executes -----------------
+    resumed = subprocess.run(
+        sweep_cmd([
+            "--workers-at", f"127.0.0.1:{port_a}",
+            "--resume", str(manifest),
+        ]),
+        cwd=ROOT, env=env, capture_output=True, text=True,
+        timeout=SWEEP_TIMEOUT,
+    )
+    if resumed.returncode != 0:
+        fail(f"resume sweep failed (rc={resumed.returncode}): "
+             f"{resumed.stderr[:800]}")
+    again = json.loads(resumed.stdout)
+    if again["executed"] != 0 or again["cache_hits"] != n_jobs:
+        fail(f"resume re-ran work: executed={again['executed']}, "
+             f"cache_hits={again['cache_hits']} (want 0/{n_jobs})")
+    if again["raw_ipc"] != want["raw_ipc"]:
+        fail("resumed sweep drifted from the local sweep")
+    print("resume ok: 0 executed, all served from the shared cache")
+
+    # -- 5. graceful shutdown of the survivor ---------------------------
+    status, body = request(port_a, "POST", "/shutdown", b"")
+    if status != 200:
+        fail(f"/shutdown answered {status}: {body[:200]!r}")
+    try:
+        rc = worker_a.wait(timeout=SHUTDOWN_TIMEOUT)
+    except subprocess.TimeoutExpired:
+        fail("worker-a did not exit after /shutdown")
+    tail = worker_a.stdout.read() or ""
+    for line in tail.splitlines():
+        print(f"[worker-a] {line}")
+    if rc != 0:
+        fail(f"worker-a exited rc={rc} after graceful drain")
+    if "drained:" not in tail:
+        fail("worker-a never printed its drain summary")
+    print("graceful shutdown ok")
+    print("DISTRIBUTED SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,7 @@ import dataclasses
 import enum
 import re
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.core.config import CIAOParameters
 from repro.gpu.config import GPUConfig
@@ -572,6 +572,52 @@ class MultiTenantRequest:
 
 #: Either job descriptor the execution engines and the sweep engine accept.
 AnyRequest = Union[SimulationRequest, MultiTenantRequest]
+
+#: Version of the :func:`encode_request_batch` wire form (the unit of work
+#: a coordinator ships to a ``repro worker`` process).
+BATCH_SCHEMA = 1
+
+
+def decode_request(payload: Any) -> AnyRequest:
+    """Dispatch a request wire-form payload to the matching ``from_dict``.
+
+    The single decoder shared by the serving layer (``POST /simulate``)
+    and the distributed worker (``POST /batch``), so the two front ends can
+    never disagree on what a request payload means.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(
+            f"request payload must be an object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    if kind == "SimulationRequest":
+        return SimulationRequest.from_dict(payload)
+    if kind == "MultiTenantRequest":
+        return MultiTenantRequest.from_dict(payload)
+    raise ValueError(f"unsupported request kind {kind!r}")
+
+
+def encode_request_batch(requests: Sequence[AnyRequest]) -> dict:
+    """Versioned JSON-safe form of a request list (order-preserving).
+
+    The batch envelope a sweep coordinator POSTs to ``repro worker``; each
+    element is the request's own versioned wire form, so a batch of one is
+    exactly one ``to_dict()`` payload inside a list.
+    """
+    return {
+        "schema": BATCH_SCHEMA,
+        "kind": "RequestBatch",
+        "requests": [request.to_dict() for request in requests],
+    }
+
+
+def decode_request_batch(payload: Mapping[str, Any]) -> list[AnyRequest]:
+    """Inverse of :func:`encode_request_batch` (``ValueError`` on drift)."""
+    check_schema(payload, "RequestBatch", BATCH_SCHEMA)
+    requests = payload.get("requests")
+    if not isinstance(requests, list):
+        raise ValueError("RequestBatch payload carries no request list")
+    return [decode_request(entry) for entry in requests]
 
 
 # ---------------------------------------------------------------------------

@@ -32,6 +32,10 @@ Subcommands
 ``repro sweep -b BENCH ... -s SCHED ...``
     Run a benchmark x scheduler grid through the parallel sweep engine and
     print the normalised-IPC table, geomean speedups and engine statistics.
+    With ``--workers-at HOST:PORT,...`` (or ``--worker-roster
+    shards.json``) the same sweep shards across remote ``repro worker``
+    processes — partitioned by cache key, streamed into the checkpoint
+    manifest, bit-identical to the local run.  See docs/DISTRIBUTED.md.
 ``repro reproduce FIGURE ...``
     Regenerate the data behind a figure / table of the paper (``fig8``,
     ``fig11a``, ``table2``, ... or ``all``) as JSON.
@@ -47,6 +51,11 @@ Subcommands
     the rest into ``run_batch`` on a worker pool, and exposes
     ``/healthz`` / ``/stats`` / ``/jobs``.  SIGTERM or ``POST /shutdown``
     drains gracefully.
+``repro worker --host --port``
+    Boot a long-lived sweep worker for ``repro sweep --workers-at``:
+    accepts ``RequestBatch`` wire forms on ``POST /batch`` and executes
+    them through ``run_jobs`` (retry/timeout/chaos stack included).
+    SIGTERM or ``POST /shutdown`` drains gracefully.
 ``repro submit BENCH [SCHED]`` / ``repro submit --file payload.json``
     Submit one request to a running ``repro serve`` instance and print the
     result (the testing client for the service).
@@ -443,14 +452,49 @@ def cmd_sweep(args) -> int:
                 )
             )
     cache = _cache_from_args(args)
-    outcome = run_jobs(
-        jobs,
-        workers=args.workers,
-        cache=cache,
-        on_error=args.on_error,
-        retry=retry,
-        manifest=manifest,
-    )
+    if args.workers_at or args.worker_roster:
+        # Cross-machine sharded sweep: partition by cache key, dispatch to
+        # the roster's `repro worker` processes, stream outcomes into the
+        # same manifest (--resume works unchanged).  docs/DISTRIBUTED.md.
+        from repro.harness.distributed import (
+            load_worker_roster,
+            parse_workers_at,
+            run_distributed,
+        )
+
+        try:
+            if args.workers_at and args.worker_roster:
+                raise ValueError(
+                    "--workers-at and --worker-roster are mutually exclusive"
+                )
+            roster = (
+                parse_workers_at(args.workers_at)
+                if args.workers_at
+                else load_worker_roster(args.worker_roster)
+            )
+            if args.chunk_size < 1:
+                raise ValueError("--chunk-size must be >= 1")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        outcome = run_distributed(
+            jobs,
+            roster,
+            cache=cache,
+            on_error=args.on_error,
+            retry=retry,
+            manifest=manifest,
+            chunk_size=args.chunk_size,
+        )
+    else:
+        outcome = run_jobs(
+            jobs,
+            workers=args.workers,
+            cache=cache,
+            on_error=args.on_error,
+            retry=retry,
+            manifest=manifest,
+        )
 
     failures = outcome.failures()
     raw: dict[str, dict[str, float]] = {}
@@ -1037,6 +1081,41 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    import asyncio
+
+    from repro.harness.distributed import WorkerServer, run_worker
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.backend is not None:
+        try:
+            args.backend = resolve_backend_name(args.backend)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    server = WorkerServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        cache=_cache_from_args(args),
+    )
+    try:
+        # Announce on stdout (flushed) so coordinators and smoke scripts
+        # can parse the bound port when --port 0 asked for an ephemeral one.
+        asyncio.run(run_worker(server, announce=lambda m: print(m, flush=True)))
+    except KeyboardInterrupt:
+        pass  # the signal handler already drained; a second ^C lands here
+    print(
+        f"drained: {server.batches} batch(es), {server.jobs_done} job(s) done, "
+        f"{server.jobs_failed} failed",
+        flush=True,
+    )
+    return 0
+
+
 def cmd_submit(args) -> int:
     import http.client
     import urllib.parse
@@ -1196,6 +1275,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the sweep under the seeded fault injector "
                               "(e.g. 7:0.2 or 7:0.2:fail+hang); same seed, "
                               "same faults — pair with --on-error retry")
+    p_sweep.add_argument("--workers-at", default=None, metavar="HOST:PORT,...",
+                         help="shard the sweep across these `repro worker` "
+                              "processes instead of running locally; results "
+                              "are bit-identical to a local sweep (see "
+                              "docs/DISTRIBUTED.md)")
+    p_sweep.add_argument("--worker-roster", default=None, metavar="PATH",
+                         help='worker roster file: {"workers": '
+                              '["host:port", ...]} (alternative to '
+                              "--workers-at)")
+    p_sweep.add_argument("--chunk-size", type=int, default=4, metavar="N",
+                         help="jobs per dispatch chunk on the distributed "
+                              "path — the most one lost worker forfeits "
+                              "(default 4)")
     p_sweep.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -1313,6 +1405,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print what would be promoted without writing")
     p_prom.set_defaults(func=cmd_scenarios_promote)
 
+    from repro.harness.distributed import DEFAULT_WORKER_PORT
     from repro.serve.server import DEFAULT_PORT
 
     p_serve = sub.add_parser(
@@ -1354,6 +1447,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "get 503 + Retry-After while the dispatch "
                               "queue is this deep (default: never shed)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="boot a long-lived sweep worker for `repro sweep --workers-at` "
+             "(HTTP/JSON batches; see docs/DISTRIBUTED.md)",
+    )
+    p_worker.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1)")
+    p_worker.add_argument("--port", type=int, default=DEFAULT_WORKER_PORT,
+                          help=f"TCP port (default {DEFAULT_WORKER_PORT}; 0 "
+                               "picks an ephemeral port, announced on stdout)")
+    p_worker.add_argument("--workers", type=int, default=1,
+                          help="process-pool width for each batch this worker "
+                               "executes (default 1 = in-process)")
+    p_worker.add_argument("--no-cache", action="store_true",
+                          help="execute without the on-disk result cache")
+    p_worker.add_argument("--backend", default=None, metavar="NAME",
+                          help="engine for jobs that do not pin one, one of: "
+                               f"{', '.join(backend_names())} "
+                               "(default: REPRO_BACKEND or 'reference')")
+    p_worker.set_defaults(func=cmd_worker)
 
     p_submit = sub.add_parser(
         "submit",
@@ -1410,6 +1524,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Configuration validation (REPRO_WORKERS, worker rosters, wire
+        # forms): one clear line naming the offending knob, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     except BackendUnavailableError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,743 @@
+"""Cross-machine sharded sweeps: ``repro worker`` + the sweep coordinator.
+
+This is the remote runner beside :class:`repro.harness.parallel._PoolRunner`
+— the ROADMAP's "refactor that unlocks millions-of-users sweep volume".
+Every ingredient already existed; this module only wires them together:
+
+* **Workers** (:class:`WorkerServer`, the ``repro worker`` entry point) are
+  long-lived processes reusing the serve layer's HTTP plumbing
+  (:mod:`repro.serve.http`).  ``POST /batch`` accepts a
+  :func:`repro.api.encode_request_batch` payload — the same versioned
+  request wire forms ``repro serve`` speaks — executes it through
+  :func:`repro.harness.parallel.run_jobs` with the full retry / timeout /
+  chaos stack, and answers one outcome row per job plus the shard's sweep
+  statistics and ledger row.
+* **The coordinator** (:func:`run_distributed`, behind ``repro sweep
+  --workers-at``) partitions the job list by content-addressed cache key
+  (:class:`repro.harness.parallel.ShardPlan`), dispatches shard chunks to
+  the workers, streams per-job outcomes into the *existing* append-only
+  manifest as they arrive (so ``repro sweep --resume`` works across
+  machines unchanged), merges results and ledger rows with dedup by cache
+  key, and re-dispatches chunks lost to dead or unreachable workers onto
+  healthy ones under the existing :class:`~repro.harness.parallel
+  .RetryPolicy`.
+
+Exactness: a job's seed lives in its ``RunConfig`` and results are
+bit-identical wherever they execute, so a sharded sweep returns — by
+construction — exactly what the single-machine sweep returns, whatever the
+roster, chunking or failure history (asserted over the golden matrix by
+``tests/test_distributed.py`` and the CI ``distributed-smoke`` job).  See
+docs/DISTRIBUTED.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.api import (
+    AnyRequest,
+    MultiTenantRequest,
+    decode_request_batch,
+    encode_request_batch,
+)
+from repro.gpu.gpu import SimulationResult
+from repro.harness.cache import ResultCache
+from repro.harness.ledger import append_entry, merge_ledger_entries, record_sweep, sweep_entry
+from repro.harness.manifest import ManifestEntry, append_outcome, load_manifest
+from repro.harness.parallel import (
+    AUTO_CACHE,
+    ON_ERROR_MODES,
+    JobFailure,
+    RetryPolicy,
+    ShardPlan,
+    SweepError,
+    SweepOutcome,
+    SweepStats,
+    _decode_cached,
+    _resolved_backends,
+    parse_positive_int,
+    run_jobs,
+)
+from repro.serve.http import canonical_json, read_http_request, respond
+from repro.version import __version__
+
+#: Default TCP port of ``repro worker`` (``repro serve`` owns 8651).
+DEFAULT_WORKER_PORT = 8652
+
+#: Version of the worker's ``POST /batch`` response envelope.
+OUTCOME_SCHEMA = 1
+
+#: Jobs per dispatch chunk: the unit one HTTP round trip carries and the
+#: most a lost worker forfeits.  Small enough that re-dispatch is cheap,
+#: large enough to amortise the wire overhead.
+DEFAULT_CHUNK_SIZE = 4
+
+#: Fallback HTTP read timeout (seconds) when no policy deadline is set.  A
+#: *dead* worker surfaces as an immediate connection error; this bound only
+#: catches a worker that accepted a chunk and then hung.
+DEFAULT_REQUEST_TIMEOUT = 600.0
+
+
+# ---------------------------------------------------------------------------
+# Worker rosters
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerRef:
+    """One worker endpoint of a distributed sweep roster."""
+
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+def parse_workers_at(text: str, *, what: str = "--workers-at") -> tuple[WorkerRef, ...]:
+    """Parse a ``host:port,host:port`` roster with one-line errors.
+
+    Accepts bare ``HOST:PORT`` entries or full ``http://HOST:PORT`` URLs;
+    every malformed entry dies with a message naming the offending value
+    (the same contract as the ``REPRO_WORKERS`` validation).
+    """
+    refs: list[WorkerRef] = []
+    for raw in str(text).split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        if entry.startswith("http://"):
+            entry = entry[len("http://"):].rstrip("/")
+        host, sep, port_text = entry.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"{what} entry {raw.strip()!r} must look like HOST:PORT"
+            )
+        port = parse_positive_int(port_text, what=f"{what} port in {raw.strip()!r}")
+        if port > 65535:
+            raise ValueError(f"{what} port {port} in {raw.strip()!r} is out of range")
+        refs.append(WorkerRef(host=host, port=port))
+    if not refs:
+        raise ValueError(f"{what} names no workers")
+    return tuple(refs)
+
+
+def load_worker_roster(path: Union[str, Path]) -> tuple[WorkerRef, ...]:
+    """Read a ``shards.json`` roster: ``{"workers": ["host:port", ...]}``.
+
+    A bare JSON list of ``host:port`` strings is accepted too.  Errors name
+    the file and the offending entry.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read worker roster {path}: {exc}") from None
+    except ValueError as exc:
+        raise ValueError(f"worker roster {path} is not valid JSON: {exc}") from None
+    if isinstance(payload, dict):
+        payload = payload.get("workers")
+    if not isinstance(payload, list) or not all(isinstance(e, str) for e in payload):
+        raise ValueError(
+            f'worker roster {path} must be {{"workers": ["host:port", ...]}} '
+            "or a JSON list of host:port strings"
+        )
+    return parse_workers_at(",".join(payload), what=f"worker roster {path}")
+
+
+# ---------------------------------------------------------------------------
+# The worker process (``repro worker``)
+# ---------------------------------------------------------------------------
+class WorkerServer:
+    """A long-lived sweep worker: ``POST /batch`` in, outcome rows out.
+
+    Reuses the serve layer's HTTP plumbing verbatim; execution goes through
+    :func:`run_jobs`, so the PR 8 resilience stack (per-job retry with
+    seeded backoff, timeouts and straggler duplication on the pool path,
+    seeded chaos via ``REPRO_CHAOS``) applies on the worker exactly as it
+    does locally.  Batches execute one at a time — the worker's own
+    ``--workers`` pool is the intra-batch parallelism.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_WORKER_PORT,
+        workers: int = 1,
+        backend: Optional[str] = None,
+        cache: Union[ResultCache, str, None] = AUTO_CACHE,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.backend = backend
+        self.cache = cache
+        self.batches = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._busy = False
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closed: Optional[asyncio.Event] = None
+        self._batch_lock: Optional[asyncio.Lock] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self._closed = asyncio.Event()
+        self._batch_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def begin_shutdown(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        asyncio.get_running_loop().create_task(self._stop())
+
+    async def _stop(self) -> None:
+        # Let an in-flight batch finish: the lock serialises against it.
+        assert self._batch_lock is not None
+        async with self._batch_lock:
+            pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        assert self._closed is not None
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        assert self._closed is not None, "start() was not called"
+        await self._closed.wait()
+
+    # -- HTTP ----------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await read_http_request(reader)
+            except (ValueError, asyncio.IncompleteReadError) as exc:
+                await respond(writer, 400, {"error": f"bad request: {exc}"})
+                return
+            if request is None:
+                return
+            await self._route(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # coordinator went away mid-response
+        except Exception as exc:  # never let a handler bug kill the loop
+            try:
+                await respond(writer, 500, {"error": f"internal error: {exc}"})
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _route(self, request, writer) -> None:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            if method != "GET":
+                await respond(writer, 405, {"error": "use GET"})
+                return
+            await respond(writer, 200, {
+                "status": "draining" if self._draining else "ok",
+                "kind": "worker",
+                "busy": self._busy,
+                "workers": self.workers,
+                "version": __version__,
+            })
+        elif path == "/batch":
+            if method != "POST":
+                await respond(writer, 405, {"error": "use POST"})
+                return
+            await self._handle_batch(request, writer)
+        elif path == "/shutdown":
+            if method != "POST":
+                await respond(writer, 405, {"error": "use POST"})
+                return
+            await respond(writer, 200, {"status": "stopping"})
+            self.begin_shutdown()
+        else:
+            await respond(writer, 404, {"error": f"unknown path {path!r}"})
+
+    async def _handle_batch(self, http_request, writer) -> None:
+        if self._draining:
+            await respond(writer, 503, {"error": "worker is draining"})
+            return
+        try:
+            payload = json.loads(http_request.body.decode("utf-8"))
+            jobs = decode_request_batch(payload)
+            options = payload.get("options") or {}
+            on_error = options.get("on_error", "skip")
+            if on_error not in ("skip", "retry"):
+                raise ValueError(
+                    f"worker on_error must be 'skip' or 'retry', got {on_error!r}"
+                )
+            retry_payload = options.get("retry")
+            retry = (
+                RetryPolicy.from_dict(retry_payload)
+                if retry_payload is not None
+                else None
+            )
+        except (ValueError, UnicodeDecodeError) as exc:
+            await respond(writer, 400, {"error": f"bad batch payload: {exc}"})
+            return
+        assert self._batch_lock is not None
+        async with self._batch_lock:
+            self._busy = True
+            try:
+                loop = asyncio.get_running_loop()
+                outcome = await loop.run_in_executor(
+                    None,
+                    lambda: run_jobs(
+                        jobs,
+                        workers=self.workers,
+                        cache=self.cache,
+                        backend=self.backend,
+                        on_error=on_error,
+                        retry=retry,
+                    ),
+                )
+            except Exception as exc:
+                await respond(writer, 500, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                return
+            finally:
+                self._busy = False
+        rows = []
+        keys: list[str] = []
+        for job, result in outcome:
+            if isinstance(result, JobFailure):
+                self.jobs_failed += 1
+                rows.append({
+                    "status": "timeout" if result.timed_out else "failed",
+                    "result": None,
+                    "error": result.error,
+                    "error_type": result.error_type,
+                    "attempts": result.attempts,
+                    "timed_out": result.timed_out,
+                })
+            else:
+                self.jobs_done += 1
+                rows.append({
+                    "status": "done",
+                    "result": result.to_dict(),
+                    "error": None,
+                    "error_type": None,
+                    "attempts": 1,
+                    "timed_out": False,
+                })
+            try:
+                keys.append(job.cache_key())
+            except Exception:
+                pass
+        self.batches += 1
+        stats = outcome.stats
+        await respond(writer, 200, canonical_json({
+            "schema": OUTCOME_SCHEMA,
+            "kind": "BatchOutcome",
+            "outcomes": rows,
+            "stats": {
+                "jobs": stats.jobs,
+                "cache_hits": stats.cache_hits,
+                "executed": stats.executed,
+                "workers": stats.workers,
+                "backend": stats.backend,
+                "failed": stats.failed,
+                "retried": stats.retried,
+                "timed_out": stats.timed_out,
+                "wall_seconds": stats.wall_seconds,
+            },
+            "ledger_row": sweep_entry(stats, keys=keys or None),
+        }))
+
+
+async def run_worker(server: WorkerServer, *, announce=None) -> None:
+    """Start ``server``, announce the bound address, serve until stopped.
+
+    SIGINT/SIGTERM trigger the same graceful stop as ``POST /shutdown``
+    (an in-flight batch finishes first).
+    """
+    import signal
+
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, server.begin_shutdown)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or unsupported platform
+    # Announce last: the line is the readiness contract scripts wait on,
+    # so signals must already drain gracefully by the time it prints.
+    if announce is not None:
+        announce(f"repro worker listening on {server.address}")
+    await server.wait_closed()
+
+
+# ---------------------------------------------------------------------------
+# The coordinator side
+# ---------------------------------------------------------------------------
+class WorkerClient:
+    """Blocking HTTP client for one worker endpoint (stdlib only)."""
+
+    def __init__(self, ref: WorkerRef, *, timeout: float = DEFAULT_REQUEST_TIMEOUT) -> None:
+        self.ref = ref
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: Optional[bytes] = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.ref.host, self.ref.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                raise WorkerError(
+                    f"worker {self.ref.address} answered {response.status}: "
+                    f"{data[:200].decode(errors='replace')}"
+                )
+            return json.loads(data)
+        finally:
+            conn.close()
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def run_batch(
+        self,
+        requests: Sequence[AnyRequest],
+        *,
+        on_error: str = "skip",
+        retry: Optional[RetryPolicy] = None,
+    ) -> dict:
+        payload = encode_request_batch(requests)
+        payload["options"] = {
+            "on_error": on_error,
+            "retry": retry.to_dict() if retry is not None else None,
+        }
+        answer = self._request("POST", "/batch", canonical_json(payload))
+        if (
+            answer.get("kind") != "BatchOutcome"
+            or answer.get("schema") != OUTCOME_SCHEMA
+            or not isinstance(answer.get("outcomes"), list)
+            or len(answer["outcomes"]) != len(requests)
+        ):
+            raise WorkerError(
+                f"worker {self.ref.address} returned a malformed batch outcome"
+            )
+        return answer
+
+    def shutdown(self) -> None:
+        self._request("POST", "/shutdown", b"")
+
+
+class WorkerError(RuntimeError):
+    """A worker answered, but not with a usable batch outcome."""
+
+
+@dataclass
+class _Chunk:
+    """One dispatch unit: a few (index, job, key) items of one shard."""
+
+    shard: int
+    items: list  # [(index, job, key), ...]
+    dispatches: int = 0
+    last_error: Optional[BaseException] = None
+
+    def backoff_key(self) -> str:
+        return f"shard:{self.shard}:{self.items[0][0]}"
+
+
+@dataclass
+class _Fleet:
+    """Shared coordinator state across per-worker dispatch threads."""
+
+    queues: dict  # worker position -> deque[_Chunk]
+    orphans: deque = field(default_factory=deque)
+    unsettled: int = 0
+    dead: set = field(default_factory=set)
+    error: Optional[BaseException] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    wake: threading.Condition = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wake = threading.Condition(self.lock)
+
+
+def run_distributed(
+    jobs: Sequence[AnyRequest],
+    workers: Sequence[WorkerRef],
+    *,
+    cache: Union[ResultCache, str, None] = AUTO_CACHE,
+    backend: Optional[str] = None,
+    on_error: str = "raise",
+    retry: Optional[RetryPolicy] = None,
+    manifest: Union[str, Path, None] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    request_timeout: Optional[float] = None,
+) -> SweepOutcome:
+    """Execute ``jobs`` across ``workers`` and return a local-identical outcome.
+
+    The distributed counterpart of :func:`repro.harness.parallel.run_jobs`
+    with the same signature shape and the same return type: results in
+    submission order, cache hits served locally before anything is
+    dispatched, per-job outcomes streamed into ``manifest`` as they settle.
+    Shard membership is a pure function of the jobs' cache keys
+    (:class:`ShardPlan`), so a resume re-plans identically.
+
+    Failure semantics mirror ``run_jobs``: ``on_error="raise"`` aborts with
+    :class:`SweepError` on the first failed job, ``"skip"`` / ``"retry"``
+    leave typed :class:`JobFailure` slots (retries happen *on the worker*,
+    under the shipped :class:`RetryPolicy`).  Additionally the coordinator
+    re-dispatches chunks lost to dead workers onto healthy ones — bounded
+    by ``retry.max_attempts`` dispatches per chunk with the policy's seeded
+    backoff — and counts each extra dispatch in ``stats.retried``.
+    """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"unknown on_error mode {on_error!r} (choose from {ON_ERROR_MODES})"
+        )
+    workers = tuple(workers)
+    if not workers:
+        raise ValueError("run_distributed needs at least one worker")
+    policy = retry if retry is not None else RetryPolicy()
+    worker_on_error = "retry" if on_error == "retry" else "skip"
+    timeout = request_timeout
+    if timeout is None:
+        timeout = policy.straggler_seconds or DEFAULT_REQUEST_TIMEOUT
+
+    jobs = list(jobs)
+    if backend is not None:
+        jobs = [
+            job
+            if job.backend is not None or isinstance(job, MultiTenantRequest)
+            else replace(job, backend=backend)
+            for job in jobs
+        ]
+    if isinstance(cache, str):
+        if cache != AUTO_CACHE:
+            raise ValueError(f"unknown cache mode {cache!r}")
+        cache = ResultCache.from_env()
+    manifest_path = Path(manifest) if manifest is not None else None
+    if manifest_path is not None:
+        load_manifest(manifest_path)  # touch-load: malformed files surface here
+
+    start = time.perf_counter()
+    results: list[Any] = [None] * len(jobs)
+    stats = SweepStats(
+        jobs=len(jobs), workers=len(workers), backend=_resolved_backends(jobs)
+    )
+    pending: list[tuple[int, AnyRequest, str]] = []
+    sweep_keys: list[str] = []
+    for index, job in enumerate(jobs):
+        # Keys are mandatory here (they define the shard plan and the
+        # result merge); a job that cannot produce one fails the same way
+        # an unknown benchmark fails in run_jobs.
+        try:
+            key = job.cache_key()
+        except Exception as exc:
+            if on_error == "raise":
+                raise SweepError(job, exc) from exc
+            stats.failed += 1
+            results[index] = JobFailure(
+                job=job, error=str(exc), error_type=type(exc).__name__,
+            )
+            continue
+        sweep_keys.append(key)
+        if cache is not None:
+            hit = _decode_cached(cache.get(key))
+            if hit is not None:
+                results[index] = hit
+                stats.cache_hits += 1
+                continue
+        pending.append((index, job, key))
+    stats.executed = len(pending)
+
+    ledger_rows: list[dict] = []
+    if pending:
+        plan = ShardPlan.build([key for _, _, key in pending], len(workers))
+        fleet = _Fleet(queues={})
+        chunks: list[_Chunk] = []
+        for shard_index, positions in plan.chunks(chunk_size):
+            chunk = _Chunk(shard=shard_index, items=[pending[p] for p in positions])
+            chunks.append(chunk)
+            fleet.queues.setdefault(shard_index, deque()).append(chunk)
+        fleet.unsettled = len(chunks)
+
+        def record_outcome(chunk: _Chunk, answer: dict) -> None:
+            """Merge one chunk's outcome rows (called under the lock)."""
+            worker_stats = answer.get("stats") or {}
+            stats.retried += int(worker_stats.get("retried", 0) or 0)
+            stats.timed_out += int(worker_stats.get("timed_out", 0) or 0)
+            row = answer.get("ledger_row")
+            if isinstance(row, dict):
+                ledger_rows.append(row)
+            for (index, job, key), outcome in zip(chunk.items, answer["outcomes"]):
+                attempts = int(outcome.get("attempts", 1) or 1) + chunk.dispatches - 1
+                result = None
+                if outcome.get("status") == "done" and outcome.get("result") is not None:
+                    try:
+                        result = SimulationResult.from_dict(outcome["result"])
+                    except Exception:
+                        result = None  # wire drift: count the job as failed
+                if result is not None:
+                    results[index] = result
+                    if cache is not None:
+                        cache.put(key, result.to_dict())
+                    if manifest_path is not None:
+                        append_outcome(manifest_path, ManifestEntry(
+                            key=key, status="done", attempts=attempts,
+                            benchmark=job.benchmark_name,
+                            scheduler=job.scheduler,
+                            backend=str(worker_stats.get("backend", "")),
+                        ))
+                    continue
+                stats.failed += 1
+                error = str(outcome.get("error") or "worker reported no result")
+                error_type = str(outcome.get("error_type") or "RuntimeError")
+                timed_out = bool(outcome.get("timed_out"))
+                if manifest_path is not None:
+                    append_outcome(manifest_path, ManifestEntry(
+                        key=key,
+                        status="timeout" if timed_out else "failed",
+                        attempts=attempts,
+                        benchmark=job.benchmark_name,
+                        scheduler=job.scheduler,
+                        error=f"{error_type}: {error}",
+                    ))
+                if on_error == "raise" and fleet.error is None:
+                    fleet.error = SweepError(
+                        job, RuntimeError(f"{error_type}: {error}")
+                    )
+                    continue
+                results[index] = JobFailure(
+                    job=job, error=error, error_type=error_type,
+                    attempts=attempts, timed_out=timed_out,
+                )
+
+        def settle_lost_chunk(chunk: _Chunk) -> None:
+            """Give up on a chunk no worker could run (under the lock)."""
+            cause = chunk.last_error or RuntimeError("no healthy workers")
+            for index, job, key in chunk.items:
+                stats.failed += 1
+                if manifest_path is not None:
+                    append_outcome(manifest_path, ManifestEntry(
+                        key=key, status="failed", attempts=chunk.dispatches,
+                        benchmark=job.benchmark_name, scheduler=job.scheduler,
+                        error=f"{type(cause).__name__}: {cause}",
+                    ))
+                if on_error == "raise":
+                    if fleet.error is None:
+                        fleet.error = SweepError(job, cause)
+                else:
+                    results[index] = JobFailure(
+                        job=job, error=str(cause),
+                        error_type=type(cause).__name__,
+                        attempts=max(1, chunk.dispatches),
+                    )
+
+        def worker_loop(position: int, ref: WorkerRef) -> None:
+            client = WorkerClient(ref, timeout=timeout)
+            own = fleet.queues.get(position) or deque()
+            while True:
+                with fleet.wake:
+                    while True:
+                        if fleet.unsettled == 0 or fleet.error is not None:
+                            return
+                        if position in fleet.dead:
+                            return
+                        if own:
+                            chunk = own.popleft()
+                            break
+                        if fleet.orphans:
+                            chunk = fleet.orphans.popleft()
+                            break
+                        fleet.wake.wait(timeout=0.05)
+                    chunk.dispatches += 1
+                    redispatch = chunk.dispatches > 1
+                if redispatch:
+                    with fleet.lock:
+                        stats.retried += 1
+                    time.sleep(
+                        policy.backoff_seconds(chunk.backoff_key(), chunk.dispatches - 1)
+                    )
+                try:
+                    answer = client.run_batch(
+                        [job for _, job, _ in chunk.items],
+                        on_error=worker_on_error,
+                        retry=retry,
+                    )
+                except (
+                    OSError, http.client.HTTPException, WorkerError, ValueError,
+                ) as exc:
+                    with fleet.wake:
+                        chunk.last_error = exc
+                        fleet.dead.add(position)
+                        # This worker's whole queue is lost with it; chunks
+                        # already tried elsewhere keep their dispatch count.
+                        while own:
+                            fleet.orphans.append(own.popleft())
+                        live = len(workers) - len(fleet.dead)
+                        if chunk.dispatches >= policy.max_attempts or live == 0:
+                            settle_lost_chunk(chunk)
+                            fleet.unsettled -= 1
+                        else:
+                            fleet.orphans.append(chunk)
+                        if live == 0:
+                            # Nobody is coming for the orphans; settle them.
+                            while fleet.orphans:
+                                settle_lost_chunk(fleet.orphans.popleft())
+                                fleet.unsettled -= 1
+                        fleet.wake.notify_all()
+                    return
+                with fleet.wake:
+                    record_outcome(chunk, answer)
+                    fleet.unsettled -= 1
+                    fleet.wake.notify_all()
+
+        threads = [
+            threading.Thread(
+                target=worker_loop, args=(position, ref),
+                name=f"repro-dispatch-{position}", daemon=True,
+            )
+            for position, ref in enumerate(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if fleet.error is not None:
+            raise fleet.error
+
+    stats.wall_seconds = time.perf_counter() - start
+    try:
+        record_sweep(stats, keys=sweep_keys or None)
+        for row in merge_ledger_entries([ledger_rows]):
+            append_entry(row)
+    except Exception:
+        pass  # the ledger is best-effort; never fail a sweep over it
+    return SweepOutcome(jobs=jobs, results=results, stats=stats)

@@ -23,11 +23,12 @@ writer can never fail a sweep.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional, Sequence
 
 _FALSY = ("0", "off", "false", "no")
 
@@ -71,12 +72,23 @@ def append_entry(entry: dict, *, path: Optional[Path] = None) -> Optional[Path]:
     return path
 
 
-def record_sweep(stats, *, path: Optional[Path] = None) -> Optional[Path]:
-    """Append one ledger entry for ``stats`` (a ``SweepStats``).
+def keys_digest(keys: Iterable[str]) -> str:
+    """Content digest of a sweep's cache-key *set* (order-insensitive).
 
-    Returns the path written, or ``None`` when recording is disabled or the
-    write failed (best-effort by design).  An explicit ``path`` bypasses the
-    enable/disable environment check.
+    Stamped onto sweep ledger rows so rows describing the same work — a
+    distributed shard's row returned by its worker *and* re-dispatched
+    after a coordinator retry — can be recognised as duplicates when
+    ledgers merge (:func:`merge_ledger_entries`).
+    """
+    blob = "\n".join(sorted(set(keys)))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def sweep_entry(stats, *, keys: Optional[Sequence[str]] = None) -> dict:
+    """The ledger row describing one sweep's ``SweepStats``.
+
+    ``keys`` (the sweep's content-addressed cache keys, when known) adds a
+    ``keys_digest`` identity so merged ledgers can drop duplicate rows.
     """
     entry = {
         "ts": round(time.time(), 3),
@@ -91,7 +103,21 @@ def record_sweep(stats, *, path: Optional[Path] = None) -> Optional[Path]:
         "retried": getattr(stats, "retried", 0),
         "timed_out": getattr(stats, "timed_out", 0),
     }
-    return append_entry(entry, path=path)
+    if keys:
+        entry["keys_digest"] = keys_digest(keys)
+    return entry
+
+
+def record_sweep(
+    stats, *, path: Optional[Path] = None, keys: Optional[Sequence[str]] = None
+) -> Optional[Path]:
+    """Append one ledger entry for ``stats`` (a ``SweepStats``).
+
+    Returns the path written, or ``None`` when recording is disabled or the
+    write failed (best-effort by design).  An explicit ``path`` bypasses the
+    enable/disable environment check.
+    """
+    return append_entry(sweep_entry(stats, keys=keys), path=path)
 
 
 def read_ledger(path: Optional[Path] = None) -> list[dict]:
@@ -113,6 +139,38 @@ def read_ledger(path: Optional[Path] = None) -> list[dict]:
     except OSError:
         return []
     return entries
+
+
+def merge_ledger_entries(groups: Iterable[Iterable[dict]]) -> list[dict]:
+    """Merge several ledgers' rows, dropping duplicate rows once.
+
+    Distributed sweeps merge ledger rows from many machines, and a
+    coordinator retry can deliver the *same* shard row twice — historically
+    :func:`summarize_ledger` then double-counted that machine's sweep.
+    Rows are deduplicated by their content identity: ``(kind,
+    keys_digest)`` for sweep rows that carry one, ``(kind, rev, case
+    fingerprint)`` for bench rows.  Rows with no identity (legacy sweep
+    rows, serve drain rows) are kept verbatim — they describe sessions, not
+    re-mergeable work units.
+    """
+    merged: list[dict] = []
+    seen: set[tuple] = set()
+    for entries in groups:
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            kind = entry.get("kind", "sweep")
+            ident: Optional[tuple] = None
+            if entry.get("keys_digest"):
+                ident = (kind, entry["keys_digest"])
+            elif kind == "bench" and entry.get("rev"):
+                ident = (kind, entry["rev"], entry.get("ts"))
+            if ident is not None:
+                if ident in seen:
+                    continue
+                seen.add(ident)
+            merged.append(entry)
+    return merged
 
 
 def summarize_ledger(entries: list[dict]) -> dict:

@@ -54,7 +54,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from repro.api import AnyRequest, MultiTenantRequest, SimulationRequest
 from repro.gpu.gpu import SimulationResult
@@ -72,6 +72,9 @@ AUTO_CACHE = "auto"
 
 #: Legal ``on_error`` modes of :func:`run_jobs`.
 ON_ERROR_MODES = ("raise", "skip", "retry")
+
+#: Version of the :meth:`RetryPolicy.to_dict` wire form.
+RETRY_SCHEMA = 1
 
 
 class SweepError(RuntimeError):
@@ -157,6 +160,40 @@ class RetryPolicy:
             return base
         draw = _unit_draw(self.seed, "backoff", key, retry)
         return base * (1.0 + self.jitter * (2.0 * draw - 1.0))
+
+    # -- wire format ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe form (shipped to ``repro worker`` processes)."""
+        from dataclasses import asdict
+
+        return {
+            "schema": RETRY_SCHEMA,
+            "kind": "RetryPolicy",
+            "data": asdict(self),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RetryPolicy":
+        """Inverse of :meth:`to_dict` (raises ``ValueError`` on drift)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"RetryPolicy payload must be a mapping, got {type(payload).__name__}"
+            )
+        if payload.get("kind") != "RetryPolicy" or payload.get("schema") != RETRY_SCHEMA:
+            raise ValueError(
+                f"unsupported RetryPolicy payload (kind={payload.get('kind')!r}, "
+                f"schema={payload.get('schema')!r})"
+            )
+        data = payload.get("data")
+        if not isinstance(data, Mapping):
+            raise ValueError("RetryPolicy payload carries no data mapping")
+        from dataclasses import fields as dc_fields
+
+        known = {f.name for f in dc_fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RetryPolicy fields {unknown}")
+        return cls(**data)
 
 
 @dataclass
@@ -247,10 +284,38 @@ def derive_seed(base_seed: int, *parts: object) -> int:
     Stable across processes and Python versions (unlike ``hash``), so a
     sweep that decorrelates seeds per (benchmark, scheduler) still produces
     reproducible results.
+
+    Each part is length-prefixed before hashing, so the part *boundaries*
+    are part of the identity: ``derive_seed(s, "a:b", "c")`` and
+    ``derive_seed(s, "a", "b:c")`` draw independent seeds.  (The historic
+    ``":".join`` framing collapsed them — and the ``--tenants`` grammar
+    puts ``:`` inside part strings — silently correlating seed streams.)
     """
-    blob = ":".join([str(base_seed), *[str(p) for p in parts]])
-    digest = hashlib.blake2b(blob.encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "big") % (2**31 - 1) + 1
+    hasher = hashlib.blake2b(digest_size=8)
+    for part in (base_seed, *parts):
+        blob = str(part).encode()
+        hasher.update(len(blob).to_bytes(4, "big"))
+        hasher.update(blob)
+    return int.from_bytes(hasher.digest(), "big") % (2**31 - 1) + 1
+
+
+def parse_positive_int(text: object, *, what: str) -> int:
+    """Parse ``text`` as a positive integer or fail with a one-line error.
+
+    Shared by every knob that accepts a count from the environment or a
+    worker roster (``REPRO_WORKERS``, ``--workers-at`` ports, ...) so a
+    typo'd value dies with a message naming the knob instead of a bare
+    ``ValueError`` traceback.
+    """
+    try:
+        value = int(str(text).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{what} must be a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{what} must be a positive integer, got {text!r}")
+    return value
 
 
 def resolve_workers(workers: Optional[int], n_jobs: int) -> int:
@@ -258,12 +323,71 @@ def resolve_workers(workers: Optional[int], n_jobs: int) -> int:
 
     ``None`` means "auto": honour ``REPRO_WORKERS`` when set, else use the
     machine's CPU count.  The result is clamped to the job count (no idle
-    processes) and floored at one.
+    processes) and floored at one.  A non-numeric or non-positive
+    ``REPRO_WORKERS`` is rejected with an error naming the variable.
     """
     if workers is None:
         env = os.environ.get("REPRO_WORKERS")
-        workers = int(env) if env else (os.cpu_count() or 1)
+        workers = (
+            parse_positive_int(env, what="REPRO_WORKERS")
+            if env
+            else (os.cpu_count() or 1)
+        )
     return max(1, min(int(workers), max(1, n_jobs)))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic partition of a job list by content-addressed cache key.
+
+    The remote runner (:mod:`repro.harness.distributed`) shards a sweep
+    across worker processes; the assignment must be a pure function of the
+    jobs themselves — never of roster order arrival times or wall clocks —
+    so re-planning the same sweep (a resume, a re-dispatch after a lost
+    worker) always reproduces the same shard membership.  Each job goes to
+    shard ``int(key[:16], 16) % n_shards``; keyless jobs (no cache, no
+    manifest) fall back to their submission index.
+
+    ``shards`` holds, per shard, the tuple of *positions into the planned
+    job list* (not the jobs themselves), preserving submission order inside
+    every shard.
+    """
+
+    n_shards: int
+    shards: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def build(
+        cls, keys: Sequence[Optional[str]], n_shards: int
+    ) -> "ShardPlan":
+        n_shards = max(1, int(n_shards))
+        members: list[list[int]] = [[] for _ in range(n_shards)]
+        for position, key in enumerate(keys):
+            if key:
+                shard = int(key[:16], 16) % n_shards
+            else:
+                shard = position % n_shards
+            members[shard].append(position)
+        return cls(
+            n_shards=n_shards,
+            shards=tuple(tuple(m) for m in members),
+        )
+
+    def chunks(self, chunk_size: int) -> list[tuple[int, tuple[int, ...]]]:
+        """Split every shard into ``(shard_index, positions)`` dispatch units.
+
+        Chunking bounds how much work one HTTP round trip carries (and how
+        much a lost worker forfeits); order is shard-major then submission
+        order, so the chunk list is as deterministic as the plan itself.
+        """
+        chunk_size = int(chunk_size)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        out: list[tuple[int, tuple[int, ...]]] = []
+        for shard_index, positions in enumerate(self.shards):
+            for start in range(0, len(positions), chunk_size):
+                out.append((shard_index, positions[start:start + chunk_size]))
+        return out
 
 
 def _execute(job: AnyRequest, attempt: int = 1) -> SimulationResult:
@@ -788,11 +912,13 @@ def run_jobs(
     pending: list[tuple[int, AnyRequest, Optional[str]]] = []
 
     stats = SweepStats(jobs=len(jobs), backend=_resolved_backends(jobs))
+    sweep_keys: list[str] = []
     for index, job in enumerate(jobs):
         key = None
         if cache is not None or manifest_path is not None:
             try:
                 key = job.cache_key()
+                sweep_keys.append(key)
             except Exception as exc:
                 # Same contract as execution failures: an unknown benchmark
                 # or scheduler surfaces as SweepError whether or not a cache
@@ -888,7 +1014,7 @@ def run_jobs(
 
     stats.wall_seconds = time.perf_counter() - start
     try:
-        record_sweep(stats)
+        record_sweep(stats, keys=sweep_keys or None)
     except Exception:
         pass  # the ledger is best-effort; never fail a sweep over it
     return SweepOutcome(jobs=jobs, results=results, stats=stats)

@@ -1,0 +1,94 @@
+"""Minimal stdlib HTTP/1.1 plumbing shared by ``repro serve`` and ``repro
+worker``.
+
+Extracted from :mod:`repro.serve.server` so the distributed sweep layer
+(:mod:`repro.harness.distributed`) can reuse the exact same parser and
+response writer without dragging in the serving stack (coalescer, batch
+queue, stats).  The contract is deliberately tiny: one request per
+connection, ``Content-Length`` bodies only, canonical JSON responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+#: Upper bound on accepted request bodies (a wire-form request is a few KB;
+#: a full request *batch* a few hundred).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def canonical_json(payload: Any) -> bytes:
+    """The one JSON rendering every response path shares (byte-stable)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass
+class HttpRequest:
+    """One parsed (minimal) HTTP/1.1 request."""
+
+    method: str
+    path: str
+    query: str
+    headers: Mapping[str, str]
+    body: bytes
+
+
+async def read_http_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request from ``reader`` (``None`` on immediate EOF)."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 100:
+            raise ValueError("too many headers")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ValueError("malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    path, _, query = target.partition("?")
+    return HttpRequest(method.upper(), path, query, headers, body)
+
+
+async def respond(writer, status: int, payload, *, extra_headers=()) -> None:
+    """Write one JSON (or pre-encoded bytes) response and flush it."""
+    body = payload if isinstance(payload, bytes) else canonical_json(payload)
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+    )
+    for name, value in extra_headers:
+        head += f"{name}: {value}\r\n"
+    head += "\r\n"
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()

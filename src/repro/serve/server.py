@@ -38,20 +38,28 @@ import asyncio
 import json
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, replace
-from typing import Any, Mapping, Optional
+from dataclasses import replace
+from typing import Optional
 
 from repro.api import (
     AnyRequest,
     JobRecord,
     JobState,
-    MultiTenantRequest,
     SimulationRequest,
     _decode_cached_result,
+    decode_request,
 )
 from repro.harness.ledger import append_entry, read_ledger, summarize_ledger
 from repro.harness.parallel import RetryPolicy
 from repro.serve.coalesce import Coalescer
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    REASONS as _REASONS,
+    HttpRequest,
+    canonical_json,
+    read_http_request,
+    respond,
+)
 from repro.serve.queue import BatchQueue, BatchTimeoutError, QueuedJob
 from repro.serve.stats import ServiceStats
 from repro.version import __version__
@@ -59,23 +67,15 @@ from repro.version import __version__
 #: Default TCP port of ``repro serve`` (and ``repro submit``'s default URL).
 DEFAULT_PORT = 8651
 
-#: Upper bound on accepted request bodies (a wire-form request is a few KB).
-MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Historic aliases — the HTTP plumbing moved to :mod:`repro.serve.http`
+#: (shared with ``repro worker``); these names remain importable.
+_read_http_request = read_http_request
+_respond = respond
 
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-def canonical_json(payload: Any) -> bytes:
-    """The one JSON rendering every response path shares (byte-stable)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+#: The request-payload dispatcher now lives beside the wire forms
+#: themselves (:func:`repro.api.decode_request`); this alias keeps the
+#: serving layer's public name.
+decode_request_payload = decode_request
 
 
 class RejectedRequest(ValueError):
@@ -100,60 +100,6 @@ class ServiceOverloaded(RuntimeError):
             f"{retry_after}s"
         )
         self.retry_after = retry_after
-
-
-@dataclass
-class HttpRequest:
-    """One parsed (minimal) HTTP/1.1 request."""
-
-    method: str
-    path: str
-    query: str
-    headers: Mapping[str, str]
-    body: bytes
-
-
-async def _read_http_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
-    """Parse one request from ``reader`` (``None`` on immediate EOF)."""
-    line = await reader.readline()
-    if not line:
-        return None
-    parts = line.decode("latin-1").strip().split()
-    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
-        raise ValueError(f"malformed request line: {line!r}")
-    method, target, _version = parts
-    headers: dict[str, str] = {}
-    while True:
-        line = await reader.readline()
-        if line in (b"\r\n", b"\n", b""):
-            break
-        name, sep, value = line.decode("latin-1").partition(":")
-        if not sep:
-            raise ValueError(f"malformed header line: {line!r}")
-        headers[name.strip().lower()] = value.strip()
-        if len(headers) > 100:
-            raise ValueError("too many headers")
-    try:
-        length = int(headers.get("content-length", "0") or "0")
-    except ValueError:
-        raise ValueError("malformed Content-Length") from None
-    if length < 0 or length > MAX_BODY_BYTES:
-        raise ValueError(f"unacceptable Content-Length {length}")
-    body = await reader.readexactly(length) if length else b""
-    path, _, query = target.partition("?")
-    return HttpRequest(method.upper(), path, query, headers, body)
-
-
-def decode_request_payload(payload: Any) -> AnyRequest:
-    """Dispatch a wire-form payload to the matching ``from_dict``."""
-    if not isinstance(payload, Mapping):
-        raise ValueError(f"request payload must be an object, got {type(payload).__name__}")
-    kind = payload.get("kind")
-    if kind == "SimulationRequest":
-        return SimulationRequest.from_dict(payload)
-    if kind == "MultiTenantRequest":
-        return MultiTenantRequest.from_dict(payload)
-    raise ValueError(f"unsupported request kind {kind!r}")
 
 
 class ReproService:
@@ -499,21 +445,6 @@ class ReproService:
                 ("X-Repro-Cache-Key", record.cache_key),
             ),
         )
-
-
-async def _respond(writer, status: int, payload, *, extra_headers=()) -> None:
-    body = payload if isinstance(payload, bytes) else canonical_json(payload)
-    head = (
-        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        "Connection: close\r\n"
-    )
-    for name, value in extra_headers:
-        head += f"{name}: {value}\r\n"
-    head += "\r\n"
-    writer.write(head.encode("latin-1") + body)
-    await writer.drain()
 
 
 async def run_service(service: ReproService, *, announce=None) -> None:

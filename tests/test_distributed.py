@@ -1,0 +1,437 @@
+"""Tests for the distributed sweep layer (``repro.harness.distributed``).
+
+The end-to-end classes drive real ``WorkerServer`` processes-worth of HTTP
+(an event loop per worker on a background thread, the blocking
+``WorkerClient`` on this one) and pin the PR's acceptance contract: a
+sharded sweep returns results bit-identical to the single-machine sweep —
+asserted against the golden-matrix fixture itself — survives a dead worker
+by re-dispatching its chunks onto healthy ones, and resumes a partial
+distributed manifest without re-running finished jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    MultiTenantRequest,
+    RunConfig,
+    SimulationRequest,
+    TenantSpec,
+    decode_request_batch,
+    encode_request_batch,
+)
+from repro.harness.cache import ResultCache
+from repro.harness.distributed import (
+    DEFAULT_WORKER_PORT,
+    WorkerClient,
+    WorkerError,
+    WorkerRef,
+    WorkerServer,
+    load_worker_roster,
+    parse_workers_at,
+    run_distributed,
+)
+from repro.harness.manifest import load_manifest
+from repro.harness.parallel import (
+    JobFailure,
+    RetryPolicy,
+    ShardPlan,
+    SweepError,
+    run_jobs,
+)
+from repro.serve.http import canonical_json
+
+SMALL = RunConfig(scale=0.02, seed=1)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "goldens" / "golden_stats.json").read_text()
+)
+
+
+def small_jobs(n: int = 4) -> list[SimulationRequest]:
+    matrix = [("ATAX", "gto"), ("ATAX", "ccws"), ("BICG", "gto"), ("MVT", "lrr")]
+    return [
+        SimulationRequest(bench, sched, SMALL) for bench, sched in matrix[:n]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+class TestShardPlan:
+    def test_partition_is_deterministic_and_complete(self):
+        keys = [f"{i:032x}" for i in range(17)]
+        plan = ShardPlan.build(keys, 4)
+        again = ShardPlan.build(list(keys), 4)
+        assert plan == again
+        covered = sorted(p for shard in plan.shards for p in shard)
+        assert covered == list(range(len(keys)))
+
+    def test_assignment_follows_key_not_position(self):
+        """Membership is a pure function of the key: reordering the job
+        list moves positions but never a key's shard."""
+        keys = [f"{i * 7919:032x}" for i in range(12)]
+        plan = ShardPlan.build(keys, 3)
+        shard_of = {}
+        for shard_index, positions in enumerate(plan.shards):
+            for p in positions:
+                shard_of[keys[p]] = shard_index
+        shuffled = list(reversed(keys))
+        replan = ShardPlan.build(shuffled, 3)
+        for shard_index, positions in enumerate(replan.shards):
+            for p in positions:
+                assert shard_of[shuffled[p]] == shard_index
+
+    def test_keyless_jobs_fall_back_to_position(self):
+        plan = ShardPlan.build([None, None, None], 2)
+        assert sorted(p for s in plan.shards for p in s) == [0, 1, 2]
+
+    def test_chunks_bound_size_and_preserve_shards(self):
+        keys = [f"{i:032x}" for i in range(10)]
+        plan = ShardPlan.build(keys, 2)
+        chunks = plan.chunks(3)
+        assert all(len(positions) <= 3 for _, positions in chunks)
+        rebuilt: dict[int, list[int]] = {}
+        for shard_index, positions in chunks:
+            rebuilt.setdefault(shard_index, []).extend(positions)
+        assert {
+            shard_index: tuple(positions)
+            for shard_index, positions in rebuilt.items()
+        } == {i: s for i, s in enumerate(plan.shards) if s}
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ShardPlan.build(["a" * 32], 1).chunks(0)
+
+
+# ---------------------------------------------------------------------------
+# Rosters
+# ---------------------------------------------------------------------------
+class TestRosters:
+    def test_parse_workers_at(self):
+        refs = parse_workers_at("localhost:9001, http://10.0.0.2:9002/")
+        assert refs == (
+            WorkerRef("localhost", 9001), WorkerRef("10.0.0.2", 9002)
+        )
+        assert refs[0].address == "http://localhost:9001"
+
+    @pytest.mark.parametrize("bad", ["nohost", "h:0", "h:-2", "h:abc",
+                                     "h:70000", "", ",,"])
+    def test_parse_workers_at_rejects(self, bad):
+        with pytest.raises(ValueError, match="--workers-at"):
+            parse_workers_at(bad)
+
+    def test_roster_file_dict_and_list_forms(self, tmp_path):
+        path = tmp_path / "shards.json"
+        path.write_text('{"workers": ["a:1", "b:2"]}')
+        assert load_worker_roster(path) == (WorkerRef("a", 1), WorkerRef("b", 2))
+        path.write_text('["c:3"]')
+        assert load_worker_roster(path) == (WorkerRef("c", 3),)
+
+    def test_roster_file_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "shards.json"
+        with pytest.raises(ValueError, match="shards.json"):
+            load_worker_roster(path)  # missing
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_worker_roster(path)
+        path.write_text('{"workers": [42]}')
+        with pytest.raises(ValueError, match="host:port"):
+            load_worker_roster(path)
+        path.write_text('{"workers": ["a:bad"]}')
+        with pytest.raises(ValueError, match="positive integer"):
+            load_worker_roster(path)
+
+
+# ---------------------------------------------------------------------------
+# Wire forms
+# ---------------------------------------------------------------------------
+class TestWireForms:
+    def test_request_batch_round_trip(self):
+        jobs = [
+            SimulationRequest("ATAX", "gto", SMALL),
+            MultiTenantRequest(
+                tenants=(
+                    TenantSpec("a", "ATAX", "gto"),
+                    TenantSpec("b", "BICG", "ccws"),
+                ),
+                run_config=SMALL,
+            ),
+        ]
+        decoded = decode_request_batch(
+            json.loads(canonical_json(encode_request_batch(jobs)))
+        )
+        assert decoded == jobs
+
+    def test_request_batch_rejects_drift(self):
+        good = encode_request_batch([SimulationRequest("ATAX", "gto", SMALL)])
+        with pytest.raises(ValueError):
+            decode_request_batch({**good, "schema": 99})
+        with pytest.raises(ValueError):
+            decode_request_batch({**good, "kind": "Nope"})
+        with pytest.raises(ValueError):
+            decode_request_batch({**good, "requests": "nope"})
+
+    def test_retry_policy_round_trip_and_drift(self):
+        policy = RetryPolicy(max_attempts=5, timeout_seconds=2.0, seed=9)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(ValueError):
+            RetryPolicy.from_dict({**policy.to_dict(), "schema": 99})
+        payload = policy.to_dict()
+        payload["data"] = {**payload["data"], "surprise": 1}
+        with pytest.raises(ValueError):
+            RetryPolicy.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Live workers (in-process event loops, real sockets)
+# ---------------------------------------------------------------------------
+class WorkerHandle:
+    """A live ``WorkerServer`` on a background event-loop thread."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("host", "127.0.0.1")
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("cache", None)
+        self.server = WorkerServer(**kwargs)
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=15), "worker failed to start"
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._started.set()
+        self._loop.run_until_complete(self.server.wait_closed())
+        self._loop.close()
+
+    @property
+    def ref(self) -> WorkerRef:
+        return WorkerRef("127.0.0.1", self.server.port)
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.begin_shutdown)
+            self._thread.join(timeout=15)
+
+
+class DudWorker:
+    """A roster entry that accepts connections and slams them shut.
+
+    Deterministically simulates a crashed / lost worker without timing
+    races: every dispatch to it fails immediately with a connection error.
+    """
+
+    def __init__(self):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            conn.close()
+
+    @property
+    def ref(self) -> WorkerRef:
+        return WorkerRef("127.0.0.1", self.port)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture()
+def worker():
+    handle = WorkerHandle()
+    yield handle
+    handle.close()
+
+
+@pytest.fixture()
+def pair():
+    handles = [WorkerHandle(), WorkerHandle()]
+    yield handles
+    for handle in handles:
+        handle.close()
+
+
+class TestWorkerHttp:
+    def test_healthz(self, worker):
+        answer = WorkerClient(worker.ref).healthz()
+        assert answer["status"] == "ok"
+        assert answer["kind"] == "worker"
+
+    def test_unknown_path_and_wrong_method(self, worker):
+        client = WorkerClient(worker.ref)
+        with pytest.raises(WorkerError, match="404"):
+            client._request("GET", "/nope")
+        with pytest.raises(WorkerError, match="405"):
+            client._request("GET", "/batch")
+
+    def test_bad_batch_payload_is_400(self, worker):
+        client = WorkerClient(worker.ref)
+        with pytest.raises(WorkerError, match="400"):
+            client._request("POST", "/batch", b"{not json")
+        with pytest.raises(WorkerError, match="400"):
+            client._request("POST", "/batch", canonical_json({"kind": "Nope"}))
+
+    def test_batch_executes_and_reports(self, worker):
+        jobs = small_jobs(2)
+        answer = WorkerClient(worker.ref).run_batch(jobs)
+        assert [row["status"] for row in answer["outcomes"]] == ["done", "done"]
+        assert answer["stats"]["executed"] == 2
+        assert answer["ledger_row"]["jobs"] == 2
+        assert "keys_digest" in answer["ledger_row"]
+        for job, row in zip(jobs, answer["outcomes"]):
+            direct = run_jobs([job], cache=None).results[0]
+            assert canonical_json(row["result"]) == canonical_json(direct.to_dict())
+
+    def test_unknown_benchmark_is_failure_row_not_500(self, worker):
+        answer = WorkerClient(worker.ref).run_batch(
+            [SimulationRequest("NOPE", "gto", SMALL)]
+        )
+        (row,) = answer["outcomes"]
+        assert row["status"] == "failed" and row["result"] is None
+        assert "NOPE" in row["error"]
+
+
+class TestRunDistributed:
+    def test_matches_local_run_and_streams_manifest(self, pair, tmp_path):
+        jobs = small_jobs()
+        manifest = tmp_path / "manifest.jsonl"
+        outcome = run_distributed(
+            jobs, [h.ref for h in pair], cache=None,
+            manifest=manifest, chunk_size=1,
+        )
+        local = run_jobs(jobs, cache=None)
+        for (_, got), (_, want) in zip(outcome, local):
+            assert canonical_json(got.to_dict()) == canonical_json(want.to_dict())
+        entries = load_manifest(manifest)
+        assert len(entries) == len(jobs)
+        assert all(e.status == "done" for e in entries.values())
+        # Both workers actually participated (keys spread over the roster).
+        assert sum(h.server.batches for h in pair) >= 2
+
+    def test_resume_serves_done_jobs_from_cache(self, pair, tmp_path):
+        jobs = small_jobs()
+        cache = ResultCache(tmp_path / "cache")
+        manifest = tmp_path / "manifest.jsonl"
+        first = run_distributed(
+            jobs, [h.ref for h in pair], cache=cache, manifest=manifest
+        )
+        assert first.stats.executed == len(jobs)
+        # A second coordinator — any machine with the same cache dir —
+        # resumes without dispatching a single job.
+        again = run_distributed(
+            jobs, [h.ref for h in pair], cache=cache, manifest=manifest
+        )
+        assert again.stats.executed == 0
+        assert again.stats.cache_hits == len(jobs)
+        for (_, got), (_, want) in zip(again, first):
+            assert canonical_json(got.to_dict()) == canonical_json(want.to_dict())
+
+    def test_partial_local_sweep_resumes_distributed(self, pair, tmp_path):
+        """A manifest begun single-machine hands over to the cluster."""
+        jobs = small_jobs()
+        cache = ResultCache(tmp_path / "cache")
+        manifest = tmp_path / "manifest.jsonl"
+        run_jobs(jobs[:2], cache=cache, manifest=manifest, workers=1)
+        outcome = run_distributed(
+            jobs, [h.ref for h in pair], cache=cache, manifest=manifest
+        )
+        assert outcome.stats.cache_hits == 2
+        assert outcome.stats.executed == 2
+        assert len(load_manifest(manifest)) == len(jobs)
+
+    def test_lost_worker_redispatches_onto_healthy_one(self, worker, tmp_path):
+        dud = DudWorker()
+        try:
+            jobs = small_jobs()
+            manifest = tmp_path / "manifest.jsonl"
+            outcome = run_distributed(
+                jobs, [dud.ref, worker.ref], cache=None,
+                manifest=manifest, chunk_size=1,
+                retry=RetryPolicy(max_attempts=3, backoff_base=0.001),
+            )
+            assert outcome.ok
+            assert outcome.stats.retried >= 1
+            local = run_jobs(jobs, cache=None)
+            for (_, got), (_, want) in zip(outcome, local):
+                assert canonical_json(got.to_dict()) == canonical_json(want.to_dict())
+            entries = load_manifest(manifest)
+            assert all(e.status == "done" for e in entries.values())
+            # The re-dispatch is visible in the manifest: jobs sharded to
+            # the dead worker settled on a later attempt.
+            assert max(e.attempts for e in entries.values()) >= 2
+        finally:
+            dud.close()
+
+    def test_all_workers_dead_skip_mode(self, tmp_path):
+        dud = DudWorker()
+        try:
+            jobs = small_jobs(2)
+            outcome = run_distributed(
+                jobs, [dud.ref], cache=None, on_error="skip",
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.001),
+            )
+            assert not outcome.ok
+            assert all(isinstance(r, JobFailure) for r in outcome.results)
+            assert outcome.stats.failed == len(jobs)
+        finally:
+            dud.close()
+
+    def test_all_workers_dead_raise_mode(self):
+        dud = DudWorker()
+        try:
+            with pytest.raises(SweepError):
+                run_distributed(
+                    small_jobs(1), [dud.ref], cache=None,
+                    retry=RetryPolicy(max_attempts=2, backoff_base=0.001),
+                )
+        finally:
+            dud.close()
+
+    def test_empty_roster_rejected(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            run_distributed(small_jobs(1), [], cache=None)
+
+
+class TestGoldenMatrixSharded:
+    def test_sharded_sweep_is_bit_identical_to_single_machine(self, pair):
+        """The acceptance gate: the full 26-entry golden matrix, sharded
+        across two workers, reproduces the single-machine fixture results
+        bit for bit — whatever the shard boundaries did to execution
+        order or placement."""
+        meta = GOLDEN["_meta"]
+        jobs, want = [], []
+        for key, envelope in sorted(GOLDEN["entries"].items()):
+            bench, sched, backend = key.split("/")
+            jobs.append(SimulationRequest(
+                bench, sched,
+                RunConfig(scale=meta["scale"], seed=meta["seed"]),
+                backend=backend,
+            ))
+            want.append(canonical_json(envelope))
+        outcome = run_distributed(jobs, [h.ref for h in pair], cache=None)
+        assert outcome.ok
+        got = [canonical_json(result.to_dict()) for _, result in outcome]
+        assert got == want
+        assert outcome.stats.executed == len(jobs) == 26

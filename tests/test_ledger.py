@@ -4,11 +4,14 @@ import json
 
 from repro.api import RunConfig, SimulationRequest
 from repro.harness.ledger import (
+    keys_digest,
     ledger_enabled,
     ledger_path,
+    merge_ledger_entries,
     read_ledger,
     record_sweep,
     summarize_ledger,
+    sweep_entry,
 )
 from repro.harness.parallel import SweepStats, run_jobs
 
@@ -124,3 +127,41 @@ class TestSummary:
         record_sweep(SweepStats(jobs=1, executed=1, backend="reference"), path=path)
         line = path.read_text().strip()
         assert json.loads(line)["backend"] == "reference"
+
+
+class TestMergeDedup:
+    def test_coordinator_retry_rows_count_once(self):
+        """A re-dispatched shard delivers the *same* sweep row twice; the
+        merge must drop the duplicate or summarize_ledger double-counts
+        that worker's jobs (the historic bug)."""
+        row = sweep_entry(
+            SweepStats(jobs=4, executed=4, backend="reference"),
+            keys=["a" * 32, "b" * 32],
+        )
+        other = sweep_entry(
+            SweepStats(jobs=2, executed=2, backend="reference"),
+            keys=["c" * 32],
+        )
+        merged = merge_ledger_entries([[row, other], [dict(row)]])
+        assert merged == [row, other]
+        assert summarize_ledger(merged)["jobs"] == 6
+
+    def test_keys_digest_ignores_order_and_duplicates(self):
+        assert keys_digest(["b" * 32, "a" * 32]) == keys_digest(
+            ["a" * 32, "b" * 32, "a" * 32]
+        )
+        assert keys_digest(["a" * 32]) != keys_digest(["b" * 32])
+
+    def test_rows_without_identity_are_kept_verbatim(self):
+        # Legacy sweep rows (no keys_digest) and serve drain rows describe
+        # sessions, not re-mergeable work units: never dropped.
+        legacy = {"jobs": 1, "cache_hits": 0}
+        serve = {"kind": "serve", "requests": 9}
+        merged = merge_ledger_entries([[legacy, serve], [dict(legacy)]])
+        assert merged == [legacy, serve, legacy]
+
+    def test_bench_rows_dedup_by_rev_and_ts(self):
+        bench = {"kind": "bench", "rev": "abc123", "ts": 1.0, "best_sps": 5.0}
+        merged = merge_ledger_entries([[bench], [dict(bench)],
+                                       [{**bench, "ts": 2.0}]])
+        assert merged == [bench, {**bench, "ts": 2.0}]

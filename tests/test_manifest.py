@@ -87,6 +87,50 @@ class TestManifestFile:
         assert summary["keys"] == 2 and summary["attempts"] == 5
 
 
+class TestConcurrentAppends:
+    def test_two_process_appends_all_land(self, tmp_path):
+        """Several coordinator processes (a local sweep and a distributed
+        one, say) may append to one manifest concurrently.  Single-line
+        O_APPEND writes keep every record intact: nothing interleaves,
+        nothing is lost."""
+        import multiprocessing
+
+        path = tmp_path / "m.manifest"
+        n = 50
+
+        def writer(prefix: str) -> None:
+            for i in range(n):
+                append_outcome(path, ManifestEntry(
+                    key=f"{prefix}{i}", status="done",
+                    benchmark="ATAX", scheduler="gto",
+                ))
+
+        ctx = multiprocessing.get_context()
+        procs = [ctx.Process(target=writer, args=(p,)) for p in ("a", "b")]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        entries = load_manifest(path)
+        assert set(entries) == {f"{p}{i}" for p in ("a", "b") for i in range(n)}
+        assert all(e.status == "done" for e in entries.values())
+
+    def test_torn_tail_from_killed_writer_is_skipped(self, tmp_path):
+        """A writer killed mid-line (SIGKILLed worker, full disk) leaves a
+        torn tail; loading skips it and done-wins still applies to every
+        complete line."""
+        path = tmp_path / "m.manifest"
+        append_outcome(path, entry("k1", "failed"))
+        append_outcome(path, entry("k1", "done"))
+        append_outcome(path, entry("k2", "done"))
+        with open(path, "a") as fh:
+            fh.write('{"schema": 1, "key": "k3", "sta')  # no newline: torn
+        entries = load_manifest(path)
+        assert set(entries) == {"k1", "k2"}
+        assert entries["k1"].status == "done"
+
+
 class TestSweepResume:
     """Acceptance: resuming executes only the not-yet-done jobs."""
 

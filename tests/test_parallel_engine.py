@@ -74,6 +74,19 @@ class TestDeterministicSeeds:
         assert a != derive_seed(2, "SYRK", "gto")
         assert a > 0
 
+    def test_derive_seed_frames_part_boundaries(self):
+        """Parts are length-prefixed, not joined with a separator.
+
+        The historic ``":".join(parts)`` framing collapsed
+        ``("a:b", "c")`` and ``("a", "b:c")`` onto one seed — and the
+        ``--tenants`` grammar routinely puts ``:`` inside a part, so two
+        genuinely different tenant sweeps could share correlated RNG
+        streams.  Pinned here old-vs-new so the fix cannot regress.
+        """
+        assert derive_seed(1, "a:b", "c") != derive_seed(1, "a", "b:c")
+        assert derive_seed(1, "ab", "") != derive_seed(1, "a", "b")
+        assert derive_seed(1, "a", "b", "c") != derive_seed(1, "a", "b:c")
+
     def test_seed_lives_in_the_job_not_the_engine(self):
         # Two sweeps over permuted job lists must return the same result for
         # the same job whatever its position.
@@ -92,6 +105,14 @@ class TestWorkersAndErrors:
         assert resolve_workers(None, 100) == 3
         monkeypatch.delenv("REPRO_WORKERS")
         assert resolve_workers(None, 100) == max(1, min(os.cpu_count() or 1, 100))
+
+    @pytest.mark.parametrize("bad", ["garbage", "0", "-3", "2.5"])
+    def test_resolve_workers_rejects_bad_env(self, monkeypatch, bad):
+        """A bad REPRO_WORKERS dies with one clear line naming the variable,
+        instead of the bare int() ValueError it used to surface."""
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None, 8)
 
     def test_unknown_benchmark_raises_sweep_error(self):
         with pytest.raises(SweepError, match="NOPE"):
