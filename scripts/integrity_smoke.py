@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""CI smoke test for the end-to-end result integrity layer.
+
+Two stages, both hermetic (throwaway cache / manifest / quarantine dirs):
+
+1. **fsck + quarantine.**  Runs a small cached sweep through the CLI, then
+   damages the artifacts on disk — one bit flipped inside a cache entry's
+   pickle, the manifest's last line torn mid-write — and asserts
+   ``repro cache fsck`` detects both (exit 1), quarantines the corrupt
+   entry with a reason sidecar instead of silently unlinking it, that
+   ``--repair`` strips the torn line after preserving the original bytes
+   in quarantine (exit 0), that ``repro sweep --resume`` still completes
+   afterwards with zero failures, and that a final fsck scan is clean.
+
+2. **Worker audits vs the ``corrupt`` chaos kind.**  Boots two ``repro
+   worker`` subprocesses; one is a deliberate liar — it runs ``--backend
+   chaos`` with ``REPRO_CHAOS=7:1.0:corrupt``, so every result it returns
+   has one seeded bit flipped *before* the shipped digest is computed
+   (transport checks pass; only re-execution can expose the lie).  A
+   sharded sweep over the reference half of the golden matrix with
+   ``audit_rate=0.25`` must still complete bit-identical to the committed
+   fixtures: the handshake audit catches the liar, its outcomes are
+   discarded and re-dispatched (visible in the manifest), and the final
+   results match ``tests/goldens/golden_stats.json`` byte for byte.
+
+Standalone and stdlib-only, usable without installing the package::
+
+    python scripts/integrity_smoke.py
+
+Exit code 0 on success, 1 on any failed assertion or timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+STARTUP_TIMEOUT = 30.0
+SWEEP_TIMEOUT = 600.0
+
+BENCHMARKS = ["ATAX", "BICG"]
+SCHEDULERS = ["gto", "ccws"]
+SCALE = "0.05"
+
+PROCS: list[subprocess.Popen] = []
+
+
+def fail(message: str):
+    print(f"INTEGRITY SMOKE FAILURE: {message}", file=sys.stderr)
+    for proc in PROCS:
+        if proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+def sweep(extra: list[str], env: dict) -> dict:
+    run = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep",
+         "-b", *BENCHMARKS, "-s", *SCHEDULERS,
+         "--scale", SCALE, "--json", *extra],
+        cwd=ROOT, env=env, capture_output=True, text=True,
+        timeout=SWEEP_TIMEOUT,
+    )
+    if run.returncode != 0:
+        fail(f"sweep {extra} failed (rc={run.returncode}): {run.stderr[:800]}")
+    return json.loads(run.stdout)
+
+
+def boot_worker(env: dict, name: str, extra: list[str]) -> int:
+    worker = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--port", "0", *extra],
+        cwd=ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    PROCS.append(worker)
+    assert worker.stdout is not None
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        line = worker.stdout.readline()
+        if not line:
+            fail(f"worker {name} exited early (rc={worker.poll()})")
+        print(f"[{name}] {line.rstrip()}")
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    fail(f"worker {name} never announced its port")
+    raise AssertionError  # unreachable
+
+
+def stage_fsck(tmp: Path, env: dict) -> None:
+    from repro.cli import main as cli_main
+
+    cache_dir = Path(env["REPRO_CACHE_DIR"])
+    quarantine = Path(env["REPRO_QUARANTINE_DIR"])
+    manifest = tmp / "sweep.manifest"
+    n_jobs = len(BENCHMARKS) * len(SCHEDULERS)
+
+    books = sweep(["--manifest", str(manifest)], env)
+    if books["failed"] != 0 or books["executed"] != n_jobs:
+        fail(f"seed sweep books are wrong: {books['executed']=} "
+             f"{books['failed']=}")
+    print(f"seeded {n_jobs} cached results + manifest")
+
+    # Damage 1: one bit flipped in the middle of a cache entry's pickle.
+    victim = next(iter(sorted(cache_dir.glob("*/*.pkl"))), None)
+    if victim is None:
+        fail(f"no cache entries under {cache_dir}")
+    blob = bytearray(victim.read_bytes())
+    blob[len(blob) // 2] ^= 0x40
+    victim.write_bytes(bytes(blob))
+    # Damage 2: the manifest's last line torn mid-write.
+    manifest.write_bytes(manifest.read_bytes()[:-20])
+    print(f"damaged: bit flip in {victim.name}, torn manifest tail")
+
+    rc = cli_main(["cache", "fsck", "--manifest", str(manifest)])
+    if rc != 1:
+        fail(f"fsck on damaged artifacts exited {rc}, want 1")
+    quarantined = list(quarantine.glob("*.quarantined"))
+    if not quarantined:
+        fail("fsck found damage but quarantined nothing")
+    reasons = list(quarantine.glob("*.reason.json"))
+    if not reasons:
+        fail("quarantined entries are missing their reason sidecars")
+    print(f"fsck detected the damage (exit 1), quarantined "
+          f"{len(quarantined)} artifact(s) with reasons")
+
+    rc = cli_main(["cache", "fsck", "--manifest", str(manifest), "--repair"])
+    if rc != 0:
+        fail(f"fsck --repair exited {rc}, want 0")
+    before = len(quarantined)
+    if len(list(quarantine.glob("*.quarantined"))) <= before - 1:
+        fail("--repair should preserve damaged bytes in quarantine")
+    print("fsck --repair rewrote the manifest and exited 0")
+
+    # The repaired manifest still resumes: the torn row's job (and the
+    # quarantined entry's) re-run, nothing fails, books reconcile.
+    books = sweep(["--resume", str(manifest)], env)
+    if books["failed"] != 0 or books["executed"] + books["cache_hits"] != n_jobs:
+        fail(f"post-repair resume books are wrong: {books['executed']=} "
+             f"{books['cache_hits']=} {books['failed']=}")
+    if books["executed"] < 1:
+        fail("resume re-executed nothing; the damage cost no work?")
+    print(f"post-repair resume ok: {books['executed']} re-executed, "
+          f"{books['cache_hits']} from cache, 0 failed")
+
+    rc = cli_main(["cache", "fsck", "--manifest", str(manifest)])
+    if rc != 0:
+        fail(f"final fsck exited {rc}, want 0 (clean)")
+    print("final fsck clean (exit 0)")
+
+
+def stage_audit(tmp: Path, env: dict) -> None:
+    from repro.api import RunConfig, SimulationRequest
+    from repro.harness.distributed import WorkerRef, run_distributed
+    from repro.harness.parallel import RetryPolicy
+    from repro.serve.http import canonical_json
+
+    golden = json.loads(
+        (ROOT / "tests" / "goldens" / "golden_stats.json").read_text()
+    )
+    meta = golden["_meta"]
+    jobs, want = [], []
+    for key, envelope in sorted(golden["entries"].items()):
+        bench, sched, backend = key.split("/")
+        if backend != "reference":
+            continue
+        # backend=None resolves to the reference engine on the honest
+        # worker — and lets the liar's `--backend chaos` override bite.
+        jobs.append(SimulationRequest(
+            bench, sched, RunConfig(scale=meta["scale"], seed=meta["seed"]),
+        ))
+        want.append(canonical_json(envelope))
+
+    worker_env = dict(env, REPRO_RESULT_CACHE="0")
+    liar_env = dict(worker_env, REPRO_CHAOS="7:1.0:corrupt")
+    honest_port = boot_worker(worker_env, "honest", [])
+    liar_port = boot_worker(liar_env, "liar", ["--backend", "chaos"])
+    print(f"workers up: honest:{honest_port}, liar:{liar_port} "
+          "(every liar result carries one seeded bit flip)")
+
+    manifest = tmp / "audited.manifest"
+    outcome = run_distributed(
+        jobs,
+        [WorkerRef("127.0.0.1", honest_port), WorkerRef("127.0.0.1", liar_port)],
+        cache=None, manifest=manifest, audit_rate=0.25,
+        retry=RetryPolicy(max_attempts=10, backoff_base=0.01),
+    )
+    stats = outcome.stats
+    print(f"audited sweep: failed={stats.failed} audited={stats.audited} "
+          f"audit_failures={stats.audit_failures} retried={stats.retried}")
+    if not outcome.ok or stats.failed:
+        fail(f"{stats.failed} job(s) failed despite the honest worker")
+    if stats.audit_failures < 1:
+        fail("the liar was never caught (audit_failures == 0) — is "
+             "REPRO_CHAOS reaching the worker?")
+    if stats.retried < 1:
+        fail("discarded outcomes were never re-dispatched")
+
+    got = [canonical_json(result.to_dict()) for _, result in outcome]
+    if got != want:
+        divergent = [jobs[i].benchmark_name + "/" + jobs[i].scheduler
+                     for i in range(len(jobs)) if got[i] != want[i]]
+        fail(f"results diverged from the golden fixtures: {divergent}")
+    print(f"bit-identical to the golden matrix: {len(jobs)} jobs OK")
+
+    rows = [json.loads(line)
+            for line in manifest.read_text().splitlines() if line.strip()]
+    if not any("audit mismatch" in (row.get("error") or "") for row in rows):
+        fail("the manifest records no audit mismatch row")
+    print("manifest shows the audit-triggered re-dispatch")
+
+    for proc in PROCS:
+        proc.kill()
+
+
+def main() -> int:
+    tmp_holder = tempfile.TemporaryDirectory(prefix="repro-integrity-smoke-")
+    tmp = Path(tmp_holder.name)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_RESULT_CACHE"] = "1"
+    env["REPRO_CACHE_DIR"] = str(tmp / "cache")
+    env["REPRO_QUARANTINE_DIR"] = str(tmp / "quarantine")
+    env["REPRO_LEDGER"] = "0"
+    # Keep fsck's default ledger scan off any checkout-local .repro/ state.
+    env["REPRO_LEDGER_PATH"] = str(tmp / "bench_ledger.jsonl")
+    env.pop("REPRO_CHAOS", None)
+    env.pop("REPRO_BACKEND", None)
+    # The in-process CLI calls (fsck) read the same environment.
+    os.environ.update({k: env[k] for k in (
+        "REPRO_RESULT_CACHE", "REPRO_CACHE_DIR", "REPRO_QUARANTINE_DIR",
+        "REPRO_LEDGER", "REPRO_LEDGER_PATH",
+    )})
+
+    stage_fsck(tmp, env)
+    stage_audit(tmp, env)
+    print("INTEGRITY SMOKE PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

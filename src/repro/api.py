@@ -577,6 +577,19 @@ AnyRequest = Union[SimulationRequest, MultiTenantRequest]
 #: a coordinator ships to a ``repro worker`` process).
 BATCH_SCHEMA = 1
 
+def result_digest(payload: Any) -> str:
+    """Blake2b content digest of a result payload's canonical JSON form.
+
+    Re-exported integrity primitive (the import is deferred because
+    ``repro.harness`` imports this module at package init): the digest
+    stamped onto cache envelopes, worker outcome rows and serve's
+    ``X-Repro-Digest`` header — one definition, verified identically at
+    every hop.  See :func:`repro.harness.integrity.result_digest`.
+    """
+    from repro.harness.integrity import result_digest as _digest
+
+    return _digest(payload)
+
 
 def decode_request(payload: Any) -> AnyRequest:
     """Dispatch a request wire-form payload to the matching ``from_dict``.

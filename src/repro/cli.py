@@ -90,7 +90,12 @@ from repro.backends import (
     resolve_backend_name,
 )
 from repro.harness.cache import ResultCache, cache_enabled_by_env, default_cache_dir
-from repro.harness.ledger import ledger_path, read_ledger, summarize_ledger
+from repro.harness.ledger import (
+    ledger_path,
+    read_ledger,
+    read_ledger_report,
+    summarize_ledger,
+)
 from repro.harness.parallel import (
     JobFailure,
     RetryPolicy,
@@ -437,6 +442,12 @@ def cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.audit_rate and not (args.workers_at or args.worker_roster):
+        print("error: --audit-rate only applies to distributed sweeps "
+              "(--workers-at / --worker-roster); local jobs execute in this "
+              "process and need no re-verification", file=sys.stderr)
+        return 2
+
     jobs = []
     for bench in benchmarks:
         for sched in schedulers:
@@ -457,6 +468,7 @@ def cmd_sweep(args) -> int:
         # the roster's `repro worker` processes, stream outcomes into the
         # same manifest (--resume works unchanged).  docs/DISTRIBUTED.md.
         from repro.harness.distributed import (
+            WorkerSchemaError,
             load_worker_roster,
             parse_workers_at,
             run_distributed,
@@ -477,15 +489,22 @@ def cmd_sweep(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        outcome = run_distributed(
-            jobs,
-            roster,
-            cache=cache,
-            on_error=args.on_error,
-            retry=retry,
-            manifest=manifest,
-            chunk_size=args.chunk_size,
-        )
+        try:
+            outcome = run_distributed(
+                jobs,
+                roster,
+                cache=cache,
+                on_error=args.on_error,
+                retry=retry,
+                manifest=manifest,
+                chunk_size=args.chunk_size,
+                audit_rate=args.audit_rate,
+            )
+        except WorkerSchemaError as exc:
+            # Mixed repro versions across a roster: an operator mistake,
+            # surfaced as a one-line error instead of a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
         outcome = run_jobs(
             jobs,
@@ -512,6 +531,12 @@ def cmd_sweep(args) -> int:
         for bench, row in raw.items()
     }
     stats = outcome.stats
+    if outcome.manifest_skipped:
+        # Unparseable manifest lines (torn tail from a crash, bit rot) are
+        # skipped, never trusted; tell the user how to adjudicate them.
+        print(f"warning: skipped {outcome.manifest_skipped} corrupt manifest "
+              f"line(s) in {manifest}; run `repro cache fsck --manifest "
+              f"{manifest} --repair` to quarantine the damage", file=sys.stderr)
     if args.json:
         json.dump(
             {
@@ -526,6 +551,10 @@ def cmd_sweep(args) -> int:
                 "failed": stats.failed,
                 "retried": stats.retried,
                 "timed_out": stats.timed_out,
+                "audited": stats.audited,
+                "audit_failures": stats.audit_failures,
+                "corrupt": stats.corrupt,
+                "manifest_skipped": outcome.manifest_skipped,
                 "failures": [
                     {
                         "benchmark": f.benchmark_name,
@@ -721,13 +750,71 @@ def cmd_bench(args) -> int:
 # ---------------------------------------------------------------------------
 # repro cache / repro list
 # ---------------------------------------------------------------------------
+def _cmd_cache_fsck(args, cache: ResultCache) -> int:
+    """``repro cache fsck [--repair]``: scan cache + manifests + ledger.
+
+    Exit 0 only when nothing is corrupt and no damaged lines remain on
+    disk; a scan that merely *found* (and quarantined) damage exits 1 so
+    scripts notice, and a following ``--repair`` run exits 0.
+    """
+    from pathlib import Path
+
+    from repro.harness.integrity import default_quarantine_dir, fsck
+
+    ledger = Path(args.fsck_ledger) if args.fsck_ledger else ledger_path()
+    report = fsck(
+        cache=cache,
+        manifests=[Path(m) for m in (args.fsck_manifest or ())],
+        ledger=ledger if ledger.exists() else None,
+        repair=args.repair,
+    )
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+        return 0 if report.clean else 1
+    for artifact in report.artifacts:
+        notes = []
+        if artifact.detail:
+            notes.append(artifact.detail)
+        if artifact.damaged_lines:
+            notes.append(f"{artifact.damaged_lines} damaged line(s)")
+        if artifact.quarantined:
+            notes.append("quarantined")
+        if artifact.repaired:
+            notes.append("repaired")
+        suffix = f"  ({'; '.join(notes)})" if notes else ""
+        print(f"{artifact.kind:8s} {artifact.verdict:8s} {artifact.path}{suffix}")
+    print(f"\nchecked {len(report.artifacts)} artifact(s): "
+          f"{report.corrupt} corrupt, {report.legacy} legacy, "
+          f"{report.damaged_lines} damaged line(s)"
+          f"{f' ({report.unrepaired_damage} unrepaired)' if report.damaged_lines else ''}")
+    if cache.stats.quarantined or report.corrupt:
+        print(f"quarantine      : {default_quarantine_dir()}")
+    if not report.clean:
+        if report.repair:
+            print("damage remains after --repair; inspect the quarantine "
+                  "directory", file=sys.stderr)
+        else:
+            print("damage found; re-run with --repair to rewrite legacy "
+                  "envelopes and strip damaged lines (originals are "
+                  "preserved in quarantine)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_cache(args) -> int:
     action = "clear" if getattr(args, "clear", False) else args.action
     cache = ResultCache()
     if action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
+        if cache.stats.quarantined:
+            print(f"quarantined {cache.stats.quarantined} corrupt entr"
+                  f"{'y' if cache.stats.quarantined == 1 else 'ies'} "
+                  "(see repro cache fsck)")
         return 0
+    if action == "fsck":
+        return _cmd_cache_fsck(args, cache)
     if action == "stats":
         path = ledger_path()
         # A missing .repro/ or ledger file is the normal state of a fresh
@@ -739,7 +826,11 @@ def cmd_cache(args) -> int:
             print("run a sweep (repro sweep), a bench (repro bench) or a "
                   "service session (repro serve) to create it")
             return 0
-        entries = read_ledger(path)
+        entries, skipped = read_ledger_report(path)
+        if skipped:
+            print(f"warning: skipped {skipped} corrupt ledger line(s); run "
+                  "`repro cache fsck --repair` to quarantine the damage",
+                  file=sys.stderr)
         if not entries:
             print(f"bench ledger    : {path} (exists but has no entries yet)")
             return 0
@@ -768,6 +859,11 @@ def cmd_cache(args) -> int:
                   f"{summary['serve_hits']} hits, "
                   f"{summary['serve_coalesced']} coalesced, "
                   f"{summary['serve_executed']} executed)")
+        if summary["audited"] or summary["audit_rows"] or summary["corrupt"]:
+            print(f"worker audits   : {summary['audited']} audited, "
+                  f"{summary['audit_failures']} mismatch(es), "
+                  f"{summary['corrupt']} transport-corrupt row(s), "
+                  f"{summary['audit_rows']} audit ledger row(s)")
         recent = [e for e in entries if e.get("kind") not in ("bench", "serve")][-5:]
         if recent:
             print("\nmost recent sweeps:")
@@ -788,6 +884,12 @@ def cmd_cache(args) -> int:
     print(f"entries         : {cache.entry_count()}")
     print(f"size            : {cache.size_bytes() / 1024:.1f} KiB")
     print(f"bench ledger    : {ledger_path()} ({len(read_ledger())} sweeps recorded)")
+    from repro.harness.integrity import default_quarantine_dir, quarantined_artifacts
+
+    quarantined = quarantined_artifacts()
+    if quarantined:
+        print(f"quarantine      : {len(quarantined)} artifact(s) in "
+              f"{default_quarantine_dir()} (details: repro cache fsck)")
     return 0
 
 
@@ -1288,6 +1390,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="jobs per dispatch chunk on the distributed "
                               "path — the most one lost worker forfeits "
                               "(default 4)")
+    p_sweep.add_argument("--audit-rate", type=float, default=0.0, metavar="R",
+                         help="distributed sweeps only: re-execute a seeded "
+                              "fraction R of worker-returned jobs locally and "
+                              "compare content digests; a mismatch discards "
+                              "and re-dispatches that worker's outcomes "
+                              "(default 0 = trust the fleet)")
     p_sweep.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -1500,12 +1608,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.set_defaults(func=cmd_submit)
 
     p_cache = sub.add_parser("cache", help="inspect the result cache and bench ledger")
-    p_cache.add_argument("action", nargs="?", choices=("show", "stats", "clear"),
+    p_cache.add_argument("action", nargs="?",
+                         choices=("show", "stats", "clear", "fsck"),
                          default="show",
                          help="show the cache, print bench-ledger statistics, "
-                              "or clear the cache (default: show)")
+                              "clear the cache, or verify artifact integrity "
+                              "(fsck; default: show)")
     p_cache.add_argument("--clear", action="store_true",
                          help="deprecated alias of the 'clear' action")
+    p_cache.add_argument("--repair", action="store_true",
+                         help="fsck: rewrite repairable legacy envelopes and "
+                              "strip damaged manifest/ledger lines (original "
+                              "bytes are preserved in quarantine first)")
+    p_cache.add_argument("--manifest", action="append", default=None,
+                         metavar="PATH", dest="fsck_manifest",
+                         help="fsck: also scan this sweep manifest "
+                              "(repeatable)")
+    p_cache.add_argument("--ledger", default=None, metavar="PATH",
+                         dest="fsck_ledger",
+                         help="fsck: scan this ledger file instead of the "
+                              "default bench ledger")
+    p_cache.add_argument("--json", action="store_true",
+                         help="fsck: emit the per-artifact report as JSON")
     p_cache.set_defaults(func=cmd_cache)
 
     p_list = sub.add_parser("list", help="list benchmarks, schedulers, backends, "

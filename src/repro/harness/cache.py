@@ -24,6 +24,9 @@ Environment knobs (see docs/EXPERIMENTS.md):
     this to stay hermetic).
 ``REPRO_CACHE_VERSION``
     Overrides the source fingerprint, pinning cache validity manually.
+``REPRO_QUARANTINE_DIR``
+    Where corrupt entries are preserved (default ``.repro/quarantine``);
+    see :mod:`repro.harness.integrity`.
 """
 
 from __future__ import annotations
@@ -37,13 +40,28 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Union
+
+from repro.harness.integrity import (
+    default_quarantine_dir,
+    quarantine_file,
+    result_digest,
+)
 
 #: Bumped when the cache payload layout changes (not when simulation
 #: semantics change — the code fingerprint covers that).  Schema 2: the
 #: sweep engine stores results in the versioned ``SimulationResult.to_dict``
-#: form instead of pickled result objects.
+#: form instead of pickled result objects.  Kept at 2 in *cache keys*
+#: (changing it would orphan every existing entry for no semantic reason).
 CACHE_SCHEMA = 2
+
+#: On-disk envelope schema.  Schema 3 adds a ``"digest"`` field — the
+#: blake2b content digest of the stored result (see
+#: :func:`repro.harness.integrity.result_digest`) — verified on every
+#: read.  Schema-2 (digest-less) envelopes written by older versions
+#: remain readable; ``repro cache fsck --repair`` re-writes them into the
+#: digested form.
+ENVELOPE_SCHEMA = 3
 
 _FALSY = ("0", "off", "false", "no")
 
@@ -182,6 +200,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -197,8 +216,12 @@ class ResultCache:
 
     Entries live at ``<root>/<key[:2]>/<key>.pkl`` and are written atomically
     (temp file + ``os.replace``) so concurrent workers and interrupted runs
-    can never leave a torn entry behind; a corrupt or unreadable entry is
-    treated as a miss and deleted.
+    can never leave a torn entry behind.  Each envelope carries a blake2b
+    content digest of the stored result (:data:`ENVELOPE_SCHEMA`) that is
+    verified on every read; a corrupt, torn or digest-mismatched entry is
+    treated as a miss and *quarantined* — moved into the quarantine
+    directory with a reason sidecar, never silently unlinked — so bit rot
+    and tampering leave evidence (``repro cache fsck`` reports it).
 
     Concurrency: any number of writers may race on the *same* key — each
     writes its own ``mkstemp`` temp file and the final ``os.replace`` is
@@ -210,8 +233,16 @@ class ResultCache:
     deletes entries.
     """
 
-    def __init__(self, root: Optional[Path | str] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[Path | str] = None,
+        *,
+        quarantine: Union[Path, str, None] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.quarantine = (
+            Path(quarantine) if quarantine is not None else default_quarantine_dir()
+        )
         self.stats = CacheStats()
 
     @classmethod
@@ -225,53 +256,96 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _validate(self, payload: Any, key: str) -> Any:
+        """Return the result inside ``payload`` or raise on any corruption."""
+        if not isinstance(payload, Mapping) or payload.get("key") != key:
+            raise ValueError("stale or mismatched cache entry")
+        schema = payload.get("schema")
+        if schema == ENVELOPE_SCHEMA:
+            if result_digest(payload.get("result")) != payload.get("digest"):
+                raise ValueError("digest mismatch (bit rot or tampering)")
+            return payload["result"]
+        if schema == CACHE_SCHEMA:
+            # Digest-less legacy envelope: still readable; fsck --repair
+            # upgrades it to the digested form.
+            return payload["result"]
+        raise ValueError(f"unknown cache envelope schema {schema!r}")
+
+    def _quarantine_path(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a damaged entry aside (best-effort; falls back to unlink)."""
+        dest = quarantine_file(
+            path, reason, quarantine=self.quarantine, source=f"cache:{self.root}"
+        )
+        if dest is not None:
+            self.stats.quarantined += 1
+            return dest
+        try:
+            # Quarantine dir unwritable: removing the entry is still better
+            # than re-failing every future read on it.
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass  # read-only/shared cache dir: still just a miss
+        return None
+
+    def quarantine_entry(self, key: str, reason: str) -> Optional[Path]:
+        """Quarantine the entry for ``key`` (audit rollback, fsck).
+
+        Returns the quarantined path, or ``None`` when there was nothing
+        to move (or the move failed and the entry was unlinked instead).
+        """
+        path = self._path(key)
+        if not path.exists():
+            return None
+        return self._quarantine_path(path, reason)
+
     def get(self, key: str) -> Optional[Any]:
         """Return the stored result for ``key``, or ``None`` on a miss."""
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
-            if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
-                raise ValueError("stale or mismatched cache entry")
+            result = self._validate(payload, key)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
-            # Torn write, unpicklable payload, schema drift: drop and re-run.
+        except Exception as exc:
+            # Torn write, unpicklable payload, digest mismatch, schema
+            # drift: quarantine the evidence and re-run the job.
             self.stats.errors += 1
             self.stats.misses += 1
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                pass  # read-only/shared cache dir: still just a miss
+            self._quarantine_path(path, f"{type(exc).__name__}: {exc}")
             return None
         self.stats.hits += 1
-        return payload["result"]
+        return result
 
     def peek(self, key: str) -> Optional[Any]:
         """Look ``key`` up without executing anything and without side effects.
 
         The serving layer's lookup-without-execute path: unlike :meth:`get`
         a peek mutates no hit/miss counters (the service keeps its own
-        authoritative counters) and never deletes an entry it cannot read —
-        a concurrent writer may be mid-``os.replace``, and what looks torn
-        to a peek can be a complete entry a millisecond later.  Returns the
-        stored result, or ``None`` when the key is absent or unreadable.
+        authoritative counters) and never deletes or quarantines an entry
+        it cannot read — a concurrent writer may be mid-``os.replace``, and
+        what looks torn to a peek can be a complete entry a millisecond
+        later.  Returns the stored result, or ``None`` when the key is
+        absent, unreadable, or fails its digest check.
         """
         try:
             with open(self._path(key), "rb") as fh:
                 payload = pickle.load(fh)
-            if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
-                return None
-            return payload["result"]
+            return self._validate(payload, key)
         except Exception:
             return None
 
     def put(self, key: str, result: Any) -> None:
-        """Store ``result`` under ``key`` atomically."""
+        """Store ``result`` under ``key`` atomically, digest included."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": CACHE_SCHEMA, "key": key, "result": result}
+        payload = {
+            "schema": ENVELOPE_SCHEMA,
+            "key": key,
+            "result": result,
+            "digest": result_digest(result),
+        }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -301,9 +375,22 @@ class ResultCache:
         return sum(p.stat().st_size for p in self._entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Remove every entry; returns how many were removed.
+
+        Healthy entries are deleted outright (clearing is explicit user
+        intent), but an entry that fails validation is quarantined instead
+        — corruption discovered during a clear is still evidence worth
+        keeping (counted in :attr:`CacheStats.quarantined`).
+        """
         removed = 0
         for path in list(self._entries()):
+            try:
+                with open(path, "rb") as fh:
+                    self._validate(pickle.load(fh), path.stem)
+            except Exception as exc:
+                self._quarantine_path(path, f"clear: {type(exc).__name__}: {exc}")
+                removed += 1
+                continue
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -43,15 +43,19 @@ from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
 from repro.api import (
+    BATCH_SCHEMA,
     AnyRequest,
     MultiTenantRequest,
     decode_request_batch,
     encode_request_batch,
+    result_digest,
 )
 from repro.gpu.gpu import SimulationResult
+from repro.harness.breaker import CircuitBreaker
 from repro.harness.cache import ResultCache
+from repro.harness.integrity import audit_selected
 from repro.harness.ledger import append_entry, merge_ledger_entries, record_sweep, sweep_entry
-from repro.harness.manifest import ManifestEntry, append_outcome, load_manifest
+from repro.harness.manifest import ManifestEntry, append_outcome, scan_manifest
 from repro.harness.parallel import (
     AUTO_CACHE,
     ON_ERROR_MODES,
@@ -62,6 +66,7 @@ from repro.harness.parallel import (
     SweepOutcome,
     SweepStats,
     _decode_cached,
+    _execute,
     _resolved_backends,
     parse_positive_int,
     run_jobs,
@@ -84,6 +89,11 @@ DEFAULT_CHUNK_SIZE = 4
 #: *dead* worker surfaces as an immediate connection error; this bound only
 #: catches a worker that accepted a chunk and then hung.
 DEFAULT_REQUEST_TIMEOUT = 600.0
+
+#: Ceiling on a worker circuit breaker's probe backoff: an open worker is
+#: re-probed at least this often, so a restarted worker rejoins quickly
+#: however long it was down.
+PROBE_MAX_SECONDS = 2.0
 
 
 # ---------------------------------------------------------------------------
@@ -264,6 +274,11 @@ class WorkerServer:
                 "busy": self._busy,
                 "workers": self.workers,
                 "version": __version__,
+                # Schema advertisement: the coordinator refuses to dispatch
+                # to a worker speaking a different batch schema (a clear
+                # error instead of a decode traceback mid-sweep).
+                "batch_schema": BATCH_SCHEMA,
+                "outcome_schema": OUTCOME_SCHEMA,
             })
         elif path == "/batch":
             if method != "POST":
@@ -339,9 +354,14 @@ class WorkerServer:
                 })
             else:
                 self.jobs_done += 1
+                wire = result.to_dict()
                 rows.append({
                     "status": "done",
-                    "result": result.to_dict(),
+                    "result": wire,
+                    # Content digest of the result payload: the coordinator
+                    # verifies it on receipt, so corruption in transit (or a
+                    # worker serialisation bug) is detected, not merged.
+                    "digest": result_digest(wire),
                     "error": None,
                     "error_type": None,
                     "attempts": 1,
@@ -459,6 +479,29 @@ class WorkerError(RuntimeError):
     """A worker answered, but not with a usable batch outcome."""
 
 
+class WorkerSchemaError(ValueError):
+    """A roster worker speaks a different wire schema than this coordinator.
+
+    A ``ValueError`` so the CLI surfaces it as a one-line error (mixing
+    repro versions across a roster is an operator mistake, not a crash).
+    """
+
+
+def _worker_schema_drift(health: dict) -> Optional[str]:
+    """Why this ``/healthz`` payload disqualifies the worker, or ``None``."""
+    kind = health.get("kind")
+    if kind != "worker":
+        return f"is not a repro worker (healthz kind={kind!r})"
+    remote = health.get("batch_schema")
+    if remote != BATCH_SCHEMA:
+        return (
+            f"speaks batch schema {remote!r} but this coordinator speaks "
+            f"{BATCH_SCHEMA} (worker version {health.get('version', '?')}, "
+            f"coordinator {__version__}) — upgrade one side so they match"
+        )
+    return None
+
+
 @dataclass
 class _Chunk:
     """One dispatch unit: a few (index, job, key) items of one shard."""
@@ -477,9 +520,24 @@ class _Fleet:
     """Shared coordinator state across per-worker dispatch threads."""
 
     queues: dict  # worker position -> deque[_Chunk]
+    #: Per-worker circuit breakers (closed → open → half-open) replacing
+    #: the old permanent ``dead`` set: a worker that faltered is probed
+    #: with seeded backoff and rejoins when its ``/healthz`` answers again.
+    breakers: dict = field(default_factory=dict)
     orphans: deque = field(default_factory=deque)
     unsettled: int = 0
-    dead: set = field(default_factory=set)
+    #: Consecutive failed worker contacts (probe or dispatch) fleet-wide,
+    #: reset by any success.  Together with "every breaker is open" this
+    #: bounds termination when the whole roster is gone.
+    probe_failures: int = 0
+    #: Workers that failed an audit: everything they return from now on is
+    #: audited (100% sampling) until the sweep ends.
+    distrusted: set = field(default_factory=set)
+    #: Workers whose first returned result has been force-audited.
+    handshaken: set = field(default_factory=set)
+    #: Chunks already merged per worker (kept only while auditing) so an
+    #: audit failure can roll back everything that worker contributed.
+    merged: dict = field(default_factory=dict)
     error: Optional[BaseException] = None
     lock: threading.Lock = field(default_factory=threading.Lock)
     wake: threading.Condition = field(init=False)
@@ -499,6 +557,7 @@ def run_distributed(
     manifest: Union[str, Path, None] = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     request_timeout: Optional[float] = None,
+    audit_rate: float = 0.0,
 ) -> SweepOutcome:
     """Execute ``jobs`` across ``workers`` and return a local-identical outcome.
 
@@ -513,14 +572,30 @@ def run_distributed(
     :class:`SweepError` on the first failed job, ``"skip"`` / ``"retry"``
     leave typed :class:`JobFailure` slots (retries happen *on the worker*,
     under the shipped :class:`RetryPolicy`).  Additionally the coordinator
-    re-dispatches chunks lost to dead workers onto healthy ones — bounded
-    by ``retry.max_attempts`` dispatches per chunk with the policy's seeded
-    backoff — and counts each extra dispatch in ``stats.retried``.
+    re-dispatches chunks lost to unreachable workers onto healthy ones —
+    bounded by ``retry.max_attempts`` dispatches per chunk with the
+    policy's seeded backoff — and counts each extra dispatch in
+    ``stats.retried``.
+
+    Integrity (docs/RESILIENCE.md): every worker is health-checked (and
+    schema-checked — see :class:`WorkerSchemaError`) before its first
+    dispatch and after any failure, behind a per-worker
+    :class:`~repro.harness.breaker.CircuitBreaker`, so a restarted worker
+    rejoins instead of staying blacklisted.  Worker results are verified
+    against their shipped content digests, and ``audit_rate`` > 0
+    additionally re-executes a seeded sample of worker-returned jobs
+    locally: a digest mismatch discards *everything* that worker
+    contributed (results un-merged, wrongly cached entries quarantined),
+    re-dispatches it elsewhere, marks the worker distrusted (100% audits
+    from then on), and records an audit row in the manifest and ledger.
     """
     if on_error not in ON_ERROR_MODES:
         raise ValueError(
             f"unknown on_error mode {on_error!r} (choose from {ON_ERROR_MODES})"
         )
+    audit_rate = float(audit_rate)
+    if not 0.0 <= audit_rate <= 1.0:
+        raise ValueError(f"audit_rate must be in [0, 1], got {audit_rate!r}")
     workers = tuple(workers)
     if not workers:
         raise ValueError("run_distributed needs at least one worker")
@@ -543,8 +618,11 @@ def run_distributed(
             raise ValueError(f"unknown cache mode {cache!r}")
         cache = ResultCache.from_env()
     manifest_path = Path(manifest) if manifest is not None else None
+    manifest_skipped = 0
     if manifest_path is not None:
-        load_manifest(manifest_path)  # touch-load: malformed files surface here
+        # Touch-load: malformed files surface here; damaged lines are
+        # counted onto the outcome so sweep summaries can warn about them.
+        manifest_skipped = scan_manifest(manifest_path)[1]
 
     start = time.perf_counter()
     results: list[Any] = [None] * len(jobs)
@@ -580,7 +658,21 @@ def run_distributed(
     ledger_rows: list[dict] = []
     if pending:
         plan = ShardPlan.build([key for _, _, key in pending], len(workers))
-        fleet = _Fleet(queues={})
+        fleet = _Fleet(
+            queues={},
+            breakers={
+                position: CircuitBreaker(
+                    key=f"worker:{position}",
+                    seed=policy.seed,
+                    failure_threshold=1,
+                    probe_base=policy.backoff_base,
+                    probe_factor=policy.backoff_factor,
+                    probe_max=PROBE_MAX_SECONDS,
+                    jitter=policy.jitter,
+                )
+                for position in range(len(workers))
+            },
+        )
         chunks: list[_Chunk] = []
         for shard_index, positions in plan.chunks(chunk_size):
             chunk = _Chunk(shard=shard_index, items=[pending[p] for p in positions])
@@ -600,10 +692,25 @@ def run_distributed(
                 attempts = int(outcome.get("attempts", 1) or 1) + chunk.dispatches - 1
                 result = None
                 if outcome.get("status") == "done" and outcome.get("result") is not None:
-                    try:
-                        result = SimulationResult.from_dict(outcome["result"])
-                    except Exception:
-                        result = None  # wire drift: count the job as failed
+                    digest = outcome.get("digest")
+                    if isinstance(digest, str) and result_digest(
+                        outcome["result"]
+                    ) != digest:
+                        # The payload does not match its own content digest:
+                        # it was corrupted in transit (or the worker
+                        # serialised garbage).  Reject, never merge.
+                        stats.corrupt += 1
+                        outcome = {
+                            **outcome,
+                            "error": "result digest mismatch in transit "
+                                     "(corrupt batch envelope)",
+                            "error_type": "IntegrityError",
+                        }
+                    else:
+                        try:
+                            result = SimulationResult.from_dict(outcome["result"])
+                        except Exception:
+                            result = None  # wire drift: count the job as failed
                 if result is not None:
                     results[index] = result
                     if cache is not None:
@@ -660,25 +767,202 @@ def run_distributed(
                         attempts=max(1, chunk.dispatches),
                     )
 
+        def settle_chunk_or_orphan(chunk: _Chunk) -> None:
+            """Re-queue a failed chunk, or settle it if out of attempts
+            (called under the lock)."""
+            if chunk.dispatches >= policy.max_attempts:
+                settle_lost_chunk(chunk)
+                fleet.unsettled -= 1
+            else:
+                fleet.orphans.append(chunk)
+
+        def fleet_hopeless() -> bool:
+            """Whether nobody will ever run the orphans (under the lock).
+
+            Every breaker open *and* the collective probe budget spent:
+            with no permanent dead set, this is what bounds termination
+            when the whole roster is unreachable — any single success
+            resets the budget.
+            """
+            return fleet.probe_failures >= policy.max_attempts * len(
+                workers
+            ) and all(b.state != "closed" for b in fleet.breakers.values())
+
+        def audit_answer(
+            chunk: _Chunk, answer: dict, *, distrusted: bool, handshaken: bool
+        ) -> tuple[Optional[tuple], int]:
+            """Re-execute a seeded sample of ``answer``'s done rows locally.
+
+            Runs *off* the lock (re-execution is real simulation work).
+            Returns ``(mismatch, audited)`` where ``mismatch`` is
+            ``(index, job, key, detail)`` for the first digest divergence.
+            Chaos-wrapped jobs are audited against the chaos *delegate*:
+            the reference result is the ground truth the retry stack
+            converges to, and re-drawing faults locally would audit the
+            schedule, not the worker.
+            """
+            audited = 0
+            first_done = True
+            for (index, job, key), outcome in zip(chunk.items, answer["outcomes"]):
+                if outcome.get("status") != "done":
+                    continue
+                if not isinstance(outcome.get("result"), dict):
+                    continue
+                selected = distrusted or audit_selected(policy.seed, key, audit_rate)
+                if first_done and not handshaken:
+                    # Handshake audit: a worker's first returned result is
+                    # always verified, so a worker that lies about
+                    # everything is caught before any outcome merges.
+                    selected = True
+                first_done = False
+                if not selected:
+                    continue
+                audited += 1
+                audit_job = job
+                if getattr(job, "backend", None) == "chaos":
+                    from repro.harness.faults import active_plan
+
+                    plan_now = active_plan()
+                    audit_job = replace(
+                        job,
+                        backend=plan_now.delegate if plan_now is not None else None,
+                    )
+                local = _execute(audit_job)
+                local_digest = result_digest(local.to_dict())
+                remote_digest = result_digest(outcome["result"])
+                if local_digest != remote_digest:
+                    return (
+                        index,
+                        job,
+                        key,
+                        f"local {local_digest[:12]} != worker {remote_digest[:12]}",
+                    ), audited
+            return None, audited
+
+        def discard_worker_outcomes(
+            position: int, chunk: _Chunk, mismatch: tuple
+        ) -> None:
+            """Audit failed: roll back everything ``position`` contributed
+            (called under the lock)."""
+            _, job, key, detail = mismatch
+            stats.audit_failures += 1
+            fleet.distrusted.add(position)
+            error = (
+                f"audit mismatch: worker {workers[position].address} returned "
+                f"a result diverging from local re-execution ({detail})"
+            )
+            if manifest_path is not None:
+                append_outcome(manifest_path, ManifestEntry(
+                    key=key, status="failed", attempts=chunk.dispatches,
+                    benchmark=job.benchmark_name, scheduler=job.scheduler,
+                    error=error,
+                ))
+            ledger_rows.append({
+                "kind": "audit",
+                "ts": round(time.time(), 3),
+                "worker": workers[position].address,
+                "key": key,
+                "verdict": "mismatch",
+                "detail": detail,
+            })
+            # The in-flight chunk goes back up for grabs (its dispatch was
+            # spent on a worker whose answers cannot be trusted) ...
+            chunk.last_error = RuntimeError(error)
+            settle_chunk_or_orphan(chunk)
+            # ... and every chunk previously merged from this worker is
+            # un-merged: result slots reset, wrongly cached entries
+            # quarantined (a manifest "done" row whose cache entry is gone
+            # simply re-runs on resume), chunks re-queued elsewhere.
+            for merged in fleet.merged.pop(position, []):
+                for m_index, _m_job, m_key in merged.items:
+                    if isinstance(results[m_index], JobFailure):
+                        stats.failed -= 1
+                    results[m_index] = None
+                    if cache is not None:
+                        cache.quarantine_entry(
+                            m_key,
+                            f"audit: outcomes from "
+                            f"{workers[position].address} discarded",
+                        )
+                fleet.orphans.append(merged)
+                fleet.unsettled += 1
+
         def worker_loop(position: int, ref: WorkerRef) -> None:
             client = WorkerClient(ref, timeout=timeout)
+            breaker = fleet.breakers[position]
             own = fleet.queues.get(position) or deque()
+            validated = False  # healthz + schema verified since last failure
+
+            def contact_failed(exc: BaseException, chunk: Optional[_Chunk]) -> None:
+                """A probe or dispatch round trip failed (takes the lock)."""
+                with fleet.wake:
+                    breaker.record_failure()
+                    fleet.probe_failures += 1
+                    if chunk is not None:
+                        chunk.last_error = exc
+                        settle_chunk_or_orphan(chunk)
+                    # Chunks still queued on an unreachable worker count one
+                    # failed dispatch each — the same accounting as a failed
+                    # round trip — and go up for grabs by the rest of the
+                    # fleet.
+                    while own:
+                        lost = own.popleft()
+                        lost.dispatches += 1
+                        lost.last_error = exc
+                        settle_chunk_or_orphan(lost)
+                    if fleet_hopeless():
+                        while fleet.orphans:
+                            settle_lost_chunk(fleet.orphans.popleft())
+                            fleet.unsettled -= 1
+                    fleet.wake.notify_all()
+
             while True:
+                chunk: Optional[_Chunk] = None
                 with fleet.wake:
                     while True:
                         if fleet.unsettled == 0 or fleet.error is not None:
                             return
-                        if position in fleet.dead:
-                            return
-                        if own:
-                            chunk = own.popleft()
-                            break
-                        if fleet.orphans:
-                            chunk = fleet.orphans.popleft()
-                            break
+                        if validated and breaker.state == "closed":
+                            if own:
+                                chunk = own.popleft()
+                                break
+                            if fleet.orphans:
+                                chunk = fleet.orphans.popleft()
+                                break
+                        elif breaker.allow():
+                            break  # probe /healthz off-lock
                         fleet.wake.wait(timeout=0.05)
-                    chunk.dispatches += 1
-                    redispatch = chunk.dispatches > 1
+                    if chunk is not None:
+                        chunk.dispatches += 1
+                        redispatch = chunk.dispatches > 1
+
+                if chunk is None:
+                    # Probe: health + schema check before (re)admitting the
+                    # worker.  Cheap, and the only path out of an open
+                    # breaker — so a restarted worker rejoins here.
+                    try:
+                        health = client.healthz()
+                    except (
+                        OSError, http.client.HTTPException, WorkerError, ValueError,
+                    ) as exc:
+                        contact_failed(exc, None)
+                        continue
+                    problem = _worker_schema_drift(health)
+                    if problem is not None:
+                        with fleet.wake:
+                            if fleet.error is None:
+                                fleet.error = WorkerSchemaError(
+                                    f"worker {ref.address} {problem}"
+                                )
+                            fleet.wake.notify_all()
+                        return
+                    validated = True
+                    with fleet.wake:
+                        breaker.record_success()
+                        fleet.probe_failures = 0
+                        fleet.wake.notify_all()
+                    continue
+
                 if redispatch:
                     with fleet.lock:
                         stats.retried += 1
@@ -694,29 +978,53 @@ def run_distributed(
                 except (
                     OSError, http.client.HTTPException, WorkerError, ValueError,
                 ) as exc:
-                    with fleet.wake:
-                        chunk.last_error = exc
-                        fleet.dead.add(position)
-                        # This worker's whole queue is lost with it; chunks
-                        # already tried elsewhere keep their dispatch count.
-                        while own:
-                            fleet.orphans.append(own.popleft())
-                        live = len(workers) - len(fleet.dead)
-                        if chunk.dispatches >= policy.max_attempts or live == 0:
-                            settle_lost_chunk(chunk)
-                            fleet.unsettled -= 1
-                        else:
-                            fleet.orphans.append(chunk)
-                        if live == 0:
-                            # Nobody is coming for the orphans; settle them.
-                            while fleet.orphans:
-                                settle_lost_chunk(fleet.orphans.popleft())
-                                fleet.unsettled -= 1
-                        fleet.wake.notify_all()
-                    return
+                    validated = False  # must re-pass healthz before rejoining
+                    contact_failed(exc, chunk)
+                    continue
+
+                mismatch = None
+                audit_count = 0
+                if audit_rate > 0.0:
+                    with fleet.lock:
+                        is_distrusted = position in fleet.distrusted
+                        is_handshaken = position in fleet.handshaken
+                    try:
+                        mismatch, audit_count = audit_answer(
+                            chunk, answer,
+                            distrusted=is_distrusted,
+                            handshaken=is_handshaken,
+                        )
+                    except Exception as exc:
+                        # The coordinator itself cannot re-execute (missing
+                        # backend, bad config): auditing is impossible, and
+                        # silently skipping it would be a false "verified".
+                        with fleet.wake:
+                            if fleet.error is None:
+                                fleet.error = SweepError(
+                                    chunk.items[0][1],
+                                    RuntimeError(
+                                        f"audit re-execution failed: {exc}"
+                                    ),
+                                )
+                            fleet.wake.notify_all()
+                        return
+
                 with fleet.wake:
+                    stats.audited += audit_count
+                    if audit_count:
+                        fleet.handshaken.add(position)
+                    if mismatch is not None:
+                        validated = False
+                        breaker.record_failure()
+                        discard_worker_outcomes(position, chunk, mismatch)
+                        fleet.wake.notify_all()
+                        continue
                     record_outcome(chunk, answer)
+                    if audit_rate > 0.0:
+                        fleet.merged.setdefault(position, []).append(chunk)
                     fleet.unsettled -= 1
+                    breaker.record_success()
+                    fleet.probe_failures = 0
                     fleet.wake.notify_all()
 
         threads = [
@@ -740,4 +1048,9 @@ def run_distributed(
             append_entry(row)
     except Exception:
         pass  # the ledger is best-effort; never fail a sweep over it
-    return SweepOutcome(jobs=jobs, results=results, stats=stats)
+    return SweepOutcome(
+        jobs=jobs,
+        results=results,
+        stats=stats,
+        manifest_skipped=manifest_skipped,
+    )

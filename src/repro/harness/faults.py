@@ -15,7 +15,7 @@ This module provides both halves:
   file changes.
 * :class:`ChaosBackend` — an execution engine registered like any other
   (``repro.backends``, name ``"chaos"``) that delegates to a real engine
-  but consults the active :class:`FaultPlan` first.  Three fault kinds:
+  but consults the active :class:`FaultPlan` first.  Fault kinds:
 
   ``fail``
       raise :class:`InjectedFault` instead of simulating;
@@ -26,12 +26,20 @@ This module provides both halves:
   ``crash``
       kill the worker process with ``os._exit`` mid-job (downgraded to an
       :class:`InjectedFault` when running in the main process, so
-      ``workers=1`` chaos can never take the interpreter down).
+      ``workers=1`` chaos can never take the interpreter down);
+  ``corrupt``
+      simulate normally, then deterministically flip one bit in a numeric
+      leaf of the result (:func:`corrupt_result`) — a *silent* wrongness
+      fault that retries cannot fix; only the integrity layer (digest
+      checks, ``--audit-rate`` verification, ``repro cache fsck``) catches
+      it.  Opt-in only: never part of :data:`FAULT_KINDS`, the default
+      kind set, so recovery-oriented chaos stays bit-exact.
 
-Because the delegate engine produces the actual result, a chaos sweep that
-completes under ``on_error="retry"`` is bit-identical to a fault-free sweep
-— the acceptance gate of the CI ``chaos-smoke`` job
-(``scripts/chaos_smoke.py``).
+Because the delegate engine produces the actual result, a chaos sweep over
+the *default* kinds that completes under ``on_error="retry"`` is
+bit-identical to a fault-free sweep — the acceptance gate of the CI
+``chaos-smoke`` job (``scripts/chaos_smoke.py``); the ``integrity-smoke``
+job covers the ``corrupt`` kind's detection end to end.
 
 Configuration travels two ways so process-pool workers see the same plan
 as the parent: :func:`configure_chaos` sets a module global (inherited by
@@ -43,8 +51,10 @@ grammar ``repro sweep --chaos`` accepts), which spawn-based pools read.
 from __future__ import annotations
 
 import hashlib
+import math
 import multiprocessing
 import os
+import struct
 import threading
 import time
 from dataclasses import dataclass
@@ -53,8 +63,13 @@ from typing import Optional, Sequence, Tuple
 #: Environment variable carrying the active fault plan across processes.
 CHAOS_ENV = "REPRO_CHAOS"
 
-#: Every fault kind a plan may inject.
+#: The *default* fault kinds — recoverable faults only, so a default chaos
+#: sweep with retries stays bit-identical to a fault-free one.
 FAULT_KINDS = ("fail", "hang", "crash")
+
+#: Every kind a plan may name, including the opt-in silent-wrongness
+#: ``corrupt`` kind (``--chaos SEED:RATE:corrupt``).
+VALID_FAULT_KINDS = FAULT_KINDS + ("corrupt",)
 
 #: Pinned code-version string for fault keys: the schedule is keyed on the
 #: request *content*, not on the current source fingerprint, so it stays
@@ -85,7 +100,8 @@ class FaultPlan:
     seed: int = 1
     #: Probability that any given (fault key, attempt) draw injects a fault.
     rate: float = 0.2
-    #: Fault kinds this plan may inject (subset of :data:`FAULT_KINDS`).
+    #: Fault kinds this plan may inject (subset of
+    #: :data:`VALID_FAULT_KINDS`; defaults to the recoverable trio).
     kinds: Tuple[str, ...] = FAULT_KINDS
     #: How long a ``hang`` fault sleeps before simulating normally.
     hang_seconds: float = 0.1
@@ -100,10 +116,10 @@ class FaultPlan:
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {self.rate!r}")
-        unknown = [k for k in self.kinds if k not in FAULT_KINDS]
+        unknown = [k for k in self.kinds if k not in VALID_FAULT_KINDS]
         if unknown:
             raise ValueError(
-                f"unknown fault kind(s) {unknown} (choose from {FAULT_KINDS})"
+                f"unknown fault kind(s) {unknown} (choose from {VALID_FAULT_KINDS})"
             )
         if self.hang_seconds < 0:
             raise ValueError("hang_seconds must be >= 0")
@@ -227,6 +243,71 @@ def fault_key_for(request) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Seeded result corruption (the ``corrupt`` fault kind)
+# ---------------------------------------------------------------------------
+def _numeric_leaves(node, leaves) -> None:
+    """Collect (container, slot) of every corruptible numeric leaf.
+
+    Deterministic order (dict keys sorted); bools, non-finite floats and
+    ``"schema"`` fields are skipped — flipping a schema stamp would make
+    the payload *undecodable* rather than silently wrong, and the corrupt
+    kind exists to model the silent case.
+    """
+    if isinstance(node, dict):
+        for key in sorted(node, key=str):
+            if key == "schema":
+                continue
+            value = node[key]
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int) or (
+                isinstance(value, float) and math.isfinite(value)
+            ):
+                leaves.append((node, key))
+            else:
+                _numeric_leaves(value, leaves)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int) or (
+                isinstance(value, float) and math.isfinite(value)
+            ):
+                leaves.append((node, index))
+            else:
+                _numeric_leaves(value, leaves)
+
+
+def _flip_bit(value):
+    """Flip the lowest bit of a number (floats via their IEEE-754 image)."""
+    if isinstance(value, int):
+        return value ^ 1
+    bits = struct.unpack("<Q", struct.pack("<d", float(value)))[0] ^ 1
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def corrupt_result(result, *, seed: int, fault_key: str):
+    """Return ``result`` with one seeded bit flip in a numeric leaf.
+
+    The corruption is a pure function of ``(seed, fault_key)`` — the same
+    draw discipline as the fault schedule — so tests can predict exactly
+    which leaf diverges.  The flipped payload still decodes through
+    ``SimulationResult.from_dict``; only its *value* (and therefore its
+    content digest) is wrong.  Results with no finite numeric leaf are
+    returned unchanged.
+    """
+    payload = result.to_dict()
+    leaves: list = []
+    _numeric_leaves(payload, leaves)
+    if not leaves:
+        return result
+    pick = _unit_draw(seed, fault_key, "corrupt-leaf")
+    container, slot = leaves[min(int(pick * len(leaves)), len(leaves) - 1)]
+    container[slot] = _flip_bit(container[slot])
+    return type(result).from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
 # The wrapper backend
 # ---------------------------------------------------------------------------
 class ChaosBackend:
@@ -265,7 +346,8 @@ class ChaosBackend:
     def execute(self, request):
         from repro.backends import get_backend
 
-        fault = self.plan.fault_for(fault_key_for(request), current_attempt())
+        fault_key = fault_key_for(request)
+        fault = self.plan.fault_for(fault_key, current_attempt())
         if fault == "fail":
             raise InjectedFault(
                 f"injected failure (seed {self.plan.seed}, attempt "
@@ -281,4 +363,9 @@ class ChaosBackend:
             )
         if fault == "hang":
             time.sleep(self.plan.hang_seconds)
-        return get_backend(self._delegate_name(request)).execute(request)
+        result = get_backend(self._delegate_name(request)).execute(request)
+        if fault == "corrupt":
+            result = corrupt_result(
+                result, seed=self.plan.seed, fault_key=fault_key
+            )
+        return result

@@ -30,6 +30,8 @@ import time
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.harness.integrity import fsync_enabled
+
 _FALSY = ("0", "off", "false", "no")
 
 #: Default ledger location, relative to the working directory.
@@ -49,14 +51,18 @@ def ledger_path() -> Path:
     return DEFAULT_LEDGER_PATH
 
 
-def append_entry(entry: dict, *, path: Optional[Path] = None) -> Optional[Path]:
+def append_entry(
+    entry: dict, *, path: Optional[Path] = None, fsync: Optional[bool] = None
+) -> Optional[Path]:
     """Append one raw JSON entry to the ledger (best-effort).
 
     Returns the path written, or ``None`` when recording is disabled or the
     write failed.  An explicit ``path`` bypasses the enable/disable
     environment check.  Used by :func:`record_sweep` and by the bench
     harness (:mod:`repro.harness.bench`), which stamps its entries with
-    ``"kind": "bench"``.
+    ``"kind": "bench"``.  ``fsync`` syncs the line to stable storage;
+    ``None`` defers to the opt-in ``REPRO_FSYNC`` knob
+    (:func:`repro.harness.integrity.fsync_enabled`).
     """
     if path is None:
         if not ledger_enabled():
@@ -67,6 +73,9 @@ def append_entry(entry: dict, *, path: Optional[Path] = None) -> Optional[Path]:
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            if fsync if fsync is not None else fsync_enabled():
+                os.fsync(fh.fileno())
     except OSError:
         return None
     return path
@@ -102,6 +111,10 @@ def sweep_entry(stats, *, keys: Optional[Sequence[str]] = None) -> dict:
         "failed": getattr(stats, "failed", 0),
         "retried": getattr(stats, "retried", 0),
         "timed_out": getattr(stats, "timed_out", 0),
+        # -- integrity counters (docs/RESILIENCE.md) ------------------------
+        "audited": getattr(stats, "audited", 0),
+        "audit_failures": getattr(stats, "audit_failures", 0),
+        "corrupt": getattr(stats, "corrupt", 0),
     }
     if keys:
         entry["keys_digest"] = keys_digest(keys)
@@ -120,10 +133,16 @@ def record_sweep(
     return append_entry(sweep_entry(stats, keys=keys), path=path)
 
 
-def read_ledger(path: Optional[Path] = None) -> list[dict]:
-    """Parse the ledger into a list of entries (corrupt lines are skipped)."""
+def read_ledger_report(path: Optional[Path] = None) -> tuple[list[dict], int]:
+    """Parse the ledger into ``(entries, skipped_line_count)``.
+
+    Corrupt lines contribute no entry but are counted — ``repro cache
+    stats`` warns about them and ``repro cache fsck --repair`` removes the
+    damage after preserving the original bytes in quarantine.
+    """
     path = Path(path) if path is not None else ledger_path()
     entries: list[dict] = []
+    skipped = 0
     try:
         with open(path, encoding="utf-8") as fh:
             for line in fh:
@@ -133,12 +152,20 @@ def read_ledger(path: Optional[Path] = None) -> list[dict]:
                 try:
                     entry = json.loads(line)
                 except ValueError:
+                    skipped += 1
                     continue
                 if isinstance(entry, dict):
                     entries.append(entry)
+                else:
+                    skipped += 1
     except OSError:
-        return []
-    return entries
+        return [], 0
+    return entries, skipped
+
+
+def read_ledger(path: Optional[Path] = None) -> list[dict]:
+    """Parse the ledger into a list of entries (corrupt lines are skipped)."""
+    return read_ledger_report(path)[0]
 
 
 def merge_ledger_entries(groups: Iterable[Iterable[dict]]) -> list[dict]:
@@ -182,10 +209,14 @@ def summarize_ledger(entries: list[dict]) -> dict:
     separately as the simulator-throughput trajectory, and serve entries
     (``"kind": "serve"``, written by ``repro serve`` at drain time) as the
     service-traffic trajectory (requests, hit/coalesce/execute split).
+    Audit rows (``"kind": "audit"``, written by the distributed
+    coordinator when a worker's results fail verification) are counted but
+    never aggregated as sweeps.
     """
     bench = [e for e in entries if e.get("kind") == "bench"]
     serve = [e for e in entries if e.get("kind") == "serve"]
-    entries = [e for e in entries if e.get("kind") not in ("bench", "serve")]
+    audits = [e for e in entries if e.get("kind") == "audit"]
+    entries = [e for e in entries if e.get("kind") not in ("bench", "serve", "audit")]
     total_jobs = sum(e.get("jobs", 0) for e in entries)
     total_hits = sum(e.get("cache_hits", 0) for e in entries)
     cold = [e for e in entries if e.get("jobs") and not e.get("cache_hits")]
@@ -217,6 +248,11 @@ def summarize_ledger(entries: list[dict]) -> dict:
         "failed": sum(e.get("failed", 0) for e in entries),
         "retried": sum(e.get("retried", 0) for e in entries),
         "timed_out": sum(e.get("timed_out", 0) for e in entries),
+        # -- integrity counters (docs/RESILIENCE.md) ------------------------
+        "audited": sum(e.get("audited", 0) for e in entries),
+        "audit_failures": sum(e.get("audit_failures", 0) for e in entries),
+        "corrupt": sum(e.get("corrupt", 0) for e in entries),
+        "audit_rows": len(audits),
         "mean_cold_wall_seconds": _mean_wall(cold),
         "mean_warm_wall_seconds": _mean_wall(warm),
         "sweeps_by_backend": by_backend,

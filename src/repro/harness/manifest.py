@@ -25,10 +25,13 @@ can never serve a result the cache cannot substantiate.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Union
+
+from repro.harness.integrity import fsync_enabled
 
 #: Version stamp written on every manifest line.
 MANIFEST_SCHEMA = 1
@@ -82,24 +85,39 @@ class ManifestEntry:
         )
 
 
-def append_outcome(path: Union[str, Path], entry: ManifestEntry) -> None:
-    """Append one outcome line to the manifest (flushed immediately)."""
+def append_outcome(
+    path: Union[str, Path], entry: ManifestEntry, *, fsync: Optional[bool] = None
+) -> None:
+    """Append one outcome line to the manifest (flushed immediately).
+
+    ``fsync`` additionally syncs the line to stable storage — surviving
+    power loss, not just a process crash — at a per-line latency cost.
+    ``None`` defers to the opt-in ``REPRO_FSYNC`` environment knob.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "a", encoding="utf-8") as fh:
         fh.write(entry.to_line() + "\n")
         fh.flush()
+        if fsync if fsync is not None else fsync_enabled():
+            os.fsync(fh.fileno())
 
 
-def load_manifest(path: Union[str, Path]) -> dict[str, ManifestEntry]:
-    """Parse a manifest into ``{key: entry}``.
+def scan_manifest(
+    path: Union[str, Path],
+) -> tuple[dict[str, ManifestEntry], int]:
+    """Parse a manifest into ``({key: entry}, skipped_line_count)``.
 
     Merge rule per key: ``done`` wins over any other status (a completed
     result is durable in the cache; a stray failure line from a merged
     partial run must not force a re-run), otherwise the later line wins.
-    Corrupt or unknown-schema lines are skipped, mirroring the ledger.
+    Corrupt or unknown-schema lines contribute no entry but are *counted*
+    — silent data loss is how torn writes stay invisible; callers surface
+    the count (``SweepOutcome.manifest_skipped``, sweep summaries) and
+    ``repro cache fsck --repair`` removes the damage.
     """
     entries: dict[str, ManifestEntry] = {}
+    skipped = 0
     try:
         with open(Path(path), encoding="utf-8") as fh:
             for line in fh:
@@ -109,17 +127,24 @@ def load_manifest(path: Union[str, Path]) -> dict[str, ManifestEntry]:
                 try:
                     payload = json.loads(line)
                 except ValueError:
+                    skipped += 1
                     continue
                 entry = ManifestEntry.from_payload(payload)
                 if entry is None:
+                    skipped += 1
                     continue
                 prior = entries.get(entry.key)
                 if prior is not None and prior.status == "done" and entry.status != "done":
                     continue
                 entries[entry.key] = entry
     except OSError:
-        return {}
-    return entries
+        return {}, 0
+    return entries, skipped
+
+
+def load_manifest(path: Union[str, Path]) -> dict[str, ManifestEntry]:
+    """Parse a manifest into ``{key: entry}`` (see :func:`scan_manifest`)."""
+    return scan_manifest(path)[0]
 
 
 def merge_manifests(paths: Iterable[Union[str, Path]]) -> dict[str, ManifestEntry]:

@@ -61,7 +61,7 @@ from repro.gpu.gpu import SimulationResult
 from repro.harness.cache import ResultCache
 from repro.harness.faults import _unit_draw, set_current_attempt
 from repro.harness.ledger import record_sweep
-from repro.harness.manifest import ManifestEntry, append_outcome, load_manifest
+from repro.harness.manifest import ManifestEntry, append_outcome, scan_manifest
 from repro.harness.runner import run_benchmark
 
 #: Compatibility alias: the engine's job type *is* the canonical request.
@@ -239,6 +239,15 @@ class SweepStats:
     retried: int = 0
     #: Dispatches abandoned past ``RetryPolicy.timeout_seconds``.
     timed_out: int = 0
+    #: Worker-returned jobs re-executed locally for verification
+    #: (``run_distributed(..., audit_rate=...)``; docs/RESILIENCE.md).
+    audited: int = 0
+    #: Audits whose local re-execution digest diverged from the worker's —
+    #: each one discarded that worker's outcomes and re-dispatched them.
+    audit_failures: int = 0
+    #: Worker outcome rows rejected because their payload did not match
+    #: their own content digest (corruption in transit).
+    corrupt: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -257,6 +266,10 @@ class SweepOutcome:
     jobs: list[SimulationRequest]
     results: list[SimulationResult]
     stats: SweepStats
+    #: Corrupt manifest lines skipped while (re)loading this sweep's
+    #: checkpoint manifest — nonzero means the manifest has damage that
+    #: ``repro cache fsck --repair`` can remove.
+    manifest_skipped: int = 0
 
     def __iter__(self):
         return iter(zip(self.jobs, self.results))
@@ -900,12 +913,14 @@ def run_jobs(
             raise ValueError(f"unknown cache mode {cache!r}")
         cache = ResultCache.from_env()
     manifest_path = Path(manifest) if manifest is not None else None
+    manifest_skipped = 0
     if manifest_path is not None:
         # Touch-load for the resume contract: malformed files surface here,
         # and "done" keys whose results the cache still holds are served as
         # plain cache hits below (the manifest stores statuses, the cache
-        # stores results — see repro.harness.manifest).
-        load_manifest(manifest_path)
+        # stores results — see repro.harness.manifest).  Damaged lines are
+        # counted onto the outcome so sweep summaries can warn about them.
+        manifest_skipped = scan_manifest(manifest_path)[1]
 
     start = time.perf_counter()
     results: list[Optional[SimulationResult]] = [None] * len(jobs)
@@ -1017,4 +1032,9 @@ def run_jobs(
         record_sweep(stats, keys=sweep_keys or None)
     except Exception:
         pass  # the ledger is best-effort; never fail a sweep over it
-    return SweepOutcome(jobs=jobs, results=results, stats=stats)
+    return SweepOutcome(
+        jobs=jobs,
+        results=results,
+        stats=stats,
+        manifest_skipped=manifest_skipped,
+    )

@@ -83,8 +83,16 @@ def format_sweep_stats(stats, cache_stats=None) -> str:
         parts.append(f"{stats.retried} retried")
     if getattr(stats, "timed_out", 0):
         parts.append(f"{stats.timed_out} timed out")
+    if getattr(stats, "audited", 0):
+        parts.append(f"{stats.audited} audited")
+    if getattr(stats, "audit_failures", 0):
+        parts.append(f"{stats.audit_failures} audit failures")
+    if getattr(stats, "corrupt", 0):
+        parts.append(f"{stats.corrupt} corrupt")
     if cache_stats is not None and cache_stats.errors:
         parts.append(f"{cache_stats.errors} cache errors")
+    if cache_stats is not None and getattr(cache_stats, "quarantined", 0):
+        parts.append(f"{cache_stats.quarantined} quarantined")
     return "sweep: " + ", ".join(parts)
 
 

@@ -42,8 +42,15 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.api import AnyRequest, BatchExecutionError, JobRecord, JobState, run_batch
+from repro.harness.breaker import CircuitBreaker, CircuitOpenError
 from repro.harness.faults import set_current_attempt
 from repro.harness.parallel import RetryPolicy
+
+#: Unattributed batch failures before a backend's circuit opens.  Higher
+#: than the coordinator's per-worker threshold of 1: a backend is shared
+#: state (one open circuit refuses every request targeting it), so it gets
+#: more benefit of the doubt.
+DEFAULT_BREAKER_THRESHOLD = 3
 
 
 class BatchTimeoutError(RuntimeError):
@@ -73,6 +80,7 @@ class BatchQueue:
         on_batch_done: Optional[Callable[[list, float], None]] = None,
         on_job_done: Optional[Callable[[QueuedJob, object, Optional[BaseException]], None]] = None,
         on_retry: Optional[Callable[[], None]] = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -80,6 +88,8 @@ class BatchQueue:
             raise ValueError("batch_max must be >= 1")
         if linger < 0:
             raise ValueError("linger must be >= 0")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
         self._cache = cache
         self._batch_max = batch_max
         self._linger = linger
@@ -105,6 +115,14 @@ class BatchQueue:
         self._on_job_done = on_job_done
         #: called (from the worker thread) on each batch retry.
         self._on_retry = on_retry
+        #: Per-resolved-backend circuit breakers (docs/RESILIENCE.md): a
+        #: backend whose batches keep failing *without attribution* (crash
+        #: in the engine itself, not one poisoned request) is opened and
+        #: probed with one request at a time instead of burning whole
+        #: batches against it.  Attributed failures and timeouts don't
+        #: count — they already have narrower handling.
+        self._breaker_threshold = breaker_threshold
+        self._breakers: dict[str, CircuitBreaker] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -202,12 +220,57 @@ class BatchQueue:
         if self._on_batch_done is not None:
             self._on_batch_done(executed, wall)
 
+    # -- circuit breakers ----------------------------------------------
+    def _backend_name(self, request) -> Optional[str]:
+        """The resolved engine name a request will execute on, or ``None``."""
+        try:
+            from repro.api import MultiTenantRequest
+            from repro.backends import resolve_backend_name
+
+            backend = getattr(request, "backend", None)
+            if backend is None and isinstance(request, MultiTenantRequest):
+                return "lockstep"
+            return resolve_backend_name(backend)
+        except Exception:
+            return None
+
+    def _breaker_for(self, backend: str) -> CircuitBreaker:
+        breaker = self._breakers.get(backend)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                key=f"backend:{backend}",
+                seed=self._retry.seed if self._retry is not None else 0,
+                failure_threshold=self._breaker_threshold,
+                probe_base=(
+                    self._retry.backoff_base if self._retry is not None else 0.05
+                ),
+            )
+            self._breakers[backend] = breaker
+        return breaker
+
+    def breaker_states(self) -> dict[str, str]:
+        """``{backend: state}`` for every breaker created so far."""
+        return {name: b.state for name, b in sorted(self._breakers.items())}
+
     def _execute_batch(self, requests: List[AnyRequest]):
         """Worker-thread body: one ``run_batch`` call, retried under the
         policy's backoff, then retried around individually-failing requests
         so attribution stays per job."""
         outcomes: list = [None] * len(requests)
-        remaining = list(enumerate(requests))
+        remaining = []
+        for index, request in enumerate(requests):
+            name = self._backend_name(request)
+            if name is not None and not self._breaker_for(name).allow():
+                # Open circuit: refuse instantly instead of burning a batch
+                # attempt on a backend that just failed repeatedly.  (In
+                # half-open state exactly one request per backend gets
+                # through as the probe.)
+                outcomes[index] = (None, CircuitOpenError(
+                    f"backend {name!r} circuit is open after repeated "
+                    "failures; retry shortly"
+                ))
+                continue
+            remaining.append((index, request))
         max_attempts = self._retry.max_attempts if self._retry is not None else 1
         attempt = 1
         set_current_attempt(attempt)
@@ -252,9 +315,19 @@ class BatchQueue:
                     attempt += 1
                     set_current_attempt(attempt)
                     continue
+                for name in {
+                    self._backend_name(request) for _, request in remaining
+                }:
+                    if name is not None:
+                        self._breaker_for(name).record_failure()
                 for index, _ in remaining:
                     outcomes[index] = (None, exc)
                 break
+            for name in {
+                self._backend_name(request) for _, request in remaining
+            }:
+                if name is not None:
+                    self._breaker_for(name).record_success()
             for (index, _), result in zip(remaining, results):
                 outcomes[index] = (result, None)
             break

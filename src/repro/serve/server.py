@@ -48,6 +48,7 @@ from repro.api import (
     SimulationRequest,
     _decode_cached_result,
     decode_request,
+    result_digest,
 )
 from repro.harness.ledger import append_entry, read_ledger, summarize_ledger
 from repro.harness.parallel import RetryPolicy
@@ -309,8 +310,29 @@ class ReproService:
             )
             self.coalescer.fail(job.cache_key, error)
         else:
+            self._audit_cached(job, result)
             job.record.advance(JobState.DONE, source="executed", finished_at=now)
             self.coalescer.resolve(job.cache_key, result)
+
+    def _audit_cached(self, job: QueuedJob, result) -> None:
+        """Read-back audit: the envelope just persisted for an executed job
+        must digest-match the result we are about to serve.  A divergence
+        means the entry was torn or corrupted between ``put`` and here —
+        quarantine it so no later request is served the damaged bytes.
+        """
+        if self.cache is None:
+            return
+        stored = self.cache.peek(job.cache_key)
+        if stored is None:
+            return  # uncacheable request or concurrent eviction: no envelope
+        ok = result_digest(stored) == result_digest(result.to_dict())
+        self.stats.record_audit(ok=ok)
+        if not ok:
+            self.cache.quarantine_entry(
+                job.cache_key,
+                "serve read-back audit: stored envelope diverged from the "
+                "executed result",
+            )
 
     def stats_payload(self) -> dict:
         """The ``/stats`` document: live counters + bench-ledger summary."""
@@ -321,6 +343,10 @@ class ReproService:
         payload["jobs_tracked"] = len(self.jobs)
         payload["reconciles"] = self.stats.reconciles()
         payload["version"] = __version__
+        payload["breaker_state"] = self.queue.breaker_states()
+        payload["quarantined"] = (
+            self.cache.stats.quarantined if self.cache is not None else 0
+        )
         # Per-backend throughput across sessions comes from the same
         # append-only ledger repro bench and the sweep engine feed.
         payload["ledger"] = summarize_ledger(read_ledger())
@@ -434,7 +460,8 @@ class ReproService:
         # byte-identical across the cache / coalesced / executed paths and
         # to a direct execute(request).to_dict().  Job metadata rides in
         # headers so it can never perturb response bytes.
-        body = canonical_json(result.to_dict())
+        wire = result.to_dict()
+        body = canonical_json(wire)
         await _respond(
             writer,
             200,
@@ -443,6 +470,10 @@ class ReproService:
                 ("X-Repro-Source", source),
                 ("X-Repro-Job", record.job_id),
                 ("X-Repro-Cache-Key", record.cache_key),
+                # Content digest of the wire form: clients can verify the
+                # body survived the transport (same blake2b the cache and
+                # the distributed workers use).
+                ("X-Repro-Digest", result_digest(wire)),
             ),
         )
 

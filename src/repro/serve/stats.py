@@ -80,6 +80,10 @@ class ServiceStats:
     #: Worker-thread exceptions surfaced during drain (would previously be
     #: silently discarded by ``asyncio.gather(..., return_exceptions=True)``).
     drain_errors: int = 0
+    #: Results re-verified against their content digest after execution.
+    audited: int = 0
+    #: Audits whose recomputed digest did not match (integrity breach).
+    audit_failures: int = 0
     started_at: float = field(default_factory=time.time)
     per_backend: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -120,6 +124,12 @@ class ServiceStats:
     def record_drain_error(self, count: int = 1) -> None:
         with self._lock:
             self.drain_errors += count
+
+    def record_audit(self, *, ok: bool) -> None:
+        with self._lock:
+            self.audited += 1
+            if not ok:
+                self.audit_failures += 1
 
     def record_batch(self, outcomes, wall_seconds: float) -> None:
         """Account one drained batch.
@@ -176,6 +186,8 @@ class ServiceStats:
                 "timed_out": self.timed_out,
                 "retried": self.retried,
                 "drain_errors": self.drain_errors,
+                "audited": self.audited,
+                "audit_failures": self.audit_failures,
                 "served": self.hits + self.coalesced + self.executed,
                 "queue_depth": queue_depth,
                 "inflight": inflight,
@@ -203,6 +215,8 @@ class ServiceStats:
                 "timed_out": self.timed_out,
                 "retried": self.retried,
                 "drain_errors": self.drain_errors,
+                "audited": self.audited,
+                "audit_failures": self.audit_failures,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "backend": ",".join(sorted(self.per_backend)),
             }

@@ -1,3 +1,3 @@
 """Package version."""
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"

@@ -1,0 +1,12 @@
+"""Shared test fixtures: keep integrity side effects out of the checkout.
+
+Corrupt-entry tests quarantine damaged artifacts; without this fixture
+they would land in ``.repro/quarantine`` under the working directory.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_quarantine(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_QUARANTINE_DIR", str(tmp_path / "quarantine"))

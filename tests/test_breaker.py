@@ -1,0 +1,213 @@
+"""Circuit breaker state machine + the serve queue's per-backend breakers."""
+
+import pytest
+
+from repro.api import SimulationRequest
+from repro.harness.breaker import CircuitBreaker, CircuitOpenError
+from repro.harness.parallel import RetryPolicy
+from repro.harness.runner import RunConfig
+from repro.serve.queue import BatchQueue
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    defaults = dict(seed=7, probe_base=1.0, jitter=0.0, clock=clock)
+    defaults.update(kwargs)
+    return CircuitBreaker("worker:a", **defaults), clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_threshold_failures_trip_open(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker, _ = make_breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.advance(breaker.probe_delay(1) + 0.01)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # everyone else waits on the probe
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        clock.advance(breaker.probe_delay(1) + 0.01)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_longer_deadline(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        first_delay = breaker.seconds_until_probe()
+        clock.advance(first_delay + 0.01)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert breaker.seconds_until_probe() > first_delay
+
+    def test_opens_survive_success(self):
+        # A target that oscillates (passes a probe, then fails again) must
+        # back off further each round instead of retrying at full speed.
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        clock.advance(breaker.seconds_until_probe() + 0.01)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.opens == 1  # not reset by the success
+        breaker.record_failure()
+        assert breaker.opens == 2
+        assert breaker.seconds_until_probe() > breaker.probe_delay(1)
+
+    def test_seconds_until_probe_zero_when_closed(self):
+        breaker, _ = make_breaker()
+        assert breaker.seconds_until_probe() == 0.0
+
+
+class TestProbeDelays:
+    def test_deterministic_in_seed_and_key(self):
+        a = CircuitBreaker("w", seed=7, probe_base=0.5)
+        b = CircuitBreaker("w", seed=7, probe_base=0.5)
+        assert [a.probe_delay(n) for n in range(1, 5)] == [
+            b.probe_delay(n) for n in range(1, 5)
+        ]
+
+    def test_jitter_varies_with_seed(self):
+        a = CircuitBreaker("w", seed=7, probe_base=0.5)
+        b = CircuitBreaker("w", seed=8, probe_base=0.5)
+        assert a.probe_delay(1) != b.probe_delay(1)
+
+    def test_exponential_growth_capped(self):
+        breaker = CircuitBreaker(
+            "w", seed=1, probe_base=1.0, probe_factor=2.0, probe_max=4.0,
+            jitter=0.0,
+        )
+        assert breaker.probe_delay(1) == 1.0
+        assert breaker.probe_delay(2) == 2.0
+        assert breaker.probe_delay(3) == 4.0
+        assert breaker.probe_delay(10) == 4.0  # capped
+
+    def test_jitter_bounded(self):
+        breaker = CircuitBreaker("w", seed=3, probe_base=1.0, jitter=0.5)
+        delay = breaker.probe_delay(1)
+        assert 1.0 <= delay <= 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"probe_base": -1.0},
+            {"probe_factor": 0.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker("w", **kwargs)
+
+
+class TestBatchQueueBreakers:
+    """The serve dispatcher's per-backend breakers (worker-thread body)."""
+
+    def request(self):
+        return SimulationRequest(
+            "ATAX", "gto", RunConfig(scale=0.05, seed=1), backend="reference"
+        )
+
+    def queue(self, **kwargs):
+        # backoff_base doubles as the breaker's probe_base: keep it large so
+        # an opened circuit stays open for the rest of the test instead of
+        # instantly admitting a half-open probe.
+        kwargs.setdefault("retry", RetryPolicy(max_attempts=1, backoff_base=30.0))
+        return BatchQueue(breaker_threshold=2, **kwargs)
+
+    def test_unattributed_failures_open_the_backend_circuit(self, monkeypatch):
+        calls = []
+
+        def boom(requests, cache=None):
+            calls.append(len(requests))
+            raise RuntimeError("engine crashed")
+
+        monkeypatch.setattr("repro.serve.queue.run_batch", boom)
+        queue = self.queue()
+        for _ in range(2):  # threshold = 2
+            (result, error), = queue._execute_batch([self.request()])
+            assert result is None
+            assert isinstance(error, RuntimeError)
+        assert queue.breaker_states() == {"reference": "open"}
+
+        # Open circuit: requests are refused without touching the engine.
+        (result, error), = queue._execute_batch([self.request()])
+        assert result is None
+        assert isinstance(error, CircuitOpenError)
+        assert len(calls) == 2
+
+    def test_probe_success_recloses(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.serve.queue.run_batch",
+            lambda requests, cache=None: (_ for _ in ()).throw(
+                RuntimeError("down")
+            ),
+        )
+        queue = self.queue()
+        for _ in range(2):
+            queue._execute_batch([self.request()])
+        breaker = queue._breakers["reference"]
+        assert breaker.state == "open"
+        # Force the probe window open and let the backend recover.
+        breaker._probe_at = 0.0
+        monkeypatch.setattr(
+            "repro.serve.queue.run_batch",
+            lambda requests, cache=None: ["recovered"] * len(requests),
+        )
+        (result, error), = queue._execute_batch([self.request()])
+        assert error is None
+        assert result == "recovered"
+        assert queue.breaker_states() == {"reference": "closed"}
+
+    def test_success_does_not_create_breakers_noise(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.serve.queue.run_batch",
+            lambda requests, cache=None: ["ok"] * len(requests),
+        )
+        queue = self.queue()
+        (result, error), = queue._execute_batch([self.request()])
+        assert (result, error) == ("ok", None)
+        assert queue.breaker_states() == {"reference": "closed"}
+
+    def test_breaker_threshold_validated(self):
+        with pytest.raises(ValueError):
+            BatchQueue(breaker_threshold=0)

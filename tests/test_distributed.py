@@ -12,32 +12,40 @@ distributed manifest without re-running finished jobs.
 from __future__ import annotations
 
 import asyncio
+import http.server
 import json
 import socket
 import threading
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.api import (
+    BATCH_SCHEMA,
     MultiTenantRequest,
     RunConfig,
     SimulationRequest,
     TenantSpec,
     decode_request_batch,
     encode_request_batch,
+    result_digest,
 )
 from repro.harness.cache import ResultCache
 from repro.harness.distributed import (
     DEFAULT_WORKER_PORT,
+    OUTCOME_SCHEMA,
     WorkerClient,
     WorkerError,
     WorkerRef,
+    WorkerSchemaError,
     WorkerServer,
     load_worker_roster,
     parse_workers_at,
     run_distributed,
 )
+from repro.harness.faults import corrupt_result
+from repro.harness.ledger import read_ledger_report
 from repro.harness.manifest import load_manifest
 from repro.harness.parallel import (
     JobFailure,
@@ -47,6 +55,7 @@ from repro.harness.parallel import (
     run_jobs,
 )
 from repro.serve.http import canonical_json
+from repro.version import __version__
 
 SMALL = RunConfig(scale=0.02, seed=1)
 
@@ -258,6 +267,53 @@ class DudWorker:
             pass
 
 
+class DriftWorker:
+    """An endpoint whose ``/healthz`` speaks for an incompatible worker.
+
+    Deterministically simulates a roster entry running a different repro
+    version (or not being a worker at all) — the coordinator must refuse it
+    during the pre-dispatch probe with a one-line explanation.
+    """
+
+    def __init__(self, **overrides):
+        payload = canonical_json({
+            "status": "ok",
+            "kind": "worker",
+            "busy": False,
+            "workers": 1,
+            "version": "0.0.0",
+            "batch_schema": 99,
+            "outcome_schema": OUTCOME_SCHEMA,
+            **overrides,
+        })
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        self._httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def ref(self) -> WorkerRef:
+        return WorkerRef("127.0.0.1", self.port)
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+
 @pytest.fixture()
 def worker():
     handle = WorkerHandle()
@@ -278,6 +334,19 @@ class TestWorkerHttp:
         answer = WorkerClient(worker.ref).healthz()
         assert answer["status"] == "ok"
         assert answer["kind"] == "worker"
+
+    def test_healthz_advertises_wire_schemas(self, worker):
+        """The coordinator's drift check reads these three fields."""
+        answer = WorkerClient(worker.ref).healthz()
+        assert answer["batch_schema"] == BATCH_SCHEMA
+        assert answer["outcome_schema"] == OUTCOME_SCHEMA
+        assert answer["version"] == __version__
+
+    def test_done_rows_carry_their_result_digest(self, worker):
+        answer = WorkerClient(worker.ref).run_batch(small_jobs(2))
+        for row in answer["outcomes"]:
+            assert row["status"] == "done"
+            assert row["digest"] == result_digest(row["result"])
 
     def test_unknown_path_and_wrong_method(self, worker):
         client = WorkerClient(worker.ref)
@@ -412,6 +481,221 @@ class TestRunDistributed:
     def test_empty_roster_rejected(self):
         with pytest.raises(ValueError, match="at least one worker"):
             run_distributed(small_jobs(1), [], cache=None)
+
+    def test_audit_rate_validated(self):
+        with pytest.raises(ValueError, match="audit_rate"):
+            run_distributed(
+                small_jobs(1), [WorkerRef("127.0.0.1", 1)], cache=None,
+                audit_rate=1.5,
+            )
+
+    def test_worker_restarted_mid_sweep_rejoins_via_breaker_probe(self):
+        """A roster entry that is down when the sweep starts is not written
+        off: its circuit breaker keeps probing ``/healthz`` with seeded
+        backoff, and the worker joins the fleet the moment it comes up.
+        (The old permanent ``dead`` set failed this sweep outright.)"""
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        box: dict[str, WorkerHandle] = {}
+
+        def bring_up():
+            time.sleep(0.4)
+            box["handle"] = WorkerHandle(port=port)
+
+        starter = threading.Thread(target=bring_up, daemon=True)
+        starter.start()
+        try:
+            jobs = small_jobs(2)
+            outcome = run_distributed(
+                jobs, [WorkerRef("127.0.0.1", port)], cache=None,
+                retry=RetryPolicy(max_attempts=20, backoff_base=0.05),
+            )
+            assert outcome.ok
+            assert outcome.stats.executed == len(jobs)
+            local = run_jobs(jobs, cache=None)
+            for (_, got), (_, want) in zip(outcome, local):
+                assert canonical_json(got.to_dict()) == canonical_json(want.to_dict())
+        finally:
+            starter.join()
+            if "handle" in box:
+                box["handle"].close()
+
+
+class TestSchemaDrift:
+    def test_drifted_worker_is_refused_with_a_clear_error(self):
+        drift = DriftWorker(batch_schema=99)
+        try:
+            with pytest.raises(WorkerSchemaError, match="batch schema 99"):
+                run_distributed(small_jobs(1), [drift.ref], cache=None)
+        finally:
+            drift.close()
+
+    def test_non_worker_endpoint_is_refused(self):
+        drift = DriftWorker(kind="serve")
+        try:
+            with pytest.raises(WorkerSchemaError, match="not a repro worker"):
+                run_distributed(small_jobs(1), [drift.ref], cache=None)
+        finally:
+            drift.close()
+
+    def test_schema_error_is_a_usage_error(self):
+        # The CLI maps ValueError to a one-line `error:` + exit 2.
+        assert issubclass(WorkerSchemaError, ValueError)
+
+
+class TestTransportIntegrity:
+    def test_payload_corrupted_in_transit_is_rejected_not_merged(
+        self, worker, monkeypatch
+    ):
+        """A done row whose result no longer matches its shipped digest —
+        bit rot on the wire, a proxy mangling the body — must never merge
+        into the sweep."""
+        real = WorkerClient.run_batch
+
+        def tampering(self, requests, **kwargs):
+            answer = real(self, requests, **kwargs)
+            row = answer["outcomes"][0]
+            if row["status"] == "done":
+                row["result"] = {**row["result"], "tampered": 1}
+            return answer
+
+        monkeypatch.setattr(WorkerClient, "run_batch", tampering)
+        jobs = small_jobs(2)
+        outcome = run_distributed(
+            jobs, [worker.ref], cache=None, on_error="skip", chunk_size=2,
+        )
+        assert outcome.stats.corrupt == 1
+        failures = [r for r in outcome.results if isinstance(r, JobFailure)]
+        assert len(failures) == 1
+        assert failures[0].error_type == "IntegrityError"
+        assert "digest mismatch" in failures[0].error
+
+
+class TestAudits:
+    """Seeded local re-execution of worker-returned results."""
+
+    def test_liar_worker_is_caught_and_golden_matrix_stays_bit_identical(
+        self, monkeypatch, tmp_path
+    ):
+        """The acceptance gate: one roster worker deliberately returns
+        digest-consistent but *wrong* results (its lies carry matching
+        digests, so only re-execution can expose them).  At audit rate 0.25
+        the sweep still completes bit-identical to the golden fixtures,
+        with the mismatch recorded in the manifest and the ledger."""
+        meta = GOLDEN["_meta"]
+        jobs, want = [], []
+        for key, envelope in sorted(GOLDEN["entries"].items()):
+            bench, sched, backend = key.split("/")
+            jobs.append(SimulationRequest(
+                bench, sched,
+                RunConfig(scale=meta["scale"], seed=meta["seed"]),
+                backend=backend,
+            ))
+            want.append(canonical_json(envelope))
+
+        # The liar is the roster worker created with ``workers=2`` — its
+        # batches run through this wrapper, which corrupts every result
+        # *before* the worker computes the shipped digest (so transport
+        # checks pass and only an audit can catch it).
+        real_run_jobs = run_jobs
+
+        def lying_run_jobs(batch, **kwargs):
+            outcome = real_run_jobs(batch, **kwargs)
+            if kwargs.get("workers") == 2:
+                for i, result in enumerate(outcome.results):
+                    if result is not None and not isinstance(result, JobFailure):
+                        outcome.results[i] = corrupt_result(
+                            result, seed=1234, fault_key=f"liar:{i}"
+                        )
+            return outcome
+
+        monkeypatch.setattr("repro.harness.distributed.run_jobs", lying_run_jobs)
+        ledger = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", "1")
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(ledger))
+        honest, liar = WorkerHandle(), WorkerHandle(workers=2)
+        manifest = tmp_path / "manifest.jsonl"
+        try:
+            outcome = run_distributed(
+                jobs, [honest.ref, liar.ref], cache=None,
+                manifest=manifest, audit_rate=0.25,
+                retry=RetryPolicy(max_attempts=10, backoff_base=0.01),
+            )
+            assert liar.server.batches >= 1  # the liar really participated
+        finally:
+            honest.close()
+            liar.close()
+        assert outcome.ok
+        got = [canonical_json(result.to_dict()) for _, result in outcome]
+        assert got == want
+        assert outcome.stats.audited >= 1
+        assert outcome.stats.audit_failures >= 1
+        assert outcome.stats.retried >= 1  # the discarded chunk re-dispatched
+        # The manifest shows the audit-triggered re-dispatch: a failed row
+        # naming the mismatch, and a final done row for every job.
+        raw_rows = [
+            json.loads(line)
+            for line in manifest.read_text().splitlines() if line.strip()
+        ]
+        assert any(
+            "audit mismatch" in (row.get("error") or "") for row in raw_rows
+        )
+        entries = load_manifest(manifest)
+        assert len(entries) == len(jobs)
+        assert all(e.status == "done" for e in entries.values())
+        # And the ledger carries the forensic audit row.
+        rows, skipped = read_ledger_report(ledger)
+        assert skipped == 0
+        audit_rows = [r for r in rows if r.get("kind") == "audit"]
+        assert audit_rows and audit_rows[0]["verdict"] == "mismatch"
+
+    def test_audit_failure_rolls_back_everything_the_worker_contributed(
+        self, monkeypatch, tmp_path
+    ):
+        """A worker caught lying once cannot leave earlier answers behind:
+        chunks it already merged are un-merged, their cache entries
+        quarantined, and the jobs re-run."""
+        calls = {"n": 0}
+        real_run_jobs = run_jobs
+
+        def lies_on_second_batch(batch, **kwargs):
+            outcome = real_run_jobs(batch, **kwargs)
+            calls["n"] += 1
+            if calls["n"] == 2:
+                for i, result in enumerate(outcome.results):
+                    if result is not None and not isinstance(result, JobFailure):
+                        outcome.results[i] = corrupt_result(
+                            result, seed=99, fault_key=f"liar:{i}"
+                        )
+            return outcome
+
+        monkeypatch.setattr(
+            "repro.harness.distributed.run_jobs", lies_on_second_batch
+        )
+        jobs = small_jobs(4)
+        cache = ResultCache(
+            tmp_path / "cache", quarantine=tmp_path / "quarantine"
+        )
+        handle = WorkerHandle()
+        try:
+            outcome = run_distributed(
+                jobs, [handle.ref], cache=cache, chunk_size=1,
+                audit_rate=1.0,
+                retry=RetryPolicy(max_attempts=10, backoff_base=0.01),
+            )
+        finally:
+            handle.close()
+        assert outcome.ok
+        assert outcome.stats.audit_failures == 1
+        # The first (honest, already merged) batch was quarantined on the
+        # second batch's mismatch, then re-executed and re-cached.
+        assert cache.stats.quarantined >= 1
+        assert list((tmp_path / "quarantine").glob("*.quarantined"))
+        local = run_jobs(jobs, cache=None)
+        for (_, got), (_, want) in zip(outcome, local):
+            assert canonical_json(got.to_dict()) == canonical_json(want.to_dict())
 
 
 class TestGoldenMatrixSharded:

@@ -1,0 +1,368 @@
+"""End-to-end result integrity: digests, quarantine, fsck, fsync, audits."""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.api import SimulationRequest, execute
+from repro.harness.cache import CACHE_SCHEMA, ENVELOPE_SCHEMA, ResultCache
+from repro.harness.faults import FAULT_KINDS, FaultPlan, corrupt_result
+from repro.harness.integrity import (
+    QUARANTINE_SUFFIX,
+    audit_selected,
+    fsck,
+    fsync_enabled,
+    quarantine_file,
+    quarantined_artifacts,
+    result_digest,
+)
+from repro.harness.ledger import (
+    append_entry,
+    read_ledger_report,
+    summarize_ledger,
+)
+from repro.harness.manifest import ManifestEntry, append_outcome, scan_manifest
+from repro.harness.parallel import run_jobs
+from repro.harness.runner import RunConfig
+
+KEY = "a" * 64
+
+
+def tiny_request(scheduler="gto"):
+    return SimulationRequest("ATAX", scheduler, RunConfig(scale=0.05, seed=1))
+
+
+def make_cache(tmp_path):
+    return ResultCache(tmp_path / "cache", quarantine=tmp_path / "q")
+
+
+def tamper(cache, key):
+    """Flip the stored result under ``key`` while keeping the old digest."""
+    path = cache._path(key)
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    payload["result"] = {"tampered": True}
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh)
+    return path
+
+
+class TestResultDigest:
+    def test_stable_across_key_order(self):
+        assert result_digest({"a": 1, "b": 2}) == result_digest({"b": 2, "a": 1})
+
+    def test_content_sensitive(self):
+        assert result_digest({"a": 1}) != result_digest({"a": 2})
+
+    def test_non_json_payload_never_raises(self):
+        digest = result_digest({"obj": object})
+        assert isinstance(digest, str) and len(digest) == 32
+
+
+class TestQuarantine:
+    def test_move_with_reason_sidecar(self, tmp_path):
+        victim = tmp_path / "entry.pkl"
+        victim.write_bytes(b"damaged")
+        qdir = tmp_path / "q"
+        dest = quarantine_file(victim, "bit rot", quarantine=qdir, source="test")
+        assert dest is not None and dest.name.endswith(QUARANTINE_SUFFIX)
+        assert not victim.exists()
+        reason = json.loads((qdir / (dest.name + ".reason.json")).read_text())
+        assert reason["reason"] == "bit rot"
+        assert reason["source"] == "test"
+        assert quarantined_artifacts(qdir) == [dest]
+
+    def test_same_name_never_overwrites(self, tmp_path):
+        qdir = tmp_path / "q"
+        for _ in range(2):
+            victim = tmp_path / "entry.pkl"
+            victim.write_bytes(b"damaged")
+            quarantine_file(victim, "again", quarantine=qdir)
+        assert len(quarantined_artifacts(qdir)) == 2
+
+
+class TestCacheEnvelope:
+    def test_roundtrip_writes_digested_envelope(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, {"ipc": 1.5})
+        assert cache.get(KEY) == {"ipc": 1.5}
+        with open(cache._path(KEY), "rb") as fh:
+            payload = pickle.load(fh)
+        assert payload["schema"] == ENVELOPE_SCHEMA
+        assert payload["digest"] == result_digest({"ipc": 1.5})
+
+    def test_legacy_envelope_still_readable(self, tmp_path):
+        cache = make_cache(tmp_path)
+        path = cache._path(KEY)
+        path.parent.mkdir(parents=True)
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {"schema": CACHE_SCHEMA, "key": KEY, "result": {"ipc": 2.0}}, fh
+            )
+        assert cache.get(KEY) == {"ipc": 2.0}
+        assert cache.stats.quarantined == 0
+
+    def test_tampered_entry_quarantined_not_unlinked(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, {"ipc": 1.5})
+        tamper(cache, KEY)
+        assert cache.get(KEY) is None
+        assert not cache._path(KEY).exists()
+        assert cache.stats.quarantined == 1
+        quarantined = quarantined_artifacts(tmp_path / "q")
+        assert len(quarantined) == 1
+        reason = json.loads(
+            (quarantined[0].parent / (quarantined[0].name + ".reason.json"))
+            .read_text()
+        )
+        assert "digest mismatch" in reason["reason"]
+
+    def test_peek_is_side_effect_free(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, {"ipc": 1.5})
+        path = tamper(cache, KEY)
+        assert cache.peek(KEY) is None
+        assert path.exists()  # peek never quarantines
+        assert cache.stats.quarantined == 0
+        assert cache.stats.lookups == 0
+
+    def test_clear_quarantines_corrupt_entries(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, {"ipc": 1.5})
+        cache.put("b" * 64, {"ipc": 2.5})
+        tamper(cache, KEY)
+        assert cache.clear() == 2
+        assert cache.stats.quarantined == 1
+        assert cache.entry_count() == 0
+
+
+class TestFsck:
+    def test_clean_cache(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, {"ipc": 1.5})
+        report = fsck(cache=cache)
+        assert report.clean
+        assert [a.verdict for a in report.artifacts] == ["ok"]
+
+    def test_tampered_entry_quarantined_even_without_repair(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, {"ipc": 1.5})
+        tamper(cache, KEY)
+        report = fsck(cache=cache)
+        assert not report.clean
+        assert report.corrupt == 1
+        assert report.artifacts[0].quarantined
+        assert not cache._path(KEY).exists()
+        # The damage is gone now, so a second scan is clean.
+        assert fsck(cache=cache).clean
+
+    def test_legacy_envelope_repaired_only_with_repair(self, tmp_path):
+        cache = make_cache(tmp_path)
+        path = cache._path(KEY)
+        path.parent.mkdir(parents=True)
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {"schema": CACHE_SCHEMA, "key": KEY, "result": {"ipc": 2.0}}, fh
+            )
+        report = fsck(cache=cache)
+        assert report.legacy == 1 and report.clean  # readable, not damage
+        report = fsck(cache=cache, repair=True)
+        assert report.artifacts[0].repaired
+        with open(path, "rb") as fh:
+            assert pickle.load(fh)["schema"] == ENVELOPE_SCHEMA
+        assert cache.get(KEY) == {"ipc": 2.0}
+
+    def test_torn_manifest_tail(self, tmp_path):
+        manifest = tmp_path / "sweep.manifest"
+        append_outcome(manifest, ManifestEntry(key="k1", status="done"))
+        append_outcome(manifest, ManifestEntry(key="k2", status="done"))
+        data = manifest.read_bytes()
+        manifest.write_bytes(data[:-20])  # tear the last line mid-record
+
+        entries, skipped = scan_manifest(manifest)
+        assert set(entries) == {"k1"} and skipped == 1
+
+        report = fsck(manifests=[manifest], quarantine=tmp_path / "q")
+        assert report.damaged_lines == 1 and not report.clean
+
+        report = fsck(
+            manifests=[manifest], repair=True, quarantine=tmp_path / "q"
+        )
+        assert report.artifacts[0].repaired and report.artifacts[0].quarantined
+        assert report.clean  # repaired in this very scan
+        entries, skipped = scan_manifest(manifest)
+        assert set(entries) == {"k1"} and skipped == 0
+        # The original (pre-repair) bytes were preserved as evidence.
+        assert len(quarantined_artifacts(tmp_path / "q")) == 1
+
+    def test_missing_manifest_reported(self, tmp_path):
+        report = fsck(manifests=[tmp_path / "never-written.manifest"])
+        assert report.artifacts[0].verdict == "missing"
+
+    def test_resume_survives_a_torn_tail(self, tmp_path):
+        cache = make_cache(tmp_path)
+        manifest = tmp_path / "sweep.manifest"
+        jobs = [tiny_request("gto"), tiny_request("lrr")]
+        first = run_jobs(jobs, workers=1, cache=cache, manifest=manifest)
+        assert first.stats.executed == 2
+        with open(manifest, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "key": "k3", "status": "do')  # torn write
+        resumed = run_jobs(jobs, workers=1, cache=cache, manifest=manifest)
+        assert resumed.manifest_skipped == 1
+        assert resumed.stats.cache_hits == 2  # intact lines still resume
+        assert [r.ipc for r in resumed.results] == [r.ipc for r in first.results]
+
+
+class TestFsync:
+    def test_manifest_append_fsyncs_on_request(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+        path = tmp_path / "m.manifest"
+        append_outcome(path, ManifestEntry(key="k", status="done"), fsync=False)
+        assert calls == []
+        append_outcome(path, ManifestEntry(key="k", status="done"), fsync=True)
+        assert len(calls) == 1
+
+    def test_env_knob_enables_fsync(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+        monkeypatch.setenv("REPRO_FSYNC", "1")
+        assert fsync_enabled()
+        append_outcome(
+            tmp_path / "m.manifest", ManifestEntry(key="k", status="done")
+        )
+        append_entry({"kind": "test"}, path=tmp_path / "ledger.jsonl")
+        assert len(calls) == 2
+
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FSYNC", raising=False)
+        assert not fsync_enabled()
+
+
+class TestAuditSampling:
+    def test_deterministic(self):
+        picks = [audit_selected(7, f"key{i}", 0.25) for i in range(100)]
+        assert picks == [audit_selected(7, f"key{i}", 0.25) for i in range(100)]
+
+    def test_rate_extremes(self):
+        assert not audit_selected(7, "k", 0.0)
+        assert audit_selected(7, "k", 1.0)
+
+    def test_rate_is_roughly_honoured(self):
+        n = 2000
+        hits = sum(audit_selected(7, f"key{i}", 0.25) for i in range(n))
+        assert 0.20 < hits / n < 0.30
+
+
+class TestCorruptFault:
+    def test_spec_round_trip(self):
+        plan = FaultPlan.from_spec("7:1.0:corrupt")
+        assert plan.kinds == ("corrupt",)
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+
+    def test_default_kinds_exclude_corrupt(self):
+        # The recoverable trio is pinned; corrupt is opt-in only.
+        assert "corrupt" not in FAULT_KINDS
+        assert FaultPlan().kinds == FAULT_KINDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kinds=("bogus",))
+
+    def test_seeded_bit_flip_is_deterministic_and_decodable(self):
+        result = execute(tiny_request())
+        c1 = corrupt_result(result, seed=7, fault_key="k")
+        c2 = corrupt_result(result, seed=7, fault_key="k")
+        assert result_digest(c1.to_dict()) == result_digest(c2.to_dict())
+        assert result_digest(c1.to_dict()) != result_digest(result.to_dict())
+        assert type(c1) is type(result)  # still a decodable wire form
+
+    def test_different_keys_usually_pick_different_leaves(self):
+        result = execute(tiny_request())
+        digests = {
+            result_digest(
+                corrupt_result(result, seed=7, fault_key=f"k{i}").to_dict()
+            )
+            for i in range(8)
+        }
+        assert len(digests) > 1
+
+
+class TestLedgerIntegrity:
+    def test_skipped_lines_counted(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_entry({"jobs": 2, "executed": 2}, path=path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"jobs": 1, "exec')  # torn tail
+        entries, skipped = read_ledger_report(path)
+        assert len(entries) == 1 and skipped == 1
+
+    def test_summary_separates_audit_rows(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_entry(
+            {"jobs": 4, "executed": 4, "cache_hits": 0, "wall_seconds": 1.0,
+             "workers": 2, "backend": "reference", "audited": 3,
+             "audit_failures": 1, "corrupt": 2},
+            path=path,
+        )
+        append_entry(
+            {"kind": "audit", "worker": "127.0.0.1:9</", "key": "k"}, path=path
+        )
+        summary = summarize_ledger(read_ledger_report(path)[0])
+        assert summary["sweeps"] == 1  # the audit row is not a sweep
+        assert summary["audit_rows"] == 1
+        assert summary["audited"] == 3
+        assert summary["audit_failures"] == 1
+        assert summary["corrupt"] == 2
+
+
+class TestCliFsck:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    @pytest.fixture(autouse=True)
+    def hermetic_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_QUARANTINE_DIR", str(tmp_path / "q"))
+        monkeypatch.setenv("REPRO_LEDGER_PATH", str(tmp_path / "ledger.jsonl"))
+        self.tmp_path = tmp_path
+
+    def test_exit_one_then_zero(self, capsys):
+        cache = ResultCache()
+        cache.put(KEY, {"ipc": 1.0})
+        assert self.run_cli("cache", "fsck") == 0
+        tamper(cache, KEY)
+        assert self.run_cli("cache", "fsck") == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out and "quarantined" in out
+        assert self.run_cli("cache", "fsck") == 0  # damage already moved aside
+
+    def test_manifest_repair_cycle(self):
+        manifest = self.tmp_path / "sweep.manifest"
+        append_outcome(manifest, ManifestEntry(key="k1", status="done"))
+        with open(manifest, "a", encoding="utf-8") as fh:
+            fh.write('{"torn": ')
+        assert self.run_cli("cache", "fsck", "--manifest", str(manifest)) == 1
+        assert (
+            self.run_cli(
+                "cache", "fsck", "--manifest", str(manifest), "--repair"
+            )
+            == 0
+        )
+        assert self.run_cli("cache", "fsck", "--manifest", str(manifest)) == 0
+
+    def test_json_report(self, capsys):
+        assert self.run_cli("cache", "fsck", "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+
+    def test_audit_rate_requires_a_roster(self, capsys):
+        rc = self.run_cli(
+            "sweep", "-b", "ATAX", "-s", "gto", "--audit-rate", "0.25"
+        )
+        assert rc == 2
+        assert "--audit-rate" in capsys.readouterr().err
